@@ -1,0 +1,21 @@
+"""Shared helpers for the table/figure regeneration benchmarks.
+
+Every benchmark runs the regeneration once (``benchmark.pedantic`` with one
+round — the harness itself is deterministic), prints the regenerated
+artifact, and asserts the paper's qualitative shape.
+"""
+
+from __future__ import annotations
+
+
+def run_once(benchmark, fn):
+    """Run ``fn`` exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1)
+
+
+def emit(title: str, body: str) -> None:
+    print()
+    print("=" * 72)
+    print(title)
+    print("=" * 72)
+    print(body)

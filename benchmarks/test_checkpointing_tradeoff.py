@@ -1,0 +1,81 @@
+"""Extension benchmark: the RTM snapshot-storage/recompute trade-off.
+
+Uses the modelled per-step kernel time of the acoustic 3-D pipeline on the
+K40 and the PCIe cost of moving a 512^3 state, sweeping the checkpoint
+budget — the decision a production RTM faces when the snapshot volume
+exceeds host memory (the same pressure that forced the paper's
+forward/backward device-memory swap)."""
+
+import pytest
+
+from benchmarks.conftest import emit, run_once
+from repro.core import checkpointed_rtm_cost, plan_checkpoints
+from repro.core.platform import CRAY_K40
+from repro.gpusim.kernelmodel import LaunchConfig, estimate_kernel_time
+from repro.propagators.workloads import acoustic_workloads
+
+SHAPE = (512, 512, 512)
+NT, SNAP = 1000, 10
+FIELD_BYTES = 512**3 * 4
+
+
+def _forward_step_seconds():
+    cfg = LaunchConfig(maxregcount=64)
+    return sum(
+        estimate_kernel_time(CRAY_K40.gpu, w, cfg).seconds
+        for w in acoustic_workloads(SHAPE)
+    )
+
+
+def sweep():
+    step = _forward_step_seconds()
+    d2h = CRAY_K40.pcie.transfer_time(FIELD_BYTES, pinned=True)
+    out = {}
+    for budget in (100, 50, 25, 10, 5, 2):
+        out[budget] = checkpointed_rtm_cost(
+            step, NT, SNAP, budget, FIELD_BYTES, transfer_seconds_per_state=d2h
+        )
+    return out
+
+
+@pytest.fixture(scope="module")
+def costs():
+    return sweep()
+
+
+def test_tradeoff_regenerates(benchmark, costs):
+    res = run_once(benchmark, sweep)
+    lines = ["budget  storage(GB)  time(s)  slowdown"]
+    for b, c in res.items():
+        lines.append(
+            f"{b:>6}  {c.storage_bytes / 1e9:11.2f}  {c.checkpointed_seconds:7.1f}"
+            f"  {c.slowdown:8.3f}"
+        )
+    emit(f"RTM checkpointing sweep, acoustic 3-D {SHAPE}", "\n".join(lines))
+
+
+class TestTradeoffShape:
+    def test_storage_shrinks_with_budget(self, costs):
+        storages = [costs[b].storage_bytes for b in (100, 50, 25, 10, 5, 2)]
+        assert storages == sorted(storages, reverse=True)
+
+    def test_compute_grows_as_budget_shrinks(self, costs):
+        times = [costs[b].checkpointed_seconds for b in (100, 50, 25, 10, 5, 2)]
+        assert times == sorted(times)
+
+    def test_full_budget_is_baseline(self, costs):
+        assert costs[100].slowdown == pytest.approx(1.0)
+
+    def test_quarter_storage_costs_under_2x(self, costs):
+        """The practical sweet spot of single-level checkpointing: a
+        quarter of the snapshot storage for under 2x wall time (deeper
+        cuts grow quadratically — budget 10 already costs ~3.4x)."""
+        c = costs[25]
+        assert c.storage_bytes == pytest.approx(0.25 * costs[100].storage_bytes)
+        assert c.slowdown < 2.0
+        assert costs[10].slowdown > 2.0
+
+    def test_plan_covers_all_states(self):
+        plan = plan_checkpoints(NT, SNAP, 10)
+        assert plan.nsnaps == 100
+        assert plan.stored == 10

@@ -1,0 +1,41 @@
+"""Figure 11: elastic 2-D async streams.
+
+Paper: "using async with CRAY compiler reduces the execution time by 30%
+... The 30% improvement was due to [reduced lag time between kernel
+launches]", while "PGI compilers gave a worst performance on both Fermi and
+Kepler when async was used".
+"""
+
+import pytest
+
+from benchmarks.conftest import emit, run_once
+from repro.bench.figures import fig11_async
+from repro.bench.report import format_series
+
+
+@pytest.fixture(scope="module")
+def data():
+    return fig11_async()
+
+
+def test_fig11_regenerates(benchmark):
+    data = run_once(benchmark, fig11_async)
+    emit(
+        "Elastic Model 2D async improvement (fraction of sync time saved)",
+        format_series("async vs sync", data, unit="(fraction)"),
+    )
+    assert set(data) == {"CRAY", "PGI"}
+
+
+class TestShape:
+    def test_cray_async_substantial_win(self, data):
+        """~30% in the paper; the launch-gap packing regime."""
+        assert data["CRAY"] > 0.15
+
+    def test_cray_async_below_kernel_overlap_fantasy(self, data):
+        """No SM sharing: the win is bounded by the launch-gap share, far
+        from what true kernel overlap would give."""
+        assert data["CRAY"] < 0.6
+
+    def test_pgi_async_is_a_regression(self, data):
+        assert data["PGI"] < 0.0

@@ -1,0 +1,49 @@
+"""Figure 12: loop fission of the most intensive acoustic 3-D kernel.
+
+Paper: "A 3x speedup was gained after applying loop fission when this code
+was executed on M2090 ... That was not the case though on Kepler card, as
+the register per thread count is [larger] with 255 registers per thread."
+"""
+
+import pytest
+
+from benchmarks.conftest import emit, run_once
+from repro.bench.figures import fig12_fission
+from repro.bench.report import format_series
+
+
+@pytest.fixture(scope="module")
+def data():
+    return fig12_fission()
+
+
+def test_fig12_regenerates(benchmark):
+    data = run_once(benchmark, fig12_fission)
+    for card, series in data.items():
+        emit(f"Acoustic 3D loop fission ({card})", format_series(card, series))
+    assert set(data) == {"Tesla M2090", "Tesla K40"}
+
+
+class TestShape:
+    def test_fermi_fission_around_3x(self, data):
+        ratio = data["Tesla M2090"]["fused"] / data["Tesla M2090"]["fissioned"]
+        assert ratio == pytest.approx(3.0, abs=1.0)
+        assert ratio > 2.0
+
+    def test_kepler_fission_neutral_or_worse(self, data):
+        """255 registers/thread absorb the fused kernel's pressure; fission
+        only adds re-reads."""
+        ratio = data["Tesla K40"]["fused"] / data["Tesla K40"]["fissioned"]
+        assert 0.7 < ratio < 1.3
+
+    def test_mechanism_is_register_spill(self):
+        """The fused kernel spills on Fermi and not on Kepler."""
+        from repro.bench.workloads import modeling_case
+        from repro.gpusim import K40, M2090, LaunchConfig, estimate_kernel_time
+        from repro.propagators.workloads import acoustic_workloads
+
+        case = modeling_case("acoustic", 3)
+        (fused,) = [w for w in acoustic_workloads(case.shape) if "fused" in w.name]
+        cfg = LaunchConfig(maxregcount=64)
+        assert estimate_kernel_time(M2090, fused, cfg).spilled_regs > 0
+        assert estimate_kernel_time(K40, fused, cfg).spilled_regs == 0

@@ -1,0 +1,81 @@
+"""Figures 14 and 15: profiler views of the isotropic 2-D RTM on the M2090,
+with the imaging condition on the CPU (Fig. 14) and on the GPU (Fig. 15).
+
+Paper profile (Fig. 14): 73.4% main kernel, 26.2% receiver injection
+(``sample_put_real_118``), 0.4% source injection; moving the image onto the
+GPU (Fig. 15) adds two low-utilization imaging kernels (~1.9% together)
+without affecting the main kernel's share.
+"""
+
+import pytest
+
+from benchmarks.conftest import emit, run_once
+from repro.bench.figures import fig14_fig15_profiles
+
+
+@pytest.fixture(scope="module")
+def profiles():
+    return fig14_fig15_profiles()
+
+
+def test_profiles_regenerate(benchmark):
+    profiles = run_once(benchmark, fig14_fig15_profiles)
+    for label, rep in profiles.items():
+        emit(f"Nvidia-profile view ({label}, Isotropic 2D RTM, M2090)", rep.to_text())
+    assert set(profiles) == {"image_on_cpu", "image_on_gpu"}
+
+
+class TestShape:
+    def test_main_kernel_dominates(self, profiles):
+        for rep in profiles.values():
+            assert 0.6 < rep.kernel_share("iso_update") < 0.95
+
+    def test_receiver_injection_share(self, profiles):
+        """A visible double-digit-ish share from #receivers launches per
+        backward step (26.2% in the paper's profile)."""
+        share = profiles["image_on_cpu"].kernel_share("receiver_injection")
+        assert 0.05 < share < 0.4
+
+    def test_source_injection_negligible(self, profiles):
+        """0.4% in the paper — 'GPU utilization of source injection is
+        0.04%, due to lack of computations'."""
+        share = profiles["image_on_cpu"].kernel_share("source_injection")
+        assert share < 0.02
+
+    def test_imaging_kernels_only_on_gpu_variant(self, profiles):
+        assert profiles["image_on_cpu"].kernel_share("imaging_condition") == 0.0
+        gpu_share = profiles["image_on_gpu"].kernel_share("imaging_condition")
+        assert 0.0 < gpu_share < 0.08
+
+    def test_main_kernel_share_unaffected_by_imaging_location(self, profiles):
+        """'GPU utilization of the main kernel ... was almost the same,
+        because this kernel is not affected by applying the imaging
+        condition.'"""
+        a = profiles["image_on_cpu"].kernel_share("iso_update")
+        b = profiles["image_on_gpu"].kernel_share("iso_update")
+        assert abs(a - b) < 0.05
+
+    def test_image_on_gpu_moves_less_data(self, profiles):
+        """The point of porting the imaging condition: no per-snap host
+        update of the source + receiver wavefields."""
+        assert (
+            profiles["image_on_gpu"].memcpy_d2h_bytes
+            < profiles["image_on_cpu"].memcpy_d2h_bytes
+        )
+
+
+class TestUtilizationClaim:
+    def test_2d_vs_3d_main_kernel_efficiency(self):
+        """Section 6.2: '~70% for the most intensive compute kernel [in 2D]
+        in contrast with 90% in the 3D cases' — the modelled efficiency of
+        the main kernel must be lower in 2-D than 3-D."""
+        from repro.gpusim import K40, LaunchConfig, estimate_kernel_time
+        from repro.propagators.workloads import acoustic_workloads
+
+        cfg = LaunchConfig(maxregcount=64)
+        (k2,) = [w for w in acoustic_workloads((1024, 1024)) if "fused" in w.name]
+        (k3,) = [w for w in acoustic_workloads((512, 512, 512)) if "fused" in w.name]
+        e2 = estimate_kernel_time(K40, k2, cfg)
+        e3 = estimate_kernel_time(K40, k3, cfg)
+        ratio = e2.achieved_bandwidth / e3.achieved_bandwidth
+        assert ratio == pytest.approx(0.78, abs=0.12)

@@ -1,0 +1,52 @@
+"""Figures 6 and 7: ISO 3-D modeling code variants under PGI 14.3 / 14.6.
+
+Paper: removing the PML if-statements (restructured loops, or computing PML
+everywhere) "significantly enhances the performance using PGI 14.3 ...
+However, PGI 14.6 did not give the same improvement"; PML-everywhere "was
+more efficient than the original code with PGI 14.3, but not with 14.6".
+"""
+
+import pytest
+
+from benchmarks.conftest import emit, run_once
+from repro.bench.figures import fig6_fig7_iso_variants
+from repro.bench.report import format_series
+
+
+@pytest.fixture(scope="module")
+def data():
+    return fig6_fig7_iso_variants()
+
+
+def test_fig6_fig7_regenerate(benchmark):
+    data = run_once(benchmark, fig6_fig7_iso_variants)
+    for compiler, series in data.items():
+        emit(f"ISO Modeling 3D ({compiler})", format_series(compiler, series))
+    assert set(data) == {"PGI 14.3", "PGI 14.6"}
+
+
+class TestShape:
+    def test_pgi143_restructuring_pays_big(self, data):
+        s = data["PGI 14.3"]
+        assert s["branchy"] / s["restructured"] > 2.0
+
+    def test_pgi143_everywhere_beats_original(self, data):
+        s = data["PGI 14.3"]
+        assert s["everywhere"] < s["branchy"]
+
+    def test_pgi146_improvement_vanishes(self, data):
+        """Under 14.6/CUDA 5.5 the branchy original is already predicated:
+        the rewrite buys a small fraction of the 14.3 win."""
+        gain_143 = data["PGI 14.3"]["branchy"] / data["PGI 14.3"]["restructured"]
+        gain_146 = data["PGI 14.6"]["branchy"] / data["PGI 14.6"]["restructured"]
+        assert gain_146 < 0.5 * gain_143
+        assert gain_146 < 1.6
+
+    def test_pgi146_everywhere_not_better(self, data):
+        """'it was more efficient than the original ... but not with PGI
+        14.6' — the extra flops no longer buy anything."""
+        s = data["PGI 14.6"]
+        assert s["everywhere"] >= s["branchy"] * 0.95
+
+    def test_branchy_faster_under_146_than_143(self, data):
+        assert data["PGI 14.6"]["branchy"] < data["PGI 14.3"]["branchy"]

@@ -1,0 +1,54 @@
+"""Real (wall-clock) throughput of the NumPy propagator kernels.
+
+Unlike the table/figure regenerations (which report *modelled* device
+times), these benchmark the package's actual compute substrate — useful for
+tracking performance regressions of the NumPy implementation itself.
+"""
+
+import numpy as np
+import pytest
+
+from repro.model import constant_model
+from repro.propagators import make_propagator
+from repro.stencil import laplacian, staggered_diff_forward
+
+
+@pytest.fixture(scope="module")
+def field_2d():
+    rng = np.random.default_rng(0)
+    return np.ascontiguousarray(rng.standard_normal((1024, 1024)).astype(np.float32))
+
+
+@pytest.fixture(scope="module")
+def field_3d():
+    rng = np.random.default_rng(0)
+    return np.ascontiguousarray(rng.standard_normal((128, 128, 128)).astype(np.float32))
+
+
+class TestStencilThroughput:
+    def test_laplacian_2d(self, benchmark, field_2d):
+        out = np.zeros_like(field_2d)
+        benchmark(laplacian, field_2d, (10.0, 10.0), 8, out)
+
+    def test_laplacian_3d(self, benchmark, field_3d):
+        out = np.zeros_like(field_3d)
+        benchmark(laplacian, field_3d, (10.0, 10.0, 10.0), 8, out)
+
+    def test_staggered_forward_2d(self, benchmark, field_2d):
+        out = np.zeros_like(field_2d)
+        benchmark(staggered_diff_forward, field_2d, 1, 10.0, 8, out)
+
+
+class TestPropagatorStepThroughput:
+    @pytest.mark.parametrize("physics", ["isotropic", "acoustic", "elastic"])
+    def test_step_2d(self, benchmark, physics):
+        m = constant_model((512, 512), spacing=10.0, vp=2000.0, vs_ratio=0.5)
+        p = make_propagator(physics, m, boundary_width=16)
+        src = (p.grid.center_index(), 1.0)
+        benchmark(p.step, [src])
+
+    def test_acoustic_step_3d(self, benchmark):
+        m = constant_model((96, 96, 96), spacing=10.0, vp=2000.0)
+        p = make_propagator("acoustic", m, boundary_width=16)
+        src = (p.grid.center_index(), 1.0)
+        benchmark(p.step, [src])

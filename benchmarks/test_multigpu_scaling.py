@@ -1,0 +1,61 @@
+"""Extension benchmark: multi-GPU strong scaling (the paper's Section 7
+path forward — multiple GPUs + overlapping communication with compute)."""
+
+import pytest
+
+from benchmarks.conftest import emit, run_once
+from repro.core import estimate_multi_gpu_modeling, scaling_study
+from repro.core.platform import CRAY_K40, IBM_M2090
+
+SHAPE = (512, 512, 512)
+NT, SNAP = 200, 10
+
+
+@pytest.fixture(scope="module")
+def study():
+    return scaling_study("acoustic", SHAPE, NT, SNAP, gpu_counts=(1, 2, 4, 8))
+
+
+def test_scaling_regenerates(benchmark, study):
+    res = run_once(
+        benchmark,
+        lambda: scaling_study("acoustic", SHAPE, NT, SNAP, gpu_counts=(1, 2, 4, 8)),
+    )
+    base = res[1]
+    lines = ["GPUs  total(s)  kernel(s)  comm(s)  speedup  efficiency"]
+    for n, t in res.items():
+        lines.append(
+            f"{n:>4}  {t.total:8.2f}  {t.kernel:9.2f}  {t.comm:7.3f}  "
+            f"{t.speedup_vs(base):7.2f}  {t.efficiency_vs(base):10.2f}"
+        )
+    emit(f"Multi-GPU strong scaling, acoustic 3-D {SHAPE}, K40s", "\n".join(lines))
+    assert res[8].success
+
+
+class TestScalingShape:
+    def test_monotone_speedup(self, study):
+        base = study[1]
+        speedups = [study[n].speedup_vs(base) for n in (2, 4, 8)]
+        assert speedups == sorted(speedups)
+        assert speedups[-1] > 4.0
+
+    def test_efficiency_bounded(self, study):
+        base = study[1]
+        for n in (2, 4, 8):
+            assert 0.5 < study[n].efficiency_vs(base) <= 1.0 + 1e-9
+
+    def test_overlap_beats_blocking(self, benchmark_off=None):
+        on = estimate_multi_gpu_modeling("acoustic", SHAPE, NT, SNAP, 8, overlap=True)
+        off = estimate_multi_gpu_modeling("acoustic", SHAPE, NT, SNAP, 8, overlap=False)
+        assert on.total < off.total
+
+    def test_elastic_3d_unlocked_by_decomposition(self):
+        """The Fermi 'x' cells become runnable with >= 2 cards."""
+        one = estimate_multi_gpu_modeling(
+            "elastic", (448, 448, 448), 20, 10, 1, platform=IBM_M2090
+        )
+        two = estimate_multi_gpu_modeling(
+            "elastic", (448, 448, 448), 20, 10, 2, platform=IBM_M2090
+        )
+        assert one.failure == "oom"
+        assert two.success

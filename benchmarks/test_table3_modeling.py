@@ -1,0 +1,89 @@
+"""Regenerate Table 3 (seismic modeling timing and speedups) and assert the
+paper's qualitative shape — Section 6.1's narrative."""
+
+import pytest
+
+from benchmarks.conftest import emit, run_once
+from repro.bench import format_speedup_table, table3_rows
+
+
+@pytest.fixture(scope="module")
+def rows(request):
+    return table3_rows()
+
+
+def test_table3_regenerates(benchmark):
+    rows = run_once(benchmark, table3_rows)
+    emit("Table 3: Seismic modeling timing and speedup measurements",
+         format_speedup_table("Table 3 (reproduced)", rows))
+    assert len(rows) == 6
+
+
+class TestTable3Shape:
+    def test_elastic_3d_best_speedup(self, rows):
+        """'The best speedup (2.7x) was achieved with the elastic model
+        since it is the most computationally intensive case.'"""
+        by_name = {r.name: r for r in rows}
+        ela = by_name["ELASTIC 3D"].cray_pgi.total_speedup
+        assert ela == pytest.approx(2.7, abs=0.6)
+        for name, row in by_name.items():
+            if name != "ELASTIC 3D" and not row.cray_pgi.failed:
+                assert row.cray_pgi.total_speedup <= ela + 1e-9
+
+    def test_isotropic_worst_speedup(self, rows):
+        """'the isotropic model gave the worst speedup because it is a
+        memory-bound application'."""
+        by_name = {r.name: r for r in rows}
+        for d in ("2D", "3D"):
+            iso = by_name[f"ISOTROPIC {d}"].cray_pgi.total_speedup
+            aco = by_name[f"ACOUSTIC {d}"].cray_pgi.total_speedup
+            ela = by_name[f"ELASTIC {d}"].cray_pgi.total_speedup
+            assert iso < aco < ela
+
+    def test_isotropic_3d_speedup_near_paper(self, rows):
+        by_name = {r.name: r for r in rows}
+        assert by_name["ISOTROPIC 3D"].cray_pgi.total_speedup == pytest.approx(1.3, abs=0.5)
+
+    def test_elastic_3d_oom_on_fermi(self, rows):
+        """'The elastic variables could not fit in GPU memory when Fermi
+        card was used' — the IBM 'x' cell."""
+        by_name = {r.name: r for r in rows}
+        assert by_name["ELASTIC 3D"].ibm_pgi.failed
+        assert by_name["ELASTIC 3D"].ibm_pgi.failure == "oom"
+        # but it runs on the 12 GB K40
+        assert not by_name["ELASTIC 3D"].cray_pgi.failed
+
+    def test_kernel_speedup_at_least_total_speedup(self, rows):
+        """'Due to avoiding CPU-GPU communication overheads, Kernel speedup
+        was better than total speedup in all implementations.'"""
+        for row in rows:
+            for cell in (row.cray_cray, row.cray_pgi, row.ibm_pgi):
+                if not cell.failed:
+                    assert cell.kernel_speedup >= cell.total_speedup * 0.9
+
+    def test_acoustic_beats_isotropic_total_speedup(self, rows):
+        """Section 6.1: porting acoustic pays off much more than isotropic
+        though their CPU implementations are comparable."""
+        by_name = {r.name: r for r in rows}
+        assert (
+            by_name["ACOUSTIC 3D"].cray_pgi.total_speedup
+            > 1.3 * by_name["ISOTROPIC 3D"].cray_pgi.total_speedup
+        )
+
+    def test_kepler_total_time_beats_fermi_modestly(self, rows):
+        """'The total GPU time gained on CRAY with Kepler was slightly
+        better than ... IBM with Fermi ... (1.1x-1.5x) still far from the
+        optimal capacity'."""
+        for row in rows:
+            if row.ibm_pgi.failed or row.cray_pgi.failed:
+                continue
+            ratio = row.ibm_pgi.gpu_total / row.cray_pgi.gpu_total
+            assert 0.9 < ratio < 2.6
+
+    def test_all_gpu_times_positive(self, rows):
+        for row in rows:
+            for cell in (row.cray_cray, row.cray_pgi, row.ibm_pgi):
+                if not cell.failed:
+                    assert cell.gpu_total > 0
+                    assert cell.gpu_kernel > 0
+                    assert cell.gpu_kernel <= cell.gpu_total

@@ -1,0 +1,87 @@
+"""Regenerate Table 4 (RTM timing and speedups) and assert the paper's
+qualitative shape — Section 6.2's narrative."""
+
+import pytest
+
+from benchmarks.conftest import emit, run_once
+from repro.bench import format_speedup_table, table4_rows
+
+
+@pytest.fixture(scope="module")
+def rows(request):
+    return table4_rows()
+
+
+def test_table4_regenerates(benchmark):
+    rows = run_once(benchmark, table4_rows)
+    emit("Table 4: RTM timing and speedup measurements",
+         format_speedup_table("Table 4 (reproduced)", rows))
+    assert len(rows) == 6
+
+
+class TestTable4Shape:
+    def test_isotropic_rtm_slower_than_cpu_on_cray(self, rows):
+        """'the isotropic case requires many host-GPU updates ... to keep
+        the variables consistent' — total speedups below 1 on the CRAY."""
+        by_name = {r.name: r for r in rows}
+        for d in ("2D", "3D"):
+            assert by_name[f"ISOTROPIC {d}"].cray_pgi.total_speedup < 1.0
+
+    def test_isotropic_kernel_speedup_still_near_one(self, rows):
+        """The kernels themselves are fine; the transfers are the drag —
+        kernel speedup stays around 1 while total collapses."""
+        by_name = {r.name: r for r in rows}
+        cell = by_name["ISOTROPIC 3D"].cray_pgi
+        assert cell.kernel_speedup > 1.2 * cell.total_speedup
+
+    def test_ibm_acoustic_headline(self, rows):
+        """The abstract's headline: ~10x acoustic vs ~1.3x isotropic.
+        Our model reproduces the direction and most of the magnitude
+        (see EXPERIMENTS.md for the recorded deviation)."""
+        by_name = {r.name: r for r in rows}
+        aco = by_name["ACOUSTIC 3D"].ibm_pgi
+        assert aco.total_speedup > 4.0
+        assert aco.kernel_speedup > 4.0
+        # and the same model on CRAY stays near 1.3x
+        assert by_name["ACOUSTIC 3D"].cray_pgi.total_speedup == pytest.approx(1.3, abs=0.7)
+
+    def test_ibm_rtm_speedups_exceed_cray(self, rows):
+        """'This justifies the higher speedup rates on IBM, compared with
+        CRAY' (the faster Aries-connected CPU reference)."""
+        by_name = {r.name: r for r in rows}
+        for name in ("ACOUSTIC 2D", "ACOUSTIC 3D"):
+            row = by_name[name]
+            assert row.ibm_pgi.total_speedup > row.cray_pgi.total_speedup
+
+    def test_elastic_3d_x_cells(self, rows):
+        """CRAY compiler cannot build elastic-3D RTM; Fermi cannot hold it;
+        PGI on the K40 can run it."""
+        by_name = {r.name: r for r in rows}
+        row = by_name["ELASTIC 3D"]
+        assert row.cray_cray.failed and row.cray_cray.failure == "compiler"
+        assert row.ibm_pgi.failed and row.ibm_pgi.failure == "oom"
+        assert not row.cray_pgi.failed
+
+    def test_rtm_cray_vs_pgi_receiver_injection(self, rows):
+        """'Inlining was successfully processed by the CRAY compiler, but
+        could not be processed by the PGI compiler. This justifies the
+        improvement of CRAY measurements over PGI in RTM' — per-receiver
+        kernel launches drag the PGI 2-D cases."""
+        by_name = {r.name: r for r in rows}
+        improved = sum(
+            1
+            for name in ("ISOTROPIC 2D", "ACOUSTIC 2D", "ELASTIC 2D")
+            if by_name[name].cray_cray.gpu_total < by_name[name].cray_pgi.gpu_total
+        )
+        assert improved >= 2
+
+    def test_rtm_totals_exceed_modeling(self, rows):
+        """RTM runs both phases + snapshot traffic: total GPU times must
+        exceed the corresponding Table 3 modeling times."""
+        from repro.bench import table3_rows
+
+        t3 = {r.name: r for r in table3_rows()}
+        for row in rows:
+            if row.cray_pgi.failed or t3[row.name].cray_pgi.failed:
+                continue
+            assert row.cray_pgi.gpu_total > t3[row.name].cray_pgi.gpu_total

@@ -1,0 +1,49 @@
+#!/usr/bin/env python
+"""The paper's future-work case: anisotropic (VTI) seismic modeling.
+
+Propagates the same Ricker source through an isotropic medium and a VTI
+medium (Thomsen epsilon = 0.25, delta = 0.1) and shows the horizontal
+stretch of the wavefront the anisotropy produces.
+"""
+
+import numpy as np
+
+from repro.model import constant_model, with_thomsen
+from repro.propagators import VTIPropagator
+from repro.source import PointSource, ricker
+
+
+def front_radii(prop, nsteps, freq):
+    w = ricker(nsteps + 10, prop.dt, freq)
+    prop.run(nsteps, source=PointSource.at_center(prop.grid, w))
+    u = prop.snapshot_field()
+    c = prop.grid.center_index()
+    r_h = int(np.argmax(np.abs(u[c[0], c[1]:])))
+    r_v = int(np.argmax(np.abs(u[c[0]:, c[1]])))
+    return r_h, r_v
+
+
+def main() -> None:
+    base = constant_model((161, 161), spacing=10.0, vp=2000.0, with_density=False)
+    eps, delta = 0.25, 0.10
+
+    aniso = VTIPropagator(with_thomsen(base, eps, delta), boundary_width=16)
+    iso = VTIPropagator(with_thomsen(base, 0.0, 0.0), dt=aniso.dt, boundary_width=16)
+
+    nsteps, freq = 120, 12.0
+    rh_i, rv_i = front_radii(iso, nsteps, freq)
+    rh_a, rv_a = front_radii(aniso, nsteps, freq)
+
+    print("VTI pseudo-acoustic modeling (Thomsen parameters)")
+    print(f"  medium          : vp = 2000 m/s, eps = {eps}, delta = {delta}")
+    print(f"  isotropic front : horizontal r = {rh_i} cells, vertical r = {rv_i}")
+    print(f"  VTI front       : horizontal r = {rh_a} cells, vertical r = {rv_a}")
+    print(f"  measured H/V    : {rh_a / rv_a:.3f}")
+    print(f"  NMO prediction  : sqrt(1 + 2 eps) = {np.sqrt(1 + 2 * eps):.3f} "
+          "(group-velocity stretch at 90 degrees)")
+    print(f"  vertical speed  : unchanged "
+          f"({'yes' if abs(rv_a - rv_i) <= 2 else 'NO'})")
+
+
+if __name__ == "__main__":
+    main()

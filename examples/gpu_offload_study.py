@@ -1,0 +1,74 @@
+#!/usr/bin/env python
+"""Drive one modeling run on both simulated platforms and both compilers,
+reproducing the paper's optimization workflow (its Figure 1 loop): port,
+measure, optimize, compare against the full-socket CPU reference.
+
+Shows the modelled breakdown (kernel / transfer / launch counts) for the
+acoustic 2-D case, plus the effect of the paper's headline optimizations.
+"""
+
+from repro.acc import CRAY_8_2_6, PGI_14_3, PGI_14_6, CompileFlags
+from repro.core import GPUOptions, estimate_modeling, estimate_rtm
+from repro.core.platform import CRAY_K40, IBM_M2090
+from repro.core.reference import cpu_modeling_time
+from repro.utils.units import seconds_to_human
+
+SHAPE = (1024, 1024)
+NT = 500
+SNAP = 10
+
+
+def report(label, times, cpu_total=None):
+    line = (
+        f"  {label:<34} total {seconds_to_human(times.total):>11}  "
+        f"kernel {seconds_to_human(times.kernel):>11}  "
+        f"transfers {seconds_to_human(times.transfer):>11}  "
+        f"launches {times.launches}"
+    )
+    if cpu_total is not None and times.total > 0:
+        line += f"  speedup vs CPU {cpu_total / times.total:.2f}x"
+    print(line)
+
+
+def main() -> None:
+    print(f"Acoustic 2-D modeling, grid {SHAPE}, {NT} steps (modelled times)\n")
+    for platform, persona in (
+        (CRAY_K40, PGI_14_6),
+        (CRAY_K40, CRAY_8_2_6),
+        (IBM_M2090, PGI_14_3),
+    ):
+        cpu = cpu_modeling_time(platform.cluster, "acoustic", SHAPE, NT, SNAP)
+        t = estimate_modeling(
+            "acoustic", SHAPE, NT, SNAP,
+            platform=platform,
+            options=GPUOptions(compiler=persona, flags=CompileFlags(maxregcount=64)),
+        )
+        report(f"{platform.name} + {persona.name}", t, cpu.total)
+
+    print("\nOptimization ablations (CRAY XC30 + K40, PGI 14.6, RTM):")
+    base = GPUOptions(compiler=PGI_14_6, flags=CompileFlags(maxregcount=64))
+    variants = {
+        "tuned (reuse + pinned + regs 64)": base,
+        "original backward kernel": GPUOptions(
+            compiler=PGI_14_6, flags=CompileFlags(maxregcount=64),
+            reuse_forward_kernel=False,
+        ),
+        "transpose fix instead of reuse": GPUOptions(
+            compiler=PGI_14_6, flags=CompileFlags(maxregcount=64),
+            reuse_forward_kernel=False, transpose_fix=True,
+        ),
+        "pageable host memory (no pin)": GPUOptions(
+            compiler=PGI_14_6, flags=CompileFlags(maxregcount=64, pin=False),
+        ),
+        "imaging on the CPU": GPUOptions(
+            compiler=PGI_14_6, flags=CompileFlags(maxregcount=64),
+            image_on_gpu=False,
+        ),
+    }
+    for label, options in variants.items():
+        t = estimate_rtm("acoustic", SHAPE, NT, SNAP, platform=CRAY_K40, options=options)
+        report(label, t)
+
+
+if __name__ == "__main__":
+    main()

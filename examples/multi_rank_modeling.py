@@ -1,0 +1,87 @@
+#!/usr/bin/env python
+"""The paper's CPU reference path: domain-decomposed modeling over the
+simulated MPI substrate.
+
+Splits a 2-D acoustic model across 4 ranks (the paper's 'sub-domains mapped
+onto several hosts'), steps each rank's local propagator with ghost-node
+exchanges via ISend/IRecv/WaitAny, and verifies bitwise agreement of the
+owned regions with a single-domain run.
+"""
+
+import numpy as np
+
+from repro.grid import CartesianDecomposition
+from repro.model import constant_model, EarthModel
+from repro.mpisim import HaloExchanger, SimMPI
+from repro.propagators import AcousticPropagator
+from repro.source import PointSource, integrated_ricker
+
+SHAPE = (96, 96)
+NT = 120
+NRANKS = 4
+
+
+def main() -> None:
+    model = constant_model(SHAPE, spacing=10.0, vp=2000.0)
+
+    # --- single-domain reference -------------------------------------
+    ref = AcousticPropagator(model, boundary_width=0, check_health_every=0)
+    wavelet = integrated_ricker(NT + 5, ref.dt, 15.0)
+    src = PointSource.at_center(model.grid, wavelet)
+    ref.run(NT, source=src)
+
+    # --- decomposed run ------------------------------------------------
+    decomp = CartesianDecomposition(model.grid, NRANKS, halo=4)
+    mpi = SimMPI(decomp.nranks)
+    exchanger = HaloExchanger(decomp, mpi)
+    props = []
+    for sub in decomp:
+        local_model = EarthModel(
+            sub.local_grid,
+            sub.scatter(model.vp),
+            rho=sub.scatter(model.density()),
+        )
+        props.append(
+            AcousticPropagator(
+                local_model, dt=ref.dt, boundary_width=0, check_health_every=0
+            )
+        )
+
+    # lockstep leapfrog: exchange flow halos, update pressures everywhere,
+    # exchange the *fresh* pressure halos, then update flows — the staggered
+    # scheme's second sub-stage differentiates the new pressure, so a single
+    # per-step exchange is not enough
+    for n in range(NT):
+        exchanger.exchange([{k: p.fields[k] for k in ("qz", "qx")} for p in props])
+        amp = src.amplitude(n)
+        for sub, p in zip(decomp, props):
+            srcs = []
+            if amp != 0.0:
+                gz, gx = src.index
+                oz, ox = sub.owned[0], sub.owned[1]
+                if oz.start <= gz < oz.stop and ox.start <= gx < ox.stop:
+                    local = (gz - oz.start + 4, gx - ox.start + 4)
+                    srcs.append((local, amp))
+            p.step_pressure(srcs)
+        exchanger.exchange([{"p": p.fields["p"]} for p in props])
+        for p in props:
+            p.step_flow()
+
+    gathered = np.zeros(SHAPE, dtype=np.float32)
+    for sub, p in zip(decomp, props):
+        sub.gather_into(gathered, p.snapshot_field())
+
+    interior = (slice(8, -8), slice(8, -8))
+    err = float(np.abs(gathered[interior] - ref.snapshot_field()[interior]).max())
+    peak = float(np.abs(ref.snapshot_field()).max())
+    print(f"decomposition : {decomp.dims} ranks, halo 4")
+    print(f"messages sent : {mpi.stats.messages} "
+          f"({mpi.stats.bytes_sent / 1e6:.1f} MB of ghost nodes)")
+    print(f"peak field    : {peak:.4e}")
+    print(f"max |error|   : {err:.3e} (vs single-domain run)")
+    assert err <= 1e-5 * peak, "decomposed run diverged from the reference!"
+    print("OK: decomposed modeling matches the single-domain reference.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,39 @@
+#!/usr/bin/env python
+"""Plan device residency for the paper's seismic cases, and pick grid
+spacing from the dispersion analysis — the two decisions that precede any
+port (the paper's data-allocation step and its width-8 operator choice).
+"""
+
+from repro.bench.workloads import ALL_CASES
+from repro.core import plan_offload
+from repro.gpusim import K40, M2090
+from repro.stencil import points_per_wavelength_for_accuracy
+
+
+def main() -> None:
+    print("=== Device residency plans (RTM working sets) ===\n")
+    for case in ALL_CASES:
+        for spec in (M2090, K40):
+            plan = plan_offload(case.physics, case.shape, spec)
+            print(
+                f"{case.name:<14} on {spec.name:<12}: {plan.strategy:<9} "
+                f"(forward {plan.forward_bytes / 2**30:.2f} GiB / "
+                f"usable {plan.usable_bytes / 2**30:.2f} GiB)"
+            )
+    print()
+    print("=== Grid-spacing guidance (0.1 % phase-velocity error) ===\n")
+    for scheme, label in (("second_order", "isotropic (centered)"),
+                          ("staggered", "acoustic/elastic (staggered)")):
+        for order in (2, 4, 8):
+            ppw = points_per_wavelength_for_accuracy(
+                1e-3, scheme, order, courant=0.05
+            )
+            print(f"  {label:<28} order {order}: {ppw:5.1f} points per wavelength")
+        print()
+    print("The width-8 operators let the paper's codes run ~3-7x coarser "
+          "grids than 2nd-order ones at equal accuracy — an 8-300x saving "
+          "in points for 2-D/3-D domains.")
+
+
+if __name__ == "__main__":
+    main()

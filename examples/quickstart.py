@@ -1,0 +1,43 @@
+#!/usr/bin/env python
+"""Quickstart: seismic modeling of a two-layer medium in five lines of API.
+
+Runs the variable-density acoustic propagator (Eq. 2 of the paper) over a
+layered model, records a surface seismogram, and prints a run summary.
+"""
+
+import numpy as np
+
+from repro.core import ModelingConfig, run_modeling
+from repro.model import layered_model
+
+
+def main() -> None:
+    # a 1.28 x 1.28 km two-layer medium (10 m cells)
+    model = layered_model(
+        (128, 128),
+        spacing=10.0,
+        interfaces=[640.0],
+        velocities=[1500.0, 2600.0],
+    )
+    config = ModelingConfig(
+        physics="acoustic",
+        model=model,
+        nt=500,
+        peak_freq=12.0,
+        boundary_width=16,
+    )
+    result = run_modeling(config)
+
+    print("repro quickstart — acoustic seismic modeling")
+    print(f"  grid            : {model.grid}")
+    print(f"  time step       : {result.dt * 1e3:.3f} ms, {config.nt} steps")
+    print(f"  seismogram      : {result.seismogram.shape} (steps x receivers)")
+    print(f"  snapshots saved : {result.snapshots.count}")
+    peak = float(np.abs(result.seismogram).max())
+    first = int(np.argmax(np.abs(result.seismogram).max(axis=1) > 1e-3 * peak))
+    print(f"  first arrival   : step {first} (~{first * result.dt:.3f} s)")
+    print(f"  peak amplitude  : {peak:.3e}")
+
+
+if __name__ == "__main__":
+    main()

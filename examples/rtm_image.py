@@ -1,0 +1,67 @@
+#!/usr/bin/env python
+"""Reproduce the paper's Figure 5: a 2-D RTM seismic image in acoustic
+media.
+
+Migrates one shot over a faulted two-layer model; the image should light up
+along the interface, including the fault throw. The image is rendered as
+ASCII art and saved to ``outputs/rtm_image.npy``.
+"""
+
+import os
+
+import numpy as np
+
+from repro.core import RTMConfig, run_rtm
+from repro.model import fault_model
+from repro.source import line_receivers
+
+
+def ascii_render(image: np.ndarray, width: int = 72, height: int = 36) -> str:
+    zs = np.linspace(0, image.shape[0] - 1, height).astype(int)
+    xs = np.linspace(0, image.shape[1] - 1, width).astype(int)
+    view = np.abs(image[np.ix_(zs, xs)]).astype(np.float64)
+    peak = view.max() or 1.0
+    chars = " .:-=+*#%@"
+    return "\n".join(
+        "".join(chars[int(min(v / peak, 1.0) * (len(chars) - 1))] for v in row)
+        for row in view
+    )
+
+
+def main() -> None:
+    model = fault_model(
+        (160, 160),
+        spacing=10.0,
+        interface_depth=700.0,
+        throw=200.0,
+        velocities=(1500.0, 2700.0),
+    )
+    config = RTMConfig(
+        physics="acoustic",
+        model=model,
+        nt=800,
+        peak_freq=12.0,
+        boundary_width=16,
+        snap_period=4,
+        receivers=line_receivers(model.grid, 18, stride=2, margin=16),
+        source_depth_index=18,
+        mute_cells=44,
+    )
+    result = run_rtm(config)
+
+    print("Figure 5 analogue: 2-D RTM image (acoustic media, faulted model)")
+    print(f"interface at 700 m (row 70) left / 900 m (row 90) right of centre")
+    print(ascii_render(result.image))
+
+    profile = np.sum(result.image[:, 20:70].astype(np.float64) ** 2, axis=1)
+    print(f"left-block image peak at row {int(np.argmax(profile))} (expect ~70)")
+    profile_r = np.sum(result.image[:, 90:140].astype(np.float64) ** 2, axis=1)
+    print(f"right-block image peak at row {int(np.argmax(profile_r))} (expect ~90)")
+
+    os.makedirs("outputs", exist_ok=True)
+    np.save("outputs/rtm_image.npy", result.image)
+    print("image -> outputs/rtm_image.npy")
+
+
+if __name__ == "__main__":
+    main()

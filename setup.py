@@ -1,0 +1,6 @@
+"""Setup shim for environments without the `wheel` package (offline PEP 660
+fallback): allows `pip install -e . --no-build-isolation --no-use-pep517`
+and `python setup.py develop`."""
+from setuptools import setup
+
+setup()

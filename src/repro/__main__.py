@@ -1,0 +1,146 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``tables``
+    Regenerate and print the paper's Tables 3 and 4.
+``figures``
+    Print the Figure 6-13 studies (optionally one by name, e.g. ``fig12``).
+``plan PHYSICS NZ [NX [NY]]``
+    Offload-residency plan for a case on both cards.
+``sweep``
+    Grid-size speedup sweep (acoustic 2-D on the K40).
+``experiments [PATH]``
+    Write the full EXPERIMENTS.md report.
+``json [PATH]``
+    Write machine-readable harness results.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+
+def _cmd_tables(args) -> int:
+    from repro.bench import format_table3, format_table4
+
+    print(format_table3())
+    print()
+    print(format_table4())
+    return 0
+
+
+def _cmd_figures(args) -> int:
+    from repro.bench import figures
+    from repro.bench.report import format_series
+
+    wanted = args.name
+    def want(tag):
+        return wanted is None or wanted == tag
+
+    if want("fig6") or want("fig7"):
+        for comp, series in figures.fig6_fig7_iso_variants().items():
+            print(format_series(f"Figs 6/7 — ISO 3D variants ({comp})", series))
+    if want("fig8") or want("fig9"):
+        for dim, series in figures.fig8_fig9_acoustic_constructs().items():
+            print(format_series(f"Figs 8/9 — acoustic {dim} on CRAY", series))
+    if want("fig10"):
+        pts = figures.fig10_register_sweep()
+        print(format_series(
+            "Fig 10 — elastic 3D registers/thread (K40)",
+            {str(p.maxregcount): p.seconds for p in pts},
+        ))
+    if want("fig11"):
+        print(format_series("Fig 11 — async improvement fraction",
+                            figures.fig11_async(), unit=""))
+    if want("fig12"):
+        for card, s in figures.fig12_fission().items():
+            print(format_series(f"Fig 12 — acoustic 3D fission ({card})", s))
+    if want("fig13"):
+        for card, s in figures.fig13_coalescing().items():
+            print(format_series(f"Fig 13 — coalescing fix ({card})", s))
+    if want("fig14") or want("fig15"):
+        for label, rep in figures.fig14_fig15_profiles().items():
+            print(f"Figs 14/15 — profile ({label})")
+            print(rep.to_text())
+            print()
+    return 0
+
+
+def _cmd_plan(args) -> int:
+    from repro.core import plan_offload
+    from repro.gpusim import K40, M2090
+
+    shape = tuple(int(n) for n in args.dims)
+    for spec in (M2090, K40):
+        print(plan_offload(args.physics, shape, spec).report())
+        print()
+    return 0
+
+
+def _cmd_sweep(args) -> int:
+    from repro.bench import grid_size_sweep
+
+    for p in grid_size_sweep(nt=args.nt):
+        print(f"  {int(p.x):>5}^2 : speedup {p.speedup:5.2f} "
+              f"(GPU {p.gpu_total:.2f} s, CPU {p.cpu_total:.2f} s)")
+    return 0
+
+
+def _cmd_experiments(args) -> int:
+    from repro.bench.experiments import generate
+
+    generate(args.path)
+    print(f"wrote {args.path}")
+    return 0
+
+
+def _cmd_json(args) -> int:
+    from repro.bench.experiments import write_json
+
+    write_json(args.path)
+    print(f"wrote {args.path}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    ap = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduction harness for 'GPU Technology Applied to "
+        "RTM and Seismic Modeling via OpenACC' (PMAM/PPoPP 2015)",
+    )
+    sub = ap.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("tables", help="regenerate Tables 3 and 4").set_defaults(fn=_cmd_tables)
+
+    f = sub.add_parser("figures", help="regenerate the Figure 6-15 studies")
+    f.add_argument("name", nargs="?", help="one figure, e.g. fig12")
+    f.set_defaults(fn=_cmd_figures)
+
+    p = sub.add_parser("plan", help="offload residency plan for one case")
+    p.add_argument("physics", choices=["isotropic", "acoustic", "elastic", "vti"])
+    p.add_argument("dims", nargs="+", help="grid shape, e.g. 512 512 512")
+    p.set_defaults(fn=_cmd_plan)
+
+    s = sub.add_parser("sweep", help="grid-size speedup sweep")
+    s.add_argument("--nt", type=int, default=100)
+    s.set_defaults(fn=_cmd_sweep)
+
+    e = sub.add_parser("experiments", help="write EXPERIMENTS.md")
+    e.add_argument("path", nargs="?", default="EXPERIMENTS.md")
+    e.set_defaults(fn=_cmd_experiments)
+
+    j = sub.add_parser("json", help="write machine-readable results")
+    j.add_argument("path", nargs="?", default="experiments.json")
+    j.set_defaults(fn=_cmd_json)
+    return ap
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

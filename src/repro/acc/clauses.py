@@ -1,0 +1,98 @@
+"""Loop-scheduling and compilation-flag clauses."""
+
+from __future__ import annotations
+
+import warnings
+from dataclasses import dataclass
+
+from repro.utils.errors import ConfigurationError
+
+
+class IneffectiveDirectiveWarning(UserWarning):
+    """A directive was accepted but has no performance effect — the fate of
+    ``tile`` and ``cache`` under the 2014 compilers ("The tile and cache
+    features are not working properly in both CRAY and PGI", paper S6.3)."""
+
+
+@dataclass(frozen=True)
+class LoopSchedule:
+    """The ``loop`` directive's scheduling clauses.
+
+    ``gang``/``worker``/``vector`` mirror OpenACC's three parallelism
+    levels (SM blocks / warps / threads-in-warp on NVIDIA mappings);
+    ``vector_length`` sets the vector width when ``vector`` is given;
+    ``collapse`` fuses that many nest levels; ``independent`` asserts no
+    loop-carried dependencies (what lets PGI gridify ``kernels`` nests);
+    ``seq`` forces sequential execution of the annotated level.
+    """
+
+    gang: bool = False
+    worker: bool = False
+    vector: bool = False
+    vector_length: int = 128
+    collapse: int = 1
+    independent: bool = False
+    seq: bool = False
+    #: requested tile sizes (the OpenACC ``tile`` clause). Accepted and
+    #: faithfully ignored: see :class:`IneffectiveDirectiveWarning`.
+    tile: tuple[int, ...] | None = None
+
+    def __post_init__(self):
+        if self.vector_length < 1 or self.vector_length > 1024:
+            raise ConfigurationError("vector_length must be in 1..1024")
+        if self.collapse < 1:
+            raise ConfigurationError("collapse must be >= 1")
+        if self.seq and (self.gang or self.worker or self.vector):
+            raise ConfigurationError("seq cannot combine with gang/worker/vector")
+        if self.tile is not None:
+            if not self.tile or any(t < 1 for t in self.tile):
+                raise ConfigurationError("tile sizes must be positive")
+            warnings.warn(
+                "the tile clause is accepted but not exploited (the paper: "
+                "'The tile and cache features are not working properly in "
+                "both CRAY and PGI')",
+                IneffectiveDirectiveWarning,
+                stacklevel=3,
+            )
+
+    @property
+    def explicit(self) -> bool:
+        """Whether the programmer spelled out a gang/worker/vector mapping
+        (the style the CRAY compiler rewards)."""
+        return self.gang and self.vector
+
+    @staticmethod
+    def gwv(vector_length: int = 128, collapse: int = 1) -> "LoopSchedule":
+        """The fully explicit ``gang worker vector`` schedule."""
+        return LoopSchedule(
+            gang=True,
+            worker=True,
+            vector=True,
+            vector_length=vector_length,
+            collapse=collapse,
+            independent=True,
+        )
+
+    @staticmethod
+    def auto() -> "LoopSchedule":
+        """No scheduling clauses — leave everything to the compiler."""
+        return LoopSchedule()
+
+
+@dataclass(frozen=True)
+class CompileFlags:
+    """Command-line options of the paper's best PGI strategy
+    ``-ta=nvidia:pin,ptxinfo,maxregcount:64 -Minfo=...``."""
+
+    #: ``maxregcount:N`` — clamp registers per thread; None leaves it to
+    #: the backend
+    maxregcount: int | None = 64
+    #: ``pin`` — allocate host arrays in pinned memory
+    pin: bool = True
+    #: honour/force automatic async queueing of kernels (the CRAY
+    #: ``auto_async_kernels`` default)
+    auto_async: bool | None = None
+
+    def __post_init__(self):
+        if self.maxregcount is not None and self.maxregcount < 16:
+            raise ConfigurationError("maxregcount below 16 is not supported")

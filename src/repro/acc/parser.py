@@ -1,0 +1,215 @@
+"""Parse OpenACC directive strings into runtime operations.
+
+Accepts both the Fortran sentinel the paper's code uses (``!$acc ...``,
+e.g. the ``ACC ENTER DATA COPYIN`` / ``ACC EXIT DATA DELETE`` pairs of its
+Section 5.1) and the C/C++ form (``#pragma acc ...``). The parser produces
+:class:`Directive` objects that :func:`apply_directive` executes against a
+:class:`~repro.acc.runtime.Runtime`, so the paper's directive sequences can
+be written verbatim::
+
+    apply_directive(rt, "!$acc enter data copyin(u, v)", data={"u": u, "v": v})
+    apply_directive(rt, "!$acc update host(u)")
+    apply_directive(rt, "!$acc exit data delete(u, v)")
+
+Compute constructs parse their loop-scheduling clauses into a
+:class:`~repro.acc.clauses.LoopSchedule`::
+
+    d = parse_directive("!$acc parallel loop gang worker vector "
+                        "vector_length(128) collapse(2) async(1)")
+    d.schedule.explicit  # True
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+
+from repro.acc.clauses import LoopSchedule
+from repro.utils.errors import ConfigurationError
+
+_SENTINELS = ("!$acc", "#pragma acc", "c$acc", "*$acc")
+
+#: clause(arg, arg) pattern
+_CLAUSE_RE = re.compile(r"([a-z_]+)\s*(\(([^)]*)\))?", re.IGNORECASE)
+
+_DATA_CLAUSES = ("copyin", "copyout", "copy", "create", "present", "delete")
+_CONSTRUCTS = ("kernels", "parallel", "data", "enter", "exit", "update",
+               "wait", "loop", "cache")
+
+
+@dataclass
+class Directive:
+    """A parsed directive: construct + clause table."""
+
+    construct: str
+    #: data clauses: clause name -> variable names
+    data: dict[str, tuple[str, ...]] = field(default_factory=dict)
+    #: loop schedule (compute constructs only)
+    schedule: LoopSchedule | None = None
+    #: async queue id; True for bare ``async``
+    async_: int | bool | None = None
+    #: queue ids of a wait directive (empty = wait all)
+    wait_on: tuple[int, ...] = ()
+    #: update targets
+    update_host: tuple[str, ...] = ()
+    update_device: tuple[str, ...] = ()
+    #: cache targets
+    cache_vars: tuple[str, ...] = ()
+
+
+def _strip_sentinel(text: str) -> str:
+    t = text.strip()
+    low = t.lower()
+    for s in _SENTINELS:
+        if low.startswith(s):
+            return t[len(s):].strip()
+    raise ConfigurationError(
+        f"not an OpenACC directive (expected one of {_SENTINELS}): {text!r}"
+    )
+
+
+def _names(arg: str | None) -> tuple[str, ...]:
+    if not arg:
+        return ()
+    return tuple(a.strip() for a in arg.split(",") if a.strip())
+
+
+def parse_directive(text: str) -> Directive:
+    """Parse one directive line."""
+    body = _strip_sentinel(text)
+    if not body:
+        raise ConfigurationError("empty directive")
+    tokens = list(_CLAUSE_RE.finditer(body))
+    if not tokens:
+        raise ConfigurationError(f"unparsable directive: {text!r}")
+    head = tokens[0].group(1).lower()
+    idx = 1
+    if head == "enter" or head == "exit":
+        if len(tokens) < 2 or tokens[1].group(1).lower() != "data":
+            raise ConfigurationError(f"'{head}' must be followed by 'data'")
+        construct = f"{head} data"
+        idx = 2
+    elif head in ("kernels", "parallel", "data", "update", "wait", "loop", "cache"):
+        construct = head
+        # 'kernels loop' / 'parallel loop' combined forms
+        if head in ("kernels", "parallel") and len(tokens) > 1 and tokens[1].group(1).lower() == "loop":
+            idx = 2
+    else:
+        raise ConfigurationError(f"unknown construct '{head}' in {text!r}")
+
+    d = Directive(construct=construct)
+    sched_kw: dict = {}
+    if construct == "cache":
+        # the whole argument list is the variable set: cache(a, b)
+        m = tokens[0]
+        d.cache_vars = _names(m.group(3))
+        return d
+    if construct == "wait" and tokens[0].group(3):
+        # 'wait(1, 2)': queue ids ride on the construct token itself
+        d.wait_on = tuple(int(a) for a in _names(tokens[0].group(3)))
+    for m in tokens[idx:]:
+        clause = m.group(1).lower()
+        arg = m.group(3)
+        if clause in _DATA_CLAUSES:
+            d.data.setdefault(clause, ())
+            d.data[clause] = d.data[clause] + _names(arg)
+        elif clause == "async":
+            d.async_ = int(arg) if arg else True
+        elif clause == "wait":
+            d.wait_on = tuple(int(a) for a in _names(arg))
+        elif clause == "host" and construct == "update":
+            d.update_host += _names(arg)
+        elif clause == "device" and construct == "update":
+            d.update_device += _names(arg)
+        elif clause in ("gang", "worker", "vector", "independent", "seq"):
+            if clause == "vector" and arg:
+                sched_kw["vector"] = True
+                sched_kw["vector_length"] = int(arg)
+            else:
+                sched_kw[clause] = True
+        elif clause == "vector_length":
+            sched_kw["vector_length"] = int(arg)
+        elif clause == "collapse":
+            sched_kw["collapse"] = int(arg)
+        elif clause == "tile":
+            sched_kw["tile"] = tuple(int(a) for a in _names(arg))
+        elif clause == "num_gangs" or clause == "num_workers":
+            pass  # accepted; the simulated mapping derives these
+        elif clause == "loop":
+            pass  # already folded into the combined construct
+        else:
+            raise ConfigurationError(
+                f"unsupported clause '{clause}' in {text!r}"
+            )
+    if construct in ("kernels", "parallel", "loop") and sched_kw:
+        d.schedule = LoopSchedule(**sched_kw)
+    if construct == "wait" and not d.wait_on:
+        # bare 'wait' or 'wait(1,2)' parsed above; also allow wait async(n)
+        pass
+    if construct == "update" and not (d.update_host or d.update_device):
+        raise ConfigurationError("update needs host(...) or device(...)")
+    return d
+
+
+def apply_directive(rt, text: str, data: dict | None = None, workload=None, fn=None):
+    """Execute a parsed directive against a runtime.
+
+    ``data`` maps variable names to arrays/byte-counts for clauses that
+    attach new data; compute constructs need the ``workload`` metadata (and
+    optionally the real ``fn``).
+    """
+    d = parse_directive(text)
+    data = data or {}
+
+    def sized(names):
+        out = {}
+        for n in names:
+            if n not in data:
+                raise ConfigurationError(
+                    f"directive references '{n}' but no size/array was given"
+                )
+            out[n] = data[n]
+        return out
+
+    if d.construct == "enter data":
+        rt.enter_data(
+            copyin=sized(d.data.get("copyin", ())),
+            create=sized(d.data.get("create", ())),
+        )
+        return d
+    if d.construct == "exit data":
+        rt.exit_data(
+            delete=d.data.get("delete", ()),
+            copyout=d.data.get("copyout", ()),
+        )
+        return d
+    if d.construct == "update":
+        for n in d.update_host:
+            rt.update_host(n)
+        for n in d.update_device:
+            rt.update_device(n)
+        return d
+    if d.construct == "wait":
+        if d.wait_on:
+            for q in d.wait_on:
+                rt.wait(q)
+        else:
+            rt.wait()
+        return d
+    if d.construct == "cache":
+        rt.cache(*d.cache_vars)
+        return d
+    if d.construct in ("kernels", "parallel"):
+        if workload is None:
+            raise ConfigurationError(
+                f"compute construct '{d.construct}' needs a workload"
+            )
+        launcher = rt.kernels if d.construct == "kernels" else rt.parallel
+        return launcher(
+            workload,
+            present=d.data.get("present", ()),
+            schedule=d.schedule,
+            async_=d.async_,
+            fn=fn,
+        )
+    raise ConfigurationError(f"cannot apply construct '{d.construct}'")

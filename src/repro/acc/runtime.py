@@ -1,0 +1,327 @@
+"""The OpenACC runtime: present table + data directives + compute constructs.
+
+Host NumPy arrays remain the single source of truth for *values*; a present-
+table entry is the bookkeeping for the array's virtual device mirror. Every
+directive charges the modelled device time (allocation, PCIe, kernel) on the
+bound :class:`~repro.gpusim.device.Device`, and a compute construct runs the
+real NumPy callable it wraps, so results are bit-identical with the pure
+host path.
+
+Present-table semantics follow OpenACC 2.0:
+
+* structured ``data`` regions and dynamic ``enter data`` both *attach* data,
+  incrementing a reference count; transfers happen only on the 0 -> 1
+  transition (``copyin``) and 1 -> 0 transition (``copyout``);
+* ``present`` clauses on kernels verify liveness and raise
+  :class:`~repro.utils.errors.PresentTableError` otherwise;
+* ``exit data delete`` / region exit decrement and free at zero;
+* ``update device``/``update host`` move bytes for *present* data without
+  lifetime changes, with optional partial (ghost-node) extents and
+  non-contiguous chunk counts.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import Callable, Iterable, Iterator, Mapping, Sequence
+
+import numpy as np
+
+from repro.acc.clauses import CompileFlags, LoopSchedule
+from repro.acc.compiler import CompilerPersona, PGI_14_6
+from repro.gpusim.device import Device
+from repro.gpusim.kernelmodel import KernelEstimate
+from repro.propagators.base import KernelWorkload
+from repro.utils.errors import PresentTableError
+
+
+@dataclass
+class PresentEntry:
+    """One present-table row (a host array's device mirror)."""
+
+    name: str
+    nbytes: int
+    refcount: int = 1
+    #: whether the final detach should copy back to the host
+    copyout_on_exit: bool = False
+
+
+class Runtime:
+    """OpenACC runtime bound to one device and one compiler persona.
+
+    Parameters
+    ----------
+    device:
+        The simulated accelerator.
+    compiler:
+        Persona that lowers compute constructs (defaults to PGI 14.6, the
+        paper's newest). Sets the device's CUDA toolkit unless the device
+        was explicitly configured.
+    flags:
+        Compile-line options (``maxregcount``, ``pin``, auto-async).
+    """
+
+    def __init__(
+        self,
+        device: Device,
+        compiler: CompilerPersona = PGI_14_6,
+        flags: CompileFlags | None = None,
+    ):
+        self.device = device
+        self.compiler = compiler
+        self.flags = flags if flags is not None else CompileFlags()
+        device.toolkit = compiler.default_toolkit
+        device.pinned_host = self.flags.pin
+        self._table: dict[str, PresentEntry] = {}
+        auto = self.flags.auto_async
+        self._auto_async = compiler.auto_async_kernels if auto is None else auto
+        self._next_queue = 1
+
+    # ------------------------------------------------------------------
+    # present-table helpers
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _nbytes(data: np.ndarray | int) -> int:
+        return int(data.nbytes if isinstance(data, np.ndarray) else data)
+
+    def is_present(self, name: str) -> bool:
+        return name in self._table
+
+    def present_entry(self, name: str) -> PresentEntry:
+        entry = self._table.get(name)
+        if entry is None:
+            raise PresentTableError(
+                f"'{name}' is not present on the device (missing data clause?)"
+            )
+        return entry
+
+    def present_bytes(self) -> int:
+        """Bytes currently attached through the present table."""
+        return sum(e.nbytes for e in self._table.values())
+
+    def _attach(
+        self, name: str, data: np.ndarray | int, transfer: bool, copyout: bool
+    ) -> None:
+        entry = self._table.get(name)
+        if entry is not None:
+            entry.refcount += 1
+            entry.copyout_on_exit = entry.copyout_on_exit or copyout
+            return
+        nbytes = self._nbytes(data)
+        self.device.allocate(name, nbytes)
+        if transfer:
+            self.device.h2d(nbytes, name=f"copyin:{name}")
+        self._table[name] = PresentEntry(name, nbytes, 1, copyout)
+
+    def _detach(self, name: str, force_copyout: bool | None = None) -> None:
+        entry = self.present_entry(name)
+        entry.refcount -= 1
+        if entry.refcount > 0:
+            return
+        copyout = entry.copyout_on_exit if force_copyout is None else force_copyout
+        if copyout:
+            self.device.d2h(entry.nbytes, name=f"copyout:{name}")
+        self.device.release(name)
+        del self._table[name]
+
+    # ------------------------------------------------------------------
+    # data directives
+    # ------------------------------------------------------------------
+    def enter_data(
+        self,
+        copyin: Mapping[str, np.ndarray | int] | None = None,
+        create: Mapping[str, np.ndarray | int] | None = None,
+    ) -> None:
+        """``acc enter data copyin(...) create(...)`` — dynamic attach."""
+        for name, data in (copyin or {}).items():
+            self._attach(name, data, transfer=True, copyout=False)
+        for name, data in (create or {}).items():
+            self._attach(name, data, transfer=False, copyout=False)
+
+    def exit_data(
+        self,
+        delete: Iterable[str] = (),
+        copyout: Iterable[str] = (),
+    ) -> None:
+        """``acc exit data delete(...) copyout(...)`` — dynamic detach."""
+        for name in copyout:
+            self._detach(name, force_copyout=True)
+        for name in delete:
+            self._detach(name, force_copyout=False)
+
+    @contextmanager
+    def data(
+        self,
+        copyin: Mapping[str, np.ndarray | int] | None = None,
+        copyout: Mapping[str, np.ndarray | int] | None = None,
+        copy: Mapping[str, np.ndarray | int] | None = None,
+        create: Mapping[str, np.ndarray | int] | None = None,
+        present: Iterable[str] = (),
+    ) -> Iterator["Runtime"]:
+        """Structured ``acc data`` region."""
+        for name in present:
+            self.present_entry(name)
+        attached: list[str] = []
+        try:
+            for name, d in (copyin or {}).items():
+                self._attach(name, d, transfer=True, copyout=False)
+                attached.append(name)
+            for name, d in (copy or {}).items():
+                self._attach(name, d, transfer=True, copyout=True)
+                attached.append(name)
+            for name, d in (copyout or {}).items():
+                self._attach(name, d, transfer=False, copyout=True)
+                attached.append(name)
+            for name, d in (create or {}).items():
+                self._attach(name, d, transfer=False, copyout=False)
+                attached.append(name)
+            yield self
+        finally:
+            for name in reversed(attached):
+                self._detach(name)
+
+    def update_device(
+        self,
+        name: str,
+        nbytes: int | None = None,
+        chunks: int = 1,
+        queue: int | None = None,
+    ) -> float:
+        """``acc update device(...)`` — host-to-device refresh of present
+        data. ``nbytes`` restricts to a partial (e.g. ghost-node) extent;
+        ``chunks`` models non-contiguous strided sections."""
+        entry = self.present_entry(name)
+        n = entry.nbytes if nbytes is None else int(nbytes)
+        if n > entry.nbytes:
+            raise PresentTableError(
+                f"update device of {n} bytes exceeds '{name}' extent {entry.nbytes}"
+            )
+        return self.device.h2d(n, name=f"update_device:{name}", chunks=chunks, queue=queue)
+
+    def update_host(
+        self,
+        name: str,
+        nbytes: int | None = None,
+        chunks: int = 1,
+        queue: int | None = None,
+    ) -> float:
+        """``acc update host(...)`` — device-to-host refresh."""
+        entry = self.present_entry(name)
+        n = entry.nbytes if nbytes is None else int(nbytes)
+        if n > entry.nbytes:
+            raise PresentTableError(
+                f"update host of {n} bytes exceeds '{name}' extent {entry.nbytes}"
+            )
+        return self.device.d2h(n, name=f"update_host:{name}", chunks=chunks, queue=queue)
+
+    # ------------------------------------------------------------------
+    # compute constructs
+    # ------------------------------------------------------------------
+    def _queue_for(self, async_: int | bool | None) -> int | None:
+        if async_ is None:
+            if self._auto_async:
+                q = self._next_queue
+                self._next_queue = (self._next_queue % (self.device.spec.max_concurrent_kernels - 1)) + 1
+                return q
+            return None
+        if async_ is True:
+            q = self._next_queue
+            self._next_queue = (self._next_queue % (self.device.spec.max_concurrent_kernels - 1)) + 1
+            return q
+        if async_ is False:
+            return None
+        return int(async_)
+
+    def _run_construct(
+        self,
+        construct: str,
+        workload: KernelWorkload,
+        present: Iterable[str],
+        schedule: LoopSchedule | None,
+        async_: int | bool | None,
+        fn: Callable[[], None] | None,
+    ) -> KernelEstimate:
+        for name in present:
+            self.present_entry(name)
+        queue = self._queue_for(async_)
+        launch = self.compiler.lower(
+            construct, workload, schedule, self.flags, async_queue=queue
+        )
+        if fn is not None:
+            fn()  # the real NumPy computation (host arrays are truth)
+        return self.device.launch(
+            workload,
+            launch,
+            enqueue_cost_factor=self.compiler.async_enqueue_factor,
+        )
+
+    def kernels(
+        self,
+        workload: KernelWorkload,
+        present: Iterable[str] = (),
+        schedule: LoopSchedule | None = None,
+        async_: int | bool | None = None,
+        fn: Callable[[], None] | None = None,
+    ) -> KernelEstimate:
+        """``acc kernels`` construct around one loop nest."""
+        return self._run_construct("kernels", workload, present, schedule, async_, fn)
+
+    def parallel(
+        self,
+        workload: KernelWorkload,
+        present: Iterable[str] = (),
+        schedule: LoopSchedule | None = None,
+        async_: int | bool | None = None,
+        fn: Callable[[], None] | None = None,
+    ) -> KernelEstimate:
+        """``acc parallel`` construct."""
+        return self._run_construct("parallel", workload, present, schedule, async_, fn)
+
+    def compute(
+        self,
+        workload: KernelWorkload,
+        present: Iterable[str] = (),
+        async_: int | bool | None = None,
+        fn: Callable[[], None] | None = None,
+    ) -> KernelEstimate:
+        """Launch with this compiler's preferred construct and schedule —
+        what the paper's tuned code paths use."""
+        return self._run_construct(
+            self.compiler.preferred_construct(),
+            workload,
+            present,
+            self.compiler.preferred_schedule(),
+            async_,
+            fn,
+        )
+
+    def wait(self, queue: int | None = None) -> float:
+        """``acc wait`` directive."""
+        return self.device.wait(queue)
+
+    def cache(self, *names: str) -> None:
+        """The ``acc cache`` directive: request shared-memory staging of the
+        named arrays. Present-checked, then faithfully ignored — the paper:
+        "How to explicitly use shared memory for specific variables is
+        still a bottleneck. The tile and cache features are not working
+        properly in both CRAY and PGI."""
+        import warnings
+
+        from repro.acc.clauses import IneffectiveDirectiveWarning
+
+        for name in names:
+            self.present_entry(name)
+        warnings.warn(
+            "the cache directive is accepted but has no effect under the "
+            "modelled 2014 compilers",
+            IneffectiveDirectiveWarning,
+            stacklevel=2,
+        )
+
+    # ------------------------------------------------------------------
+    def shutdown_check(self) -> None:
+        """Raise if data is still attached (leak detector for tests)."""
+        if self._table:
+            leaked = ", ".join(sorted(self._table))
+            raise PresentTableError(f"present table not empty at shutdown: {leaked}")

@@ -1,0 +1,240 @@
+"""The paper's Figure 6-15 studies, regenerated against the model.
+
+Each function returns plain data (label -> seconds, sweep points, or
+profile reports); the ``benchmarks/`` suite prints them and asserts the
+paper's qualitative shape.
+"""
+
+from __future__ import annotations
+
+from repro.acc.clauses import CompileFlags, LoopSchedule
+from repro.acc.compiler import CRAY_8_2_6, PGI_14_3, PGI_14_6, CompilerPersona
+from repro.bench.workloads import modeling_case
+from repro.core.config import GPUOptions
+from repro.core.modeling import estimate_modeling
+from repro.core.platform import CRAY_K40, IBM_M2090, Platform
+from repro.core.rtm import estimate_rtm
+from repro.gpusim.kernelmodel import LaunchConfig, estimate_kernel_time
+from repro.gpusim.profiler import ProfileReport
+from repro.gpusim.specs import CUDA_5_0, CUDA_5_5, K40, M2090
+from repro.optim.transformations import mark_uncoalesced, with_transposition
+from repro.optim.tuning import RegisterSweepPoint, async_comparison, register_sweep
+from repro.propagators.workloads import acoustic_workloads, elastic_workloads
+
+#: shorter runs for the per-figure studies (shape is step-count invariant)
+_FIG_NT = 200
+_FIG_SNAP = 10
+
+
+def _modeling_time(
+    physics: str,
+    ndim: int,
+    persona: CompilerPersona,
+    platform: Platform,
+    pml_variant: str = "branchy",
+    construct: str | None = None,
+    schedule: LoopSchedule | None = None,
+    async_kernels: bool | None = None,
+    nt: int = _FIG_NT,
+) -> float:
+    case = modeling_case(physics, ndim)
+    options = GPUOptions(
+        compiler=persona,
+        flags=CompileFlags(maxregcount=64, pin=True),
+        construct=construct,
+        schedule=schedule,
+        async_kernels=async_kernels,
+    )
+    t = estimate_modeling(
+        case.physics,
+        case.shape,
+        nt,
+        case.snap_period,
+        platform=platform,
+        options=options,
+        nreceivers=case.nreceivers,
+        pml_variant=pml_variant,
+        snapshot_decimate=case.snapshot_decimate,
+    )
+    return t.total
+
+
+# ----------------------------------------------------------------------
+# Figures 6 and 7: ISO 3-D modeling code variants under PGI 14.6 / 14.3
+# ----------------------------------------------------------------------
+def fig6_fig7_iso_variants() -> dict[str, dict[str, float]]:
+    """``{compiler: {variant: seconds}}`` for the three isotropic PML
+    variants under PGI 14.3 (CUDA 5.0 — restructuring pays, Figure 7) and
+    PGI 14.6 (CUDA 5.5 — it doesn't, Figure 6)."""
+    out: dict[str, dict[str, float]] = {}
+    for persona in (PGI_14_3, PGI_14_6):
+        series = {}
+        for variant in ("branchy", "restructured", "everywhere"):
+            series[variant] = _modeling_time(
+                "isotropic", 3, persona, CRAY_K40, pml_variant=variant
+            )
+        out[persona.name] = series
+    return out
+
+
+# ----------------------------------------------------------------------
+# Figures 8 and 9: acoustic 2-D/3-D, kernels vs parallel on CRAY
+# ----------------------------------------------------------------------
+def fig8_fig9_acoustic_constructs() -> dict[str, dict[str, float]]:
+    """``{'2D'|'3D': {'kernels': s, 'parallel': s}}`` under the CRAY
+    compiler — explicit ``parallel`` gang/worker/vector wins."""
+    out: dict[str, dict[str, float]] = {}
+    for ndim in (2, 3):
+        series = {
+            "kernels": _modeling_time(
+                "acoustic", ndim, CRAY_8_2_6, CRAY_K40, construct="kernels",
+                schedule=LoopSchedule.auto(),
+            ),
+            "parallel": _modeling_time(
+                "acoustic", ndim, CRAY_8_2_6, CRAY_K40, construct="parallel",
+                schedule=LoopSchedule.gwv(),
+            ),
+        }
+        out[f"{ndim}D"] = series
+    return out
+
+
+# ----------------------------------------------------------------------
+# Figure 10: elastic 3-D registers-per-thread sweep
+# ----------------------------------------------------------------------
+def fig10_register_sweep() -> list[RegisterSweepPoint]:
+    """maxregcount sweep of the elastic 3-D kernel set on the K40."""
+    case = modeling_case("elastic", 3)
+    workloads = elastic_workloads(case.shape)
+    return register_sweep(K40, workloads, toolkit=CUDA_5_5)
+
+
+# ----------------------------------------------------------------------
+# Figure 11: elastic 2-D async streams
+# ----------------------------------------------------------------------
+def fig11_async() -> dict[str, float]:
+    """Async improvement fraction per compiler for the elastic 2-D kernel
+    set on the K40 (CRAY gains ~30 % from launch-gap packing; PGI's
+    expensive async path loses).
+
+    Uses a small per-shot 2-D tile — the regime the paper's Figure 11
+    shows, where per-kernel work is tens of microseconds and the
+    launch/present-table gap between kernels is a comparable cost.
+    """
+    workloads = elastic_workloads((128, 128))
+    cray = async_comparison(
+        K40, workloads, steps=100, enqueue_cost_factor=CRAY_8_2_6.async_enqueue_factor,
+        toolkit=CUDA_5_5,
+    )
+    pgi = async_comparison(
+        K40, workloads, steps=100, enqueue_cost_factor=PGI_14_6.async_enqueue_factor,
+        toolkit=CUDA_5_5,
+    )
+    return {"CRAY": cray.improvement, "PGI": pgi.improvement}
+
+
+# ----------------------------------------------------------------------
+# Figure 12: loop fission of the acoustic 3-D kernel
+# ----------------------------------------------------------------------
+def fig12_fission() -> dict[str, dict[str, float]]:
+    """``{card: {'fused': s, 'fissioned': s}}`` per step of the acoustic
+    3-D flow update."""
+    case = modeling_case("acoustic", 3)
+    out: dict[str, dict[str, float]] = {}
+    for spec, toolkit in ((M2090, CUDA_5_0), (K40, CUDA_5_5)):
+        fused = [
+            w
+            for w in acoustic_workloads(case.shape, fissioned=False)
+            if "q_fused" in w.name
+        ]
+        parts = [
+            w
+            for w in acoustic_workloads(case.shape, fissioned=True)
+            if "q_axis" in w.name
+        ]
+        cfg = LaunchConfig(maxregcount=64)
+        out[spec.name] = {
+            "fused": sum(estimate_kernel_time(spec, w, cfg, toolkit).seconds for w in fused),
+            "fissioned": sum(
+                estimate_kernel_time(spec, w, cfg, toolkit).seconds for w in parts
+            ),
+        }
+    return out
+
+
+# ----------------------------------------------------------------------
+# Figure 13: transposition for coalescing (acoustic 2-D backward kernel)
+# ----------------------------------------------------------------------
+def fig13_coalescing() -> dict[str, dict[str, float]]:
+    """``{card: {'original': s, 'transposed': s}}`` for the 2-D backward
+    flow kernel whose inner loop is not parallelizable in place."""
+    case = modeling_case("acoustic", 2)
+    (flow,) = [
+        w for w in acoustic_workloads(case.shape) if "q_fused" in w.name
+    ]
+    out: dict[str, dict[str, float]] = {}
+    for spec, toolkit in ((M2090, CUDA_5_0), (K40, CUDA_5_5)):
+        cfg = LaunchConfig(maxregcount=64)
+        original = estimate_kernel_time(spec, mark_uncoalesced(flow), cfg, toolkit).seconds
+        fixed = sum(
+            estimate_kernel_time(spec, w, cfg, toolkit).seconds
+            for w in with_transposition(mark_uncoalesced(flow))
+        )
+        out[spec.name] = {"original": original, "transposed": fixed}
+    return out
+
+
+# ----------------------------------------------------------------------
+# Figures 14 and 15: ISO 2-D RTM profiles, image on CPU vs GPU
+# ----------------------------------------------------------------------
+def fig14_fig15_profiles(nt: int = _FIG_NT) -> dict[str, ProfileReport]:
+    """``{'image_on_cpu': report, 'image_on_gpu': report}`` of the
+    isotropic 2-D RTM run on the M2090 (the paper's Figure 14/15 setup)."""
+    case = modeling_case("isotropic", 2)
+    out: dict[str, ProfileReport] = {}
+    for label, on_gpu in (("image_on_cpu", False), ("image_on_gpu", True)):
+        options = GPUOptions(
+            compiler=PGI_14_3,
+            flags=CompileFlags(maxregcount=64, pin=True),
+            image_on_gpu=on_gpu,
+        )
+        t = estimate_rtm(
+            case.physics,
+            case.shape,
+            nt,
+            case.snap_period,
+            platform=IBM_M2090,
+            options=options,
+            nreceivers=case.nreceivers,
+            pml_variant="everywhere",
+        )
+        assert t.profile is not None
+        out[label] = t.profile
+    return out
+
+
+# ----------------------------------------------------------------------
+# Section 5.1 step 4: backward kernel reuse
+# ----------------------------------------------------------------------
+def backward_reuse_comparison(physics: str = "acoustic", ndim: int = 2) -> dict[str, float]:
+    """RTM total with the original backward kernel vs the reused modeling
+    kernel ('a 3x performance speedup over the original RTM code')."""
+    case = modeling_case(physics, ndim)
+    out = {}
+    for label, reuse in (("original", False), ("reuse_modeling_kernel", True)):
+        options = GPUOptions(
+            compiler=PGI_14_6,
+            flags=CompileFlags(maxregcount=64, pin=True),
+            reuse_forward_kernel=reuse,
+        )
+        t = estimate_rtm(
+            case.physics,
+            case.shape,
+            _FIG_NT,
+            case.snap_period,
+            platform=CRAY_K40,
+            options=options,
+            nreceivers=case.nreceivers,
+        )
+        out[label] = t.total
+    return out

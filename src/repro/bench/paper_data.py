@@ -1,0 +1,99 @@
+"""The paper's reported numbers (its Tables 3 and 4, and headline claims),
+used by EXPERIMENTS.md generation and the shape assertions.
+
+Cell order matches :class:`repro.bench.report.Cell`:
+(GPU total, total speedup, GPU kernel, kernel speedup). ``None`` = the
+paper's ``x`` (configuration did not run).
+"""
+
+from __future__ import annotations
+
+#: Table 3 — seismic modeling. Keys: case -> platform/compiler -> tuple.
+TABLE3 = {
+    "ISOTROPIC 2D": {
+        "cray_cray": (2.3, 0.6, 1.6, 0.7),
+        "cray_pgi": (1.4, 1.0, 1.0, 1.1),
+        "ibm_pgi": (2.0, 2.0, 1.5, 2.3),
+    },
+    "ACOUSTIC 2D": {
+        "cray_cray": (4.1, 0.7, 3.4, 0.9),
+        "cray_pgi": (3.2, 0.9, 2.7, 1.1),
+        "ibm_pgi": (5.0, 1.3, 4.4, 1.2),
+    },
+    "ELASTIC 2D": {
+        "cray_cray": (7.0, 0.9, 6.6, 0.7),
+        "cray_pgi": (4.5, 1.2, 4.3, 1.1),
+        "ibm_pgi": (7.0, 1.9, 4.8, 2.4),
+    },
+    "ISOTROPIC 3D": {
+        "cray_cray": (460.0, 1.0, 365.0, 0.9),
+        "cray_pgi": (365.0, 1.3, 285.0, 1.2),
+        "ibm_pgi": (448.0, 1.2, 385.0, 1.0),
+    },
+    "ACOUSTIC 3D": {
+        "cray_cray": (310.0, 1.5, 220.0, 1.2),
+        "cray_pgi": (235.0, 2.0, 155.0, 1.7),
+        "ibm_pgi": (260.0, 2.3, 200.0, 2.3),
+    },
+    "ELASTIC 3D": {
+        "cray_cray": (4000.0, 2.1, 3100.0, 2.4),
+        "cray_pgi": (3200.0, 2.7, 2700.0, 2.7),
+        "ibm_pgi": None,  # elastic variables exceed the Fermi's 6 GB
+    },
+}
+
+#: Table 4 — RTM.
+TABLE4 = {
+    "ISOTROPIC 2D": {
+        "cray_cray": (8.5, 0.4, 2.0, 1.2),
+        "cray_pgi": (14.0, 0.2, 2.3, 1.0),
+        "ibm_pgi": (11.5, 0.5, 4.0, 1.3),
+    },
+    "ACOUSTIC 2D": {
+        "cray_cray": (12.2, 1.2, 4.5, 2.4),
+        "cray_pgi": (16.0, 0.9, 5.6, 2.0),
+        "ibm_pgi": (19.0, 5.3, 9.0, 7.9),
+    },
+    "ELASTIC 2D": {
+        "cray_cray": (20.0, 0.8, 7.0, 1.7),
+        "cray_pgi": (23.0, 0.7, 8.0, 1.5),
+        "ibm_pgi": (30.0, 1.1, 12.0, 2.3),
+    },
+    "ISOTROPIC 3D": {
+        "cray_cray": (1600.0, 0.6, 600.0, 1.1),
+        "cray_pgi": (1500.0, 0.6, 550.0, 1.2),
+        "ibm_pgi": (1200.0, 0.9, 800.0, 1.1),
+    },
+    "ACOUSTIC 3D": {
+        "cray_cray": (870.0, 1.1, 320.0, 1.3),
+        "cray_pgi": (765.0, 1.3, 310.0, 1.3),
+        "ibm_pgi": (530.0, 10.2, 400.0, 10.8),
+    },
+    "ELASTIC 3D": {
+        "cray_cray": None,  # CRAY compiler could not build this case
+        "cray_pgi": (15000.0, 1.3, 6000.0, 2.9),
+        "ibm_pgi": None,  # exceeds the Fermi's 6 GB
+    },
+}
+
+#: headline claims used by the shape assertions
+CLAIMS = {
+    # Figure 12: loop fission of the acoustic 3-D kernel
+    "fission_speedup_fermi": 3.0,
+    "fission_speedup_kepler": 1.0,
+    # Figure 13: transposition for coalescing
+    "transpose_speedup": 3.0,
+    # Figure 11 discussion: async on CRAY
+    "cray_async_improvement": 0.30,
+    # Figure 10: optimal registers per thread
+    "best_maxregcount": 64,
+    # Section 5.1 step 4: backward-kernel reuse
+    "backward_reuse_speedup": 3.0,
+    # Figures 14/15 profile shares (isotropic 2-D RTM)
+    "main_kernel_share_2d": 0.734,
+    "receiver_injection_share_2d": 0.262,
+    "source_injection_share_2d": 0.004,
+    # Section 6.2: 2-D vs 3-D utilization of the main kernel
+    "utilization_2d": 0.70,
+    "utilization_3d": 0.90,
+}

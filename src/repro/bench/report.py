@@ -1,0 +1,94 @@
+"""Table rendering for the benchmark harness."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class Cell:
+    """One (GPU total, total speedup, GPU kernel, kernel speedup) group, or
+    a failure (the paper's ``x``)."""
+
+    gpu_total: float | None = None
+    total_speedup: float | None = None
+    gpu_kernel: float | None = None
+    kernel_speedup: float | None = None
+    failure: str | None = None
+
+    @property
+    def failed(self) -> bool:
+        return self.failure is not None
+
+    def fmt(self, value: float | None, digits: int = 1) -> str:
+        if self.failed or value is None:
+            return "x"
+        return f"{value:.{digits}f}"
+
+
+@dataclass
+class Row:
+    """One seismic case's row: CRAY cluster (CRAY + PGI compilers) and IBM
+    cluster (PGI compiler), matching the paper's table layout."""
+
+    name: str
+    cray_cray: Cell = field(default_factory=Cell)
+    cray_pgi: Cell = field(default_factory=Cell)
+    ibm_pgi: Cell = field(default_factory=Cell)
+
+
+_HEADER = (
+    "{:<14} | {:>9} {:>9} | {:>8} {:>8} | {:>9} {:>9} | {:>8} {:>8} "
+    "| {:>9} {:>8} {:>9} {:>8}"
+)
+
+
+def format_speedup_table(title: str, rows: list[Row]) -> str:
+    """Render rows in the paper's Table 3/4 layout."""
+    lines = [title, "=" * len(title)]
+    lines.append(
+        _HEADER.format(
+            "Model",
+            "GPUt CRAY",
+            "GPUt PGI",
+            "Sp CRAY",
+            "Sp PGI",
+            "Kt CRAY",
+            "Kt PGI",
+            "KSp CRAY",
+            "KSp PGI",
+            "IBM GPUt",
+            "IBM Sp",
+            "IBM Kt",
+            "IBM KSp",
+        )
+    )
+    lines.append("-" * 140)
+    for r in rows:
+        lines.append(
+            _HEADER.format(
+                r.name,
+                r.cray_cray.fmt(r.cray_cray.gpu_total),
+                r.cray_pgi.fmt(r.cray_pgi.gpu_total),
+                r.cray_cray.fmt(r.cray_cray.total_speedup),
+                r.cray_pgi.fmt(r.cray_pgi.total_speedup),
+                r.cray_cray.fmt(r.cray_cray.gpu_kernel),
+                r.cray_pgi.fmt(r.cray_pgi.gpu_kernel),
+                r.cray_cray.fmt(r.cray_cray.kernel_speedup),
+                r.cray_pgi.fmt(r.cray_pgi.kernel_speedup),
+                r.ibm_pgi.fmt(r.ibm_pgi.gpu_total),
+                r.ibm_pgi.fmt(r.ibm_pgi.total_speedup),
+                r.ibm_pgi.fmt(r.ibm_pgi.gpu_kernel),
+                r.ibm_pgi.fmt(r.ibm_pgi.kernel_speedup),
+            )
+        )
+    return "\n".join(lines)
+
+
+def format_series(title: str, series: dict[str, float], unit: str = "s") -> str:
+    """Render a labelled value series (the bar charts of Figures 6-10)."""
+    lines = [title, "-" * len(title)]
+    width = max(len(k) for k in series) if series else 0
+    for k, v in series.items():
+        lines.append(f"  {k:<{width}} : {v:.4f} {unit}")
+    return "\n".join(lines)

@@ -1,0 +1,103 @@
+"""Table 3 — seismic modeling timing and speedup measurements.
+
+For each of the six seismic cases: GPU time under the CRAY and PGI compilers
+on the Cray XC30 + K40, under PGI on the IBM cluster + M2090, against the
+full-socket MPI CPU reference of each cluster (10 / 8 cores).
+"""
+
+from __future__ import annotations
+
+from repro.acc.clauses import CompileFlags
+from repro.acc.compiler import CRAY_8_2_6, PGI_14_3, PGI_14_6, CompilerPersona
+from repro.bench.report import Cell, Row, format_speedup_table
+from repro.bench.workloads import ALL_CASES, CaseSpec
+from repro.core.config import GpuTimes, GPUOptions
+from repro.core.modeling import estimate_modeling
+from repro.core.platform import CRAY_K40, IBM_M2090, Platform
+from repro.core.reference import ReferenceTimes, cpu_modeling_time
+
+
+def tuned_options(persona: CompilerPersona, case: CaseSpec, platform: Platform) -> GPUOptions:
+    """The 'best optimized version of each seismic case' (paper Section 6):
+    maxregcount 64 + pinned host arrays; loop fission only where it pays
+    (acoustic 3-D on the register-starved Fermi); optimized backward kernel
+    reuse; imaging on the GPU."""
+    fission = (
+        case.physics == "acoustic"
+        and case.ndim == 3
+        and platform.gpu.chip == "fermi"
+    )
+    return GPUOptions(
+        compiler=persona,
+        flags=CompileFlags(maxregcount=64, pin=True),
+        loop_fission=fission,
+        reuse_forward_kernel=True,
+        image_on_gpu=True,
+    )
+
+
+def make_cell(gpu: GpuTimes, cpu: ReferenceTimes) -> Cell:
+    """Combine a GPU estimate with the CPU reference into a table cell."""
+    if not gpu.success:
+        return Cell(failure=gpu.failure)
+    return Cell(
+        gpu_total=gpu.total,
+        total_speedup=cpu.total / gpu.total if gpu.total > 0 else None,
+        gpu_kernel=gpu.kernel,
+        kernel_speedup=cpu.kernel / gpu.kernel if gpu.kernel > 0 else None,
+    )
+
+
+def _estimate(case: CaseSpec, platform: Platform, persona: CompilerPersona) -> GpuTimes:
+    return estimate_modeling(
+        case.physics,
+        case.shape,
+        case.nt,
+        case.snap_period,
+        platform=platform,
+        options=tuned_options(persona, case, platform),
+        nreceivers=case.nreceivers,
+        pml_variant=case.pml_variant,
+        snapshot_decimate=case.snapshot_decimate,
+    )
+
+
+def table3_row(case: CaseSpec) -> Row:
+    """One seismic case's Table 3 row."""
+    cpu_cray = cpu_modeling_time(
+        CRAY_K40.cluster,
+        case.physics,
+        case.shape,
+        case.nt,
+        case.snap_period,
+        snapshot_decimate=case.snapshot_decimate,
+        pml_variant=case.pml_variant,
+    )
+    cpu_ibm = cpu_modeling_time(
+        IBM_M2090.cluster,
+        case.physics,
+        case.shape,
+        case.nt,
+        case.snap_period,
+        snapshot_decimate=case.snapshot_decimate,
+        pml_variant=case.pml_variant,
+    )
+    return Row(
+        name=case.name,
+        cray_cray=make_cell(_estimate(case, CRAY_K40, CRAY_8_2_6), cpu_cray),
+        cray_pgi=make_cell(_estimate(case, CRAY_K40, PGI_14_6), cpu_cray),
+        ibm_pgi=make_cell(_estimate(case, IBM_M2090, PGI_14_3), cpu_ibm),
+    )
+
+
+def table3_rows(cases: tuple[CaseSpec, ...] = ALL_CASES) -> list[Row]:
+    """All Table 3 rows."""
+    return [table3_row(c) for c in cases]
+
+
+def format_table3(rows: list[Row] | None = None) -> str:
+    if rows is None:
+        rows = table3_rows()
+    return format_speedup_table(
+        "Table 3: Seismic modeling timing and speedup measurements", rows
+    )

@@ -1,0 +1,69 @@
+"""The 12 seismic cases (3 physics x 2 dimensions x {modeling, RTM}).
+
+The paper does not publish its grid dimensions or step counts; these are
+chosen so that (a) 2-D cases are small enough that launch overheads and
+transfers matter (the paper's ~70 % 2-D GPU utilization vs ~90 % 3-D),
+(b) the elastic 3-D working set exceeds the M2090's 6 GB but fits the K40
+(the ``x`` cells of Tables 3-4), and (c) the acoustic 3-D RTM backward set
+barely fits the M2090 — which is why the paper engineered the
+forward/backward offload swap.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.utils.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class CaseSpec:
+    """One seismic case's benchmark workload."""
+
+    physics: str
+    ndim: int
+    shape: tuple[int, ...]
+    nt: int
+    snap_period: int
+    nreceivers: int
+    snapshot_decimate: int
+    #: isotropic PML variant of the tuned build
+    pml_variant: str = "restructured"
+
+    @property
+    def name(self) -> str:
+        return f"{self.physics.upper()} {self.ndim}D"
+
+
+_CASES: dict[tuple[str, int], CaseSpec] = {
+    ("isotropic", 2): CaseSpec("isotropic", 2, (1024, 1024), 1000, 10, 128, 4),
+    ("acoustic", 2): CaseSpec("acoustic", 2, (1024, 1024), 1000, 10, 128, 4),
+    ("elastic", 2): CaseSpec("elastic", 2, (1024, 1024), 1000, 10, 128, 4),
+    ("isotropic", 3): CaseSpec("isotropic", 3, (512, 512, 512), 1000, 10, 64, 4),
+    ("acoustic", 3): CaseSpec("acoustic", 3, (512, 512, 512), 1000, 10, 64, 4),
+    ("elastic", 3): CaseSpec("elastic", 3, (448, 448, 448), 1000, 10, 64, 4),
+}
+
+#: the paper's Table 3/4 row order
+ALL_CASES: tuple[CaseSpec, ...] = (
+    _CASES[("isotropic", 2)],
+    _CASES[("acoustic", 2)],
+    _CASES[("elastic", 2)],
+    _CASES[("isotropic", 3)],
+    _CASES[("acoustic", 3)],
+    _CASES[("elastic", 3)],
+)
+
+
+def modeling_case(physics: str, ndim: int) -> CaseSpec:
+    """Workload of one seismic case."""
+    try:
+        return _CASES[(physics.lower(), int(ndim))]
+    except KeyError:
+        raise ConfigurationError(
+            f"no case for physics='{physics}', ndim={ndim}"
+        ) from None
+
+
+def case_name(physics: str, ndim: int) -> str:
+    return modeling_case(physics, ndim).name

@@ -1,0 +1,182 @@
+"""Convolutional PML (C-PML) for the first-order systems.
+
+Komatitsch & Martin (2007) recursive-convolution formulation: each spatial
+derivative :math:`\\partial_i u` entering the acoustic/elastic updates is
+replaced by
+
+.. math::
+
+    \\widetilde{\\partial_i u} = \\frac{\\partial_i u}{\\kappa_i} + \\psi_i,
+    \\qquad
+    \\psi_i^{n+1} = b_i \\psi_i^n + a_i \\, \\partial_i u
+
+with per-axis 1-D coefficient profiles
+
+.. math::
+
+    b_i = e^{-(\\sigma_i/\\kappa_i + \\alpha_i)\\Delta t}, \\qquad
+    a_i = \\frac{\\sigma_i}{\\kappa_i(\\sigma_i + \\kappa_i\\alpha_i)}(b_i - 1).
+
+As in the paper we keep :math:`\\kappa_i = 1`, so the per-dimension state is
+exactly *four one-dimensional arrays*: ``(b, a)`` evaluated at integer and at
+half-shifted positions (staggered fields sample the profiles at
+``i + 1/2``). Memory variables :math:`\\psi` are lazily allocated per named
+derivative, so propagators simply write::
+
+    dpdx = staggered_diff_forward(p, axis=1, h)
+    dpdx = cpml.damp("dpdx", axis=1, deriv=dpdx, half=True)
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.boundary.profiles import damping_profile, pml_sigma_max
+from repro.grid.grid import Grid
+from repro.utils.arrays import DTYPE
+from repro.utils.errors import ConfigurationError
+
+
+class CPML:
+    """C-PML coefficient store + memory-variable manager for one grid.
+
+    Parameters
+    ----------
+    grid:
+        The wavefield grid.
+    width:
+        Layer width in cells (each side of each axis). ``0`` disables
+        absorption (all ``a = 0``) while keeping the same code path.
+    vmax:
+        Fastest model velocity.
+    dt:
+        Time step.
+    alpha_max:
+        Peak of the frequency-shift profile; Komatitsch & Martin recommend
+        ``pi * f_dominant``. Default 0 reduces to classic PML coefficients.
+    reflection:
+        Target theoretical reflection coefficient.
+    """
+
+    def __init__(
+        self,
+        grid: Grid,
+        width: int,
+        vmax: float,
+        dt: float,
+        alpha_max: float = 0.0,
+        reflection: float = 1e-4,
+        profile_order: int = 2,
+    ):
+        if dt <= 0:
+            raise ConfigurationError("dt must be positive")
+        if width < 0:
+            raise ConfigurationError("width must be >= 0")
+        if alpha_max < 0:
+            raise ConfigurationError("alpha_max must be >= 0")
+        self.grid = grid
+        self.width = int(width)
+        self.dt = float(dt)
+        # the paper's "four different one-dimensional arrays ... for each
+        # dimension": b_full, a_full, b_half, a_half per axis
+        self.b: list[dict[bool, np.ndarray]] = []
+        self.a: list[dict[bool, np.ndarray]] = []
+        for axis, n in enumerate(grid.shape):
+            if 2 * width >= n:
+                raise ConfigurationError(
+                    f"C-PML width {width} too large for axis of {n} points"
+                )
+            h = grid.spacing[axis]
+            smax = (
+                pml_sigma_max(vmax, width * h, reflection, profile_order)
+                if width > 0
+                else 0.0
+            )
+            per_pos_b: dict[bool, np.ndarray] = {}
+            per_pos_a: dict[bool, np.ndarray] = {}
+            for half in (False, True):
+                sigma = damping_profile(
+                    n, width, smax, h, order=profile_order, half_shift=half
+                )
+                # alpha ramps from alpha_max at the interior edge to 0 at the
+                # outer edge (Komatitsch-Martin), proportional to 1 - depth/L
+                if width > 0 and smax > 0:
+                    depth_frac = np.where(smax > 0, (sigma / smax) ** (1.0 / profile_order), 0.0)
+                else:
+                    depth_frac = np.zeros(n)
+                alpha = alpha_max * (1.0 - depth_frac)
+                alpha = np.where(sigma > 0, alpha, 0.0)
+                b = np.exp(-(sigma + alpha) * dt)
+                denom = sigma + alpha
+                with np.errstate(divide="ignore", invalid="ignore"):
+                    a_arr = np.where(denom > 0, sigma / np.maximum(denom, 1e-300) * (b - 1.0), 0.0)
+                per_pos_b[half] = b.astype(DTYPE)
+                per_pos_a[half] = a_arr.astype(DTYPE)
+            self.b.append(per_pos_b)
+            self.a.append(per_pos_a)
+        self._psi: dict[str, np.ndarray] = {}
+
+    # ------------------------------------------------------------------
+    def is_absorbing(self) -> bool:
+        return self.width > 0
+
+    def memory_names(self) -> tuple[str, ...]:
+        """Names of the memory variables allocated so far."""
+        return tuple(self._psi.keys())
+
+    def memory_bytes(self) -> int:
+        """Bytes held by all psi fields."""
+        return sum(p.nbytes for p in self._psi.values())
+
+    def reset(self) -> None:
+        """Zero all memory variables (new simulation, same coefficients)."""
+        for p in self._psi.values():
+            p.fill(0.0)
+
+    def _broadcast(self, arr1d: np.ndarray, axis: int) -> np.ndarray:
+        shape_ones = [1] * self.grid.ndim
+        shape_ones[axis] = len(arr1d)
+        return arr1d.reshape(shape_ones)
+
+    def damp(
+        self,
+        name: str,
+        axis: int,
+        deriv: np.ndarray,
+        half: bool,
+    ) -> np.ndarray:
+        """Apply the C-PML convolution to a spatial derivative.
+
+        Parameters
+        ----------
+        name:
+            Unique key of this derivative (e.g. ``"dpdx"``); the associated
+            memory variable persists across time steps under this key.
+        axis:
+            Differentiation axis.
+        deriv:
+            The raw derivative field (modified **in place** to the damped
+            value, also returned).
+        half:
+            Whether the derivative lives at half-shifted positions along
+            ``axis`` (selects the staggered coefficient profile).
+        """
+        if deriv.shape != self.grid.shape:
+            raise ConfigurationError(
+                f"derivative shape {deriv.shape} does not match grid {self.grid.shape}"
+            )
+        if self.width == 0:
+            return deriv  # no-op layer: keep identical code path
+        psi = self._psi.get(name)
+        if psi is None:
+            psi = np.zeros(self.grid.shape, dtype=DTYPE)
+            self._psi[name] = psi
+        b = self._broadcast(self.b[axis][half], axis)
+        a = self._broadcast(self.a[axis][half], axis)
+        # psi <- b*psi + a*deriv ; deriv <- deriv + psi  (kappa = 1)
+        psi *= b
+        psi += a * deriv
+        deriv += psi
+        return deriv

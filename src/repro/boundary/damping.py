@@ -1,0 +1,73 @@
+"""Cerjan (1985) sponge: multiplicative exponential taper.
+
+The simplest absorber — kept as a reference to quantify how much better the
+PML family does (the package's boundary tests compare residual reflected
+energy across all three absorbers).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.grid.grid import Grid
+from repro.utils.arrays import DTYPE
+from repro.utils.errors import ConfigurationError
+
+
+class CerjanSponge:
+    """Multiplies wavefields by ``exp(-(a * d/L)^2)`` in boundary slabs of
+    ``width`` cells (``d`` = depth into the slab).
+
+    Parameters
+    ----------
+    grid:
+        Grid the wavefields live on.
+    width:
+        Sponge thickness in cells on every side of every axis.
+    strength:
+        The Cerjan ``a`` coefficient; 0.015 per-cell classic value scaled by
+        width is used when None.
+    """
+
+    def __init__(self, grid: Grid, width: int = 20, strength: float | None = None):
+        if width < 0:
+            raise ConfigurationError("width must be >= 0")
+        for n in grid.shape:
+            if 2 * width >= n:
+                raise ConfigurationError(
+                    f"sponge width {width} too large for axis of {n} points"
+                )
+        self.grid = grid
+        self.width = int(width)
+        a = 0.015 * width if strength is None else float(strength)
+        self.strength = a
+        self._taper = self._build_taper()
+
+    def _build_taper(self) -> np.ndarray:
+        taper = np.ones(self.grid.shape, dtype=np.float64)
+        if self.width == 0:
+            return taper.astype(DTYPE)
+        for axis, n in enumerate(self.grid.shape):
+            depth = np.zeros(n, dtype=np.float64)
+            i = np.arange(n, dtype=np.float64)
+            depth = np.maximum(self.width - i, 0.0)
+            depth = np.maximum(depth, np.maximum(i - (n - 1 - self.width), 0.0))
+            g = np.exp(-((self.strength * depth / self.width) ** 2))
+            shape_ones = [1] * self.grid.ndim
+            shape_ones[axis] = n
+            taper = taper * g.reshape(shape_ones)
+        return taper.astype(DTYPE)
+
+    @property
+    def taper(self) -> np.ndarray:
+        """The multiplicative taper field (1 in the interior)."""
+        return self._taper
+
+    def apply(self, *fields: np.ndarray) -> None:
+        """Taper the given wavefields in place."""
+        for f in fields:
+            if f.shape != self.grid.shape:
+                raise ConfigurationError(
+                    f"field shape {f.shape} does not match grid {self.grid.shape}"
+                )
+            f *= self._taper

@@ -1,0 +1,66 @@
+"""Damping-profile construction shared by all absorbing layers.
+
+A boundary layer of ``width`` cells on each side of each axis carries a
+polynomial damping profile rising from zero at the interior edge to
+``sigma_max`` at the outer edge. ``sigma_max`` follows the classic Collino &
+Tsogka prescription from the target theoretical reflection coefficient.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.utils.errors import ConfigurationError
+
+
+def pml_sigma_max(
+    vmax: float, width_m: float, reflection: float = 1e-4, order: int = 2
+) -> float:
+    """Peak damping for a layer of physical thickness ``width_m`` metres.
+
+    ``sigma_max = -(order+1) * vmax * ln(R) / (2 * width_m)``.
+    """
+    if vmax <= 0 or width_m <= 0:
+        raise ConfigurationError("vmax and width_m must be positive")
+    if not 0 < reflection < 1:
+        raise ConfigurationError("reflection must be in (0, 1)")
+    return -(order + 1) * vmax * math.log(reflection) / (2.0 * width_m)
+
+
+def damping_profile(
+    n: int,
+    width: int,
+    sigma_max: float,
+    spacing: float,
+    order: int = 2,
+    half_shift: bool = False,
+) -> np.ndarray:
+    """1-D damping profile along an axis of ``n`` points.
+
+    Returns a float64 array with zeros in the interior and
+    ``sigma_max * (d / L)^order`` in the two boundary slabs, where ``d`` is
+    the distance into the layer and ``L = width * spacing`` its thickness.
+    With ``half_shift=True`` the profile is evaluated at the ``i + 1/2``
+    staggered positions (needed by the C-PML coefficients of half-point
+    fields).
+    """
+    if width < 0:
+        raise ConfigurationError("width must be >= 0")
+    if 2 * width >= n:
+        raise ConfigurationError(
+            f"absorbing layers of width {width} overlap on an axis of {n} points"
+        )
+    sigma = np.zeros(n, dtype=np.float64)
+    if width == 0:
+        return sigma
+    L = width * spacing
+    pos = np.arange(n, dtype=np.float64) + (0.5 if half_shift else 0.0)
+    # low side: layer spans positions [0, width); depth decreases with i
+    d_lo = (width - pos) * spacing
+    # high side: layer spans (n-1-width, n-1]; depth increases with i
+    d_hi = (pos - (n - 1 - width)) * spacing
+    d = np.maximum(np.maximum(d_lo, d_hi), 0.0)
+    sigma = sigma_max * np.minimum(d / L, 1.0) ** order
+    return sigma

@@ -1,0 +1,135 @@
+"""Snapshot checkpointing for RTM under a memory budget.
+
+The paper's central RTM constraint is snapshot storage: the forward
+wavefield must be available, time-reversed, during the backward phase, and
+"due to GPU global memory constraints ... the forward and backward
+wave-field variables of RTM cannot be allocated at the same time". When
+even the *host* cannot hold every snapshot (long 3-D surveys), production
+RTM uses checkpointing: keep only ``budget`` evenly spaced checkpoints and
+recompute the missing forward states from the nearest stored one during the
+backward sweep (Griewank-style, single-level).
+
+This module plans such schedules and quantifies the storage/recompute
+trade-off; :func:`checkpointed_rtm_cost` applies it to the modelled GPU
+pipeline times.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.utils.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class CheckpointPlan:
+    """A single-level checkpoint schedule for ``nsnaps`` required states."""
+
+    nsnaps: int
+    stored_indices: tuple[int, ...]
+    #: total forward steps re-run during the backward sweep
+    recompute_steps: int
+    snap_period: int
+
+    @property
+    def stored(self) -> int:
+        return len(self.stored_indices)
+
+    @property
+    def storage_fraction(self) -> float:
+        """Stored states / required states."""
+        return self.stored / self.nsnaps if self.nsnaps else 1.0
+
+    @property
+    def recompute_factor(self) -> float:
+        """Extra forward work relative to the original forward sweep."""
+        total_forward = self.nsnaps * self.snap_period
+        return self.recompute_steps / total_forward if total_forward else 0.0
+
+
+def plan_checkpoints(nt: int, snap_period: int, budget: int) -> CheckpointPlan:
+    """Plan which of the ``nt // snap_period`` snapshot states to store.
+
+    ``budget`` is the number of full wavefield states the store may hold.
+    Stored states are spread evenly; each missing state is recomputed by
+    re-running the forward propagator from the nearest earlier checkpoint
+    (states are consumed in reverse order, so each gap is re-entered once
+    per missing state — the classic single-level cost).
+    """
+    if nt < 1 or snap_period < 1:
+        raise ConfigurationError("nt and snap_period must be >= 1")
+    if budget < 1:
+        raise ConfigurationError("budget must hold at least one state")
+    nsnaps = nt // snap_period
+    if nsnaps == 0:
+        return CheckpointPlan(0, (), 0, snap_period)
+    if budget >= nsnaps:
+        return CheckpointPlan(
+            nsnaps, tuple(range(nsnaps)), 0, snap_period
+        )
+    stored = tuple(
+        sorted({int(i) for i in np.linspace(0, nsnaps - 1, budget)})
+    )
+    # backward sweep cost: to materialise missing state k in the gap
+    # (c_prev, c_next), re-run (k - c_prev) * snap_period forward steps
+    stored_set = set(stored)
+    recompute = 0
+    for k in range(nsnaps):
+        if k in stored_set:
+            continue
+        prev = max(i for i in stored if i < k)
+        recompute += (k - prev) * snap_period
+    return CheckpointPlan(nsnaps, stored, recompute, snap_period)
+
+
+@dataclass(frozen=True)
+class CheckpointedCost:
+    """Modelled RTM cost under a checkpoint plan."""
+
+    plan: CheckpointPlan
+    baseline_seconds: float
+    checkpointed_seconds: float
+    storage_bytes: int
+
+    @property
+    def slowdown(self) -> float:
+        return (
+            self.checkpointed_seconds / self.baseline_seconds
+            if self.baseline_seconds
+            else 1.0
+        )
+
+
+def checkpointed_rtm_cost(
+    forward_step_seconds: float,
+    nt: int,
+    snap_period: int,
+    budget: int,
+    field_bytes: int,
+    transfer_seconds_per_state: float = 0.0,
+) -> CheckpointedCost:
+    """Cost of an RTM whose snapshot store is capped at ``budget`` states.
+
+    ``forward_step_seconds`` is one forward time step's compute;
+    ``transfer_seconds_per_state`` the per-state movement cost (PCIe d2h in
+    the paper's pipeline). The baseline stores every state; the
+    checkpointed run stores ``budget`` and pays recomputation.
+    """
+    if forward_step_seconds < 0 or transfer_seconds_per_state < 0:
+        raise ConfigurationError("costs must be >= 0")
+    plan = plan_checkpoints(nt, snap_period, budget)
+    nsnaps = plan.nsnaps
+    base = 2 * nt * forward_step_seconds + 2 * nsnaps * transfer_seconds_per_state
+    ckpt = (
+        2 * nt * forward_step_seconds
+        + plan.recompute_steps * forward_step_seconds
+        + 2 * plan.stored * transfer_seconds_per_state
+    )
+    return CheckpointedCost(
+        plan=plan,
+        baseline_seconds=base,
+        checkpointed_seconds=ckpt,
+        storage_bytes=plan.stored * field_bytes,
+    )

@@ -1,0 +1,132 @@
+"""Configuration and result dataclasses for the modeling/RTM drivers."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+import numpy as np
+
+from repro.acc.clauses import CompileFlags
+from repro.acc.compiler import CompilerPersona, PGI_14_6
+from repro.core.snapshots import SnapshotStore
+from repro.gpusim.profiler import ProfileReport
+from repro.model.earth_model import EarthModel
+from repro.source.acquisition import Receivers
+from repro.utils.errors import ConfigurationError
+
+
+@dataclass
+class GPUOptions:
+    """Tunable GPU-path choices — the paper's optimization catalogue.
+
+    ``inline_receiver_injection=None`` defers to the compiler persona
+    (CRAY inlines, PGI cannot); ``async_kernels=None`` likewise defers to
+    the persona's auto-async default.
+    """
+
+    compiler: CompilerPersona = PGI_14_6
+    flags: CompileFlags = field(default_factory=CompileFlags)
+    #: apply the imaging condition on the GPU (paper Figure 15) or the host
+    #: (Figure 14)
+    image_on_gpu: bool = True
+    #: backward phase calls the optimized modeling kernel (the 3x fix of
+    #: the paper's Section 5.1 step 4) instead of the original uncoalesced
+    #: backward kernel
+    reuse_forward_kernel: bool = True
+    #: split the fused flow/stress kernels (the paper's Figure 12 fission)
+    loop_fission: bool = False
+    #: launch kernels on async queues (None -> persona default)
+    async_kernels: bool | None = None
+    #: fix uncoalesced kernels by on-GPU transposition (Figure 13) instead
+    #: of kernel reuse
+    transpose_fix: bool = False
+    #: force a compute construct ('kernels' | 'parallel'); None uses the
+    #: persona's preferred one — the knob behind the paper's Figures 8-9
+    construct: str | None = None
+    #: explicit loop schedule to pair with a forced construct
+    schedule: Any = None
+
+
+@dataclass
+class ModelingConfig:
+    """Seismic modeling (forward phase of Algorithm 1)."""
+
+    physics: str
+    model: EarthModel
+    nt: int
+    dt: float | None = None
+    peak_freq: float = 10.0
+    space_order: int = 8
+    boundary_width: int = 16
+    #: steps between saved snapshots; None derives from peak_freq
+    snap_period: int | None = None
+    #: decimation of the display movie the modeling phase saves
+    snapshot_decimate: int = 4
+    #: receiver spread; None places a line below the absorbing layer
+    receivers: Receivers | None = None
+    #: source depth index; None puts the source just below the top layer
+    source_depth_index: int | None = None
+    #: source lateral (x) index; None centres the source (multi-shot
+    #: surveys move it along the line)
+    source_x_index: int | None = None
+    #: isotropic PML code variant (branchy/restructured/everywhere)
+    pml_variant: str = "branchy"
+
+    def __post_init__(self):
+        if self.nt < 1:
+            raise ConfigurationError("nt must be >= 1")
+        if self.physics.lower() not in ("isotropic", "acoustic", "elastic", "vti"):
+            raise ConfigurationError(f"unknown physics '{self.physics}'")
+
+
+@dataclass
+class RTMConfig(ModelingConfig):
+    """Reverse Time Migration (both phases of Algorithm 1)."""
+
+    #: zero the image above this depth index (direct-arrival mute)
+    mute_cells: int | None = None
+    #: normalise by source illumination
+    illumination_normalize: bool = True
+
+
+@dataclass
+class GpuTimes:
+    """Modelled GPU execution summary of one run."""
+
+    total: float = 0.0
+    kernel: float = 0.0
+    h2d: float = 0.0
+    d2h: float = 0.0
+    launches: int = 0
+    success: bool = True
+    failure: str | None = None  # 'oom' | 'compiler' | None
+    profile: ProfileReport | None = None
+
+    @property
+    def transfer(self) -> float:
+        return self.h2d + self.d2h
+
+
+@dataclass
+class ModelingResult:
+    """Output of a modeling run."""
+
+    seismogram: np.ndarray | None
+    snapshots: SnapshotStore
+    final_wavefield: np.ndarray
+    dt: float
+    gpu: GpuTimes | None = None
+    extras: dict[str, Any] = field(default_factory=dict)
+
+
+@dataclass
+class RTMResult:
+    """Output of an RTM run."""
+
+    image: np.ndarray
+    raw_image: np.ndarray
+    seismogram: np.ndarray
+    dt: float
+    gpu: GpuTimes | None = None
+    extras: dict[str, Any] = field(default_factory=dict)

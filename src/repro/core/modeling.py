@@ -1,0 +1,177 @@
+"""Seismic modeling drivers (the forward phase of Algorithm 1).
+
+``run_modeling`` executes the physics on the host; passing ``gpu_options``
+and a ``platform`` additionally drives the Figure-4 offload pipeline so the
+run carries modelled GPU timings (numerics are unchanged — the device
+executes the same NumPy arrays). ``estimate_modeling`` runs the pipeline
+alone for paper-scale grids.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.acc.runtime import Runtime
+from repro.core.config import GPUOptions, GpuTimes, ModelingConfig, ModelingResult
+from repro.core.pipeline import OffloadPipeline, run_pipeline_modeling
+from repro.core.platform import CRAY_K40, Platform
+from repro.core.snapshots import SnapshotStore, default_snap_period
+from repro.gpusim.device import Device
+from repro.propagators.factory import make_propagator
+from repro.source.acquisition import Receivers, line_receivers
+from repro.source.injection import PointSource
+from repro.source.wavelets import integrated_ricker, ricker
+from repro.utils.errors import ConfigurationError
+
+
+def _make_wavelet(physics: str, nt: int, dt: float, peak_freq: float) -> np.ndarray:
+    """Physics-appropriate source time function: Eq. 2 injects the time
+    integral of the wavelet; the others inject it directly."""
+    if physics == "acoustic":
+        return integrated_ricker(nt, dt, peak_freq)
+    return ricker(nt, dt, peak_freq)
+
+
+def _default_source(config: ModelingConfig, dt: float) -> PointSource:
+    grid = config.model.grid
+    depth = config.source_depth_index
+    if depth is None:
+        depth = min(config.boundary_width + 4, grid.shape[0] - 1)
+    wavelet = _make_wavelet(config.physics.lower(), config.nt, dt, config.peak_freq)
+    src = PointSource.at_center(grid, wavelet, depth_index=depth)
+    if config.source_x_index is not None:
+        x = int(config.source_x_index)
+        if not 0 <= x < grid.shape[1]:
+            raise ConfigurationError(f"source_x_index {x} outside the grid")
+        idx = list(src.index)
+        idx[1] = x
+        src = PointSource(tuple(idx), src.wavelet)
+    return src
+
+
+def _default_receivers(config: ModelingConfig) -> Receivers:
+    grid = config.model.grid
+    depth = min(config.boundary_width + 2, grid.shape[0] - 1)
+    return line_receivers(grid, depth, stride=4, margin=config.boundary_width)
+
+
+def _build_runtime(options: GPUOptions, platform: Platform) -> Runtime:
+    device = Device(
+        platform.gpu,
+        pcie=platform.pcie,
+        toolkit=options.compiler.default_toolkit,
+        pinned_host=options.flags.pin,
+    )
+    return Runtime(device, compiler=options.compiler, flags=options.flags)
+
+
+def run_modeling(
+    config: ModelingConfig,
+    gpu_options: GPUOptions | None = None,
+    platform: Platform = CRAY_K40,
+) -> ModelingResult:
+    """Run seismic modeling; returns the seismogram, the snapshot movie and
+    (when ``gpu_options`` is given) the modelled GPU timing."""
+    if config.model is None:
+        raise ConfigurationError("run_modeling needs an EarthModel")
+    physics = config.physics.lower()
+    prop_kwargs = {}
+    if physics == "isotropic":
+        prop_kwargs["pml_variant"] = config.pml_variant
+    prop = make_propagator(
+        physics,
+        config.model,
+        dt=config.dt,
+        space_order=config.space_order,
+        boundary_width=config.boundary_width,
+        **prop_kwargs,
+    )
+    dt = prop.dt
+    snap_period = (
+        config.snap_period
+        if config.snap_period is not None
+        else default_snap_period(dt, config.peak_freq)
+    )
+    store = SnapshotStore(snap_period, decimate=config.snapshot_decimate)
+    source = _default_source(config, dt)
+    receivers = config.receivers if config.receivers is not None else _default_receivers(config)
+    seismogram = np.zeros((config.nt, receivers.count), dtype=np.float32)
+
+    pipeline: OffloadPipeline | None = None
+    if gpu_options is not None:
+        rt = _build_runtime(gpu_options, platform)
+        pipeline = OffloadPipeline(
+            rt,
+            physics,
+            config.model.grid.shape,
+            nreceivers=receivers.count,
+            space_order=config.space_order,
+            boundary_width=config.boundary_width,
+            options=gpu_options,
+            pml_variant=config.pml_variant,
+        )
+        pipeline.allocate_forward()
+
+    for n in range(config.nt):
+        amp = source.amplitude(n)
+        srcs = [(source.index, amp)] if amp != 0.0 else []
+        prop.step(srcs)
+        seismogram[n, :] = receivers.record(prop.snapshot_field())
+        if pipeline is not None:
+            pipeline.forward_step(inject_source=bool(srcs))
+        if store.is_snap_step(n):
+            store.save(n, prop.snapshot_field())
+            if pipeline is not None:
+                pipeline.snapshot_to_host(decimate=config.snapshot_decimate)
+
+    gpu: GpuTimes | None = None
+    if pipeline is not None:
+        pipeline.finalize(with_image=False)
+        gpu = pipeline.gpu_times()
+    return ModelingResult(
+        seismogram=seismogram,
+        snapshots=store,
+        final_wavefield=prop.snapshot_field().copy(),
+        dt=dt,
+        gpu=gpu,
+    )
+
+
+def run_modeling_gpu(
+    config: ModelingConfig,
+    gpu_options: GPUOptions | None = None,
+    platform: Platform = CRAY_K40,
+) -> ModelingResult:
+    """Modeling with the GPU pipeline attached (convenience wrapper)."""
+    return run_modeling(
+        config, gpu_options=gpu_options or GPUOptions(), platform=platform
+    )
+
+
+def estimate_modeling(
+    physics: str,
+    shape: tuple[int, ...],
+    nt: int,
+    snap_period: int,
+    platform: Platform = CRAY_K40,
+    options: GPUOptions | None = None,
+    nreceivers: int = 128,
+    space_order: int = 8,
+    boundary_width: int = 16,
+    pml_variant: str = "branchy",
+    snapshot_decimate: int = 4,
+) -> GpuTimes:
+    """Timing-only modeling run at arbitrary (paper-scale) grid sizes."""
+    options = options if options is not None else GPUOptions()
+    rt = _build_runtime(options, platform)
+    pipeline = OffloadPipeline(
+        rt,
+        physics,
+        shape,
+        nreceivers=nreceivers,
+        space_order=space_order,
+        boundary_width=boundary_width,
+        options=options,
+        pml_variant=pml_variant,
+    )
+    return run_pipeline_modeling(pipeline, nt, snap_period, snapshot_decimate)

@@ -1,0 +1,219 @@
+"""Multi-GPU domain decomposition — the paper's stated path forward.
+
+"Path forward, we believe that exploiting multiple GPUs will provide
+powerful insights. Consequently, overlapping MPI communications with GPU
+computations could improve performance, especially when larger grid
+dimensions are used." (Section 7.)
+
+The model follows the paper's own single-GPU machinery: the domain is
+decomposed into slabs along the depth axis (one per card); each step every
+card runs its slab's kernels and exchanges stencil-radius ghost planes with
+its neighbours over PCIe through the host ("Only the ghost nodes need to be
+exchanged between host and GPU at each time step when partitioning the
+domain among several GPUs"). Ghost faces are non-contiguous in general; the
+``transpose_pack`` option models the paper's suggested on-GPU repacking
+("One workaround is rearranging data of these ghost nodes by performing a
+transposition on GPU"), collapsing the per-plane DMA chunks into one.
+
+With ``overlap=True``, boundary-slab kernels run first and the ghost
+exchange proceeds concurrently with the interior kernels (the
+MPI/compute-overlap idea), so the per-step cost is
+``max(kernels, boundary + comm)`` instead of their sum.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.config import GPUOptions
+from repro.core.inventory import device_resident_bytes
+from repro.core.platform import CRAY_K40, Platform
+from repro.gpusim.kernelmodel import estimate_kernel_time
+from repro.gpusim.memory import DeviceMemory
+from repro.propagators.workloads import workloads_for
+from repro.utils.errors import ConfigurationError
+
+#: wavefields whose halos move per step, per formulation/dimension
+_EXCHANGED_FIELDS = {
+    ("isotropic", 2): 1,
+    ("isotropic", 3): 1,
+    ("acoustic", 2): 3,
+    ("acoustic", 3): 4,
+    ("elastic", 2): 5,
+    ("elastic", 3): 9,
+    ("vti", 2): 2,
+    ("vti", 3): 2,
+}
+
+
+@dataclass
+class MultiGpuTimes:
+    """Modelled multi-GPU modeling run."""
+
+    ngpus: int
+    total: float = 0.0
+    kernel: float = 0.0
+    comm: float = 0.0
+    snapshots: float = 0.0
+    setup: float = 0.0
+    success: bool = True
+    failure: str | None = None
+    per_device_bytes: list[int] = field(default_factory=list)
+
+    def speedup_vs(self, single: "MultiGpuTimes") -> float:
+        """Strong-scaling speedup against a single-card run."""
+        if not (self.success and single.success) or self.total <= 0:
+            raise ConfigurationError("speedup needs two successful runs")
+        return single.total / self.total
+
+    def efficiency_vs(self, single: "MultiGpuTimes") -> float:
+        return self.speedup_vs(single) / self.ngpus
+
+
+def _slab_shapes(shape: tuple[int, ...], ngpus: int) -> list[tuple[int, ...]]:
+    """Block-distribute the depth axis across cards."""
+    n0 = shape[0]
+    base, extra = divmod(n0, ngpus)
+    if base < 8:
+        raise ConfigurationError(
+            f"{n0} depth planes over {ngpus} GPUs leaves slabs too thin"
+        )
+    out = []
+    for g in range(ngpus):
+        nz = base + (1 if g < extra else 0)
+        out.append((nz,) + tuple(shape[1:]))
+    return out
+
+
+def estimate_multi_gpu_modeling(
+    physics: str,
+    shape: tuple[int, ...],
+    nt: int,
+    snap_period: int,
+    ngpus: int,
+    platform: Platform = CRAY_K40,
+    options: GPUOptions | None = None,
+    overlap: bool = True,
+    transpose_pack: bool = True,
+    space_order: int = 8,
+    boundary_width: int = 16,
+    snapshot_decimate: int = 4,
+) -> MultiGpuTimes:
+    """Strong-scaling estimate of modeling across ``ngpus`` identical cards.
+
+    All cards are assumed to step in lockstep (the slowest slab binds each
+    step); neighbouring exchanges use each pair's own PCIe links
+    concurrently, so one step pays a single D2H + H2D round trip of the
+    widest face set.
+    """
+    if ngpus < 1:
+        raise ConfigurationError("ngpus must be >= 1")
+    if nt < 1 or snap_period < 1:
+        raise ConfigurationError("nt and snap_period must be >= 1")
+    options = options if options is not None else GPUOptions()
+    physics = physics.lower()
+    ndim = len(shape)
+    try:
+        slabs = _slab_shapes(shape, ngpus)
+    except ConfigurationError:
+        return MultiGpuTimes(ngpus=ngpus, success=False, failure="too-thin")
+    toolkit = options.compiler.default_toolkit
+    flags = options.flags
+    pinned = flags.pin
+    result = MultiGpuTimes(ngpus=ngpus)
+
+    # --- capacity check + per-slab kernel time -------------------------
+    kernel_times = []
+    boundary_times = []
+    for slab in slabs:
+        need = device_resident_bytes(physics, slab, boundary_width)
+        result.per_device_bytes.append(need)
+        mem = DeviceMemory(platform.gpu.memory_bytes)
+        if need > mem.usable:
+            return MultiGpuTimes(
+                ngpus=ngpus, success=False, failure="oom",
+                per_device_bytes=result.per_device_bytes,
+            )
+        kw = {}
+        if physics == "isotropic":
+            kw = {"variant": "restructured", "pml_width": boundary_width}
+        workloads = workloads_for(physics, slab, space_order, **kw)
+        t_k = 0.0
+        for w in workloads:
+            launch = options.compiler.lower(
+                options.compiler.preferred_construct(), w,
+                options.compiler.preferred_schedule(), flags,
+            )
+            t_k += estimate_kernel_time(platform.gpu, w, launch, toolkit).seconds
+            t_k += platform.gpu.launch_overhead_s
+        kernel_times.append(t_k)
+        # boundary sub-slabs (stencil-radius planes next to each face) must
+        # complete before their halos can ship
+        radius = space_order // 2
+        frac = min(1.0, 2.0 * radius / slab[0])
+        boundary_times.append(t_k * frac)
+
+    t_kernel_step = max(kernel_times)
+
+    # --- per-step ghost exchange ----------------------------------------
+    radius = space_order // 2
+    face_points = int(np.prod(shape[1:])) * radius
+    nfields = _EXCHANGED_FIELDS[(physics, ndim)]
+    face_bytes = face_points * 4 * nfields
+    if ngpus == 1:
+        t_comm_step = 0.0
+    else:
+        # ghost planes are contiguous along the slab axis here (depth-major
+        # C order), but each *field* ships separately; without the on-GPU
+        # packing transposition every field pays its own DMA setup chain
+        chunks = 1 if transpose_pack else nfields * radius
+        d2h = platform.pcie.transfer_time(face_bytes, pinned=pinned, chunks=chunks)
+        h2d = platform.pcie.transfer_time(face_bytes, pinned=pinned, chunks=chunks)
+        # both directions per interface; pairs run on their own links
+        t_comm_step = 2.0 * (d2h + h2d)
+
+    if overlap and ngpus > 1:
+        t_step = max(t_kernel_step, max(boundary_times) + t_comm_step)
+    else:
+        t_step = t_kernel_step + t_comm_step
+
+    # --- snapshots: every card offloads its slab concurrently -----------
+    snap_bytes = max(
+        int(np.prod(s)) * 4 // (snapshot_decimate**ndim) for s in slabs
+    )
+    t_snap = platform.pcie.transfer_time(snap_bytes, pinned=pinned)
+    nsnaps = nt // snap_period
+
+    # --- initial copyin of each card's inventory (concurrent) -----------
+    t_setup = platform.pcie.transfer_time(
+        max(result.per_device_bytes), pinned=pinned
+    )
+
+    result.kernel = nt * t_kernel_step
+    result.comm = nt * t_comm_step
+    result.snapshots = nsnaps * t_snap
+    result.setup = t_setup
+    result.total = nt * t_step + result.snapshots + result.setup
+    return result
+
+
+def scaling_study(
+    physics: str,
+    shape: tuple[int, ...],
+    nt: int,
+    snap_period: int,
+    gpu_counts: tuple[int, ...] = (1, 2, 4, 8),
+    platform: Platform = CRAY_K40,
+    options: GPUOptions | None = None,
+    overlap: bool = True,
+) -> dict[int, MultiGpuTimes]:
+    """Run the estimate across a set of card counts."""
+    return {
+        n: estimate_multi_gpu_modeling(
+            physics, shape, nt, snap_period, n,
+            platform=platform, options=options, overlap=overlap,
+        )
+        for n in gpu_counts
+    }

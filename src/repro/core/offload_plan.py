@@ -1,0 +1,128 @@
+"""The offload planner: decide how a seismic case maps onto the device(s).
+
+The paper's data-allocation step began with exactly this analysis
+("Nvidia System Management Interface program (nvidia-smi) provided the
+required guidance"): does the forward set fit? do forward + backward sets
+coexist, or is the Figure-4 swap needed? does the case need more than one
+card? :func:`plan_offload` answers those questions for any formulation,
+grid and card, and renders the decision as a report.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.inventory import field_inventory
+from repro.gpusim.memory import DeviceMemory
+from repro.gpusim.specs import GPUSpec
+from repro.utils.errors import ConfigurationError
+from repro.utils.units import bytes_to_human
+
+
+@dataclass(frozen=True)
+class OffloadPlan:
+    """The planner's decision for one case on one card."""
+
+    physics: str
+    shape: tuple[int, ...]
+    device: str
+    forward_bytes: int
+    backward_extra_bytes: int
+    usable_bytes: int
+    #: 'resident' (everything coexists), 'swap' (the Figure-4 forward/
+    #: backward swap), or 'multi-gpu' (does not fit one card at all)
+    strategy: str
+    #: minimum cards for the forward set under slab decomposition
+    min_gpus: int
+
+    @property
+    def peak_bytes(self) -> int:
+        if self.strategy == "resident":
+            return self.forward_bytes + self.backward_extra_bytes
+        return self.forward_bytes
+
+    def report(self) -> str:
+        lines = [
+            f"offload plan: {self.physics} {len(self.shape)}-D "
+            f"{'x'.join(map(str, self.shape))} on {self.device}",
+            f"  forward set          : {bytes_to_human(self.forward_bytes)}",
+            f"  backward extra (RTM) : {bytes_to_human(self.backward_extra_bytes)}",
+            f"  device usable        : {bytes_to_human(self.usable_bytes)}",
+            f"  strategy             : {self.strategy}",
+        ]
+        if self.strategy == "resident":
+            lines.append(
+                "  forward and backward variables coexist; no mid-run swap"
+            )
+        elif self.strategy == "swap":
+            lines.append(
+                "  Figure-4 swap required: offload the modeling data (except "
+                "the forward wavefield) before uploading the imaging data"
+            )
+        else:
+            lines.append(
+                f"  does not fit one card; needs >= {self.min_gpus} cards "
+                "under depth-slab decomposition"
+            )
+        return "\n".join(lines)
+
+
+def _rtm_sets(physics: str, shape: tuple[int, ...], boundary_width: int):
+    inv = field_inventory(physics, shape, boundary_width)
+    forward = sum(inv.values())
+    field_bytes = int(np.prod(shape)) * 4
+    wf = {k: v for k, v in inv.items() if k.startswith("wf:")}
+    # backward additions: a second copy of the wavefields + the image
+    backward_extra = sum(wf.values()) + field_bytes
+    # what the swap frees: the forward wavefields except the primary
+    primary = max(wf.values()) if wf else 0
+    freed_by_swap = sum(wf.values()) - primary
+    return forward, backward_extra, freed_by_swap
+
+
+def plan_offload(
+    physics: str,
+    shape: tuple[int, ...],
+    spec: GPUSpec,
+    boundary_width: int = 16,
+    rtm: bool = True,
+) -> OffloadPlan:
+    """Plan the device residency of one case (modeling, or full RTM)."""
+    if len(shape) not in (2, 3):
+        raise ConfigurationError(f"bad shape {shape}")
+    forward, backward_extra, freed = _rtm_sets(physics, shape, boundary_width)
+    usable = DeviceMemory(spec.memory_bytes).usable
+    if not rtm:
+        backward_extra = 0
+    if forward + backward_extra <= usable:
+        strategy = "resident"
+    elif forward <= usable and (forward - freed) + backward_extra <= usable:
+        strategy = "swap"
+    else:
+        strategy = "multi-gpu"
+    # minimum card count for the forward set under depth slabs (halo-padded
+    # slabs shrink roughly linearly; use the dominant full-field terms)
+    min_gpus = 1
+    if strategy == "multi-gpu":
+        n0 = shape[0]
+        for n in range(2, 65):
+            slab = (max(n0 // n, 1),) + tuple(shape[1:])
+            inv = field_inventory(physics, slab, min(boundary_width, max(slab[0] // 2 - 1, 0) or 1))
+            fwd_slab = sum(inv.values())
+            if fwd_slab <= usable:
+                min_gpus = n
+                break
+        else:
+            min_gpus = 65
+    return OffloadPlan(
+        physics=physics.lower(),
+        shape=tuple(int(x) for x in shape),
+        device=spec.name,
+        forward_bytes=forward,
+        backward_extra_bytes=backward_extra,
+        usable_bytes=usable,
+        strategy=strategy,
+        min_gpus=min_gpus,
+    )

@@ -1,0 +1,311 @@
+"""The five-step OpenACC offload pipeline of the paper's Figure 4.
+
+Drives a :class:`~repro.acc.runtime.Runtime` through:
+
+1. **Data allocation** — ``enter data copyin`` of the forward-phase
+   inventory (forward and backward variables cannot coexist on the card).
+2. **Forward phase** — per step: compute kernels, source injection, and an
+   ``update host`` of the wavefield each ``snap_period`` (a branch prevents
+   per-step updates).
+3. **Offload forward / upload backward** — free the modeling data *except
+   the forward wavefield*, upload the imaging data.
+4. **Backward phase** — per snap: ``update device`` reloads the stored
+   forward wavefield and the imaging condition runs (on GPU or host); per
+   step: backward kernels (optimized modeling kernel, or the original
+   uncoalesced one, or transposition-fixed) and receiver injection (one
+   inlined kernel under CRAY, one launch per receiver under PGI).
+5. **Store image & offload** — ``update host`` of the image, ``exit data``.
+
+The pipeline is physics-free: it moves *names and byte counts* and launches
+*workload metadata*, so the same code times the paper's full-size grids
+(estimate mode) and accompanies real NumPy runs (execute mode — drivers call
+:meth:`forward_step` etc. next to the propagator stepping).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.acc.runtime import Runtime
+from repro.core.config import GpuTimes, GPUOptions
+from repro.core.inventory import field_inventory, primary_wavefield
+from repro.propagators.base import KernelWorkload
+from repro.propagators.workloads import (
+    imaging_condition_workloads,
+    receiver_injection_workloads,
+    source_injection_workload,
+    transpose_workloads,
+    workloads_for,
+)
+from repro.utils.errors import ConfigurationError, DeviceOutOfMemoryError
+
+
+def _mark_uncoalesced(workloads: list[KernelWorkload]) -> list[KernelWorkload]:
+    """The original backward-phase kernels: loop-carried dependencies force
+    a non-unit-stride inner parallel loop (paper Figure 13)."""
+    out = []
+    for w in workloads:
+        out.append(
+            KernelWorkload(
+                name=w.name + "_backward_orig",
+                points=w.points,
+                flops_per_point=w.flops_per_point,
+                reads_per_point=w.reads_per_point,
+                writes_per_point=w.writes_per_point,
+                loop_dims=w.loop_dims,
+                address_streams=w.address_streams,
+                has_branches=w.has_branches,
+                inner_contiguous=False,
+            )
+        )
+    return out
+
+
+class OffloadPipeline:
+    """One shot's offload schedule on one runtime/device."""
+
+    def __init__(
+        self,
+        rt: Runtime,
+        physics: str,
+        shape: tuple[int, ...],
+        nreceivers: int = 128,
+        space_order: int = 8,
+        boundary_width: int = 16,
+        options: GPUOptions | None = None,
+        pml_variant: str = "branchy",
+    ):
+        self.rt = rt
+        self.physics = physics.lower()
+        self.shape = tuple(int(n) for n in shape)
+        self.ndim = len(self.shape)
+        self.nreceivers = int(nreceivers)
+        self.options = options if options is not None else GPUOptions()
+        self.boundary_width = boundary_width
+        self.field_bytes = int(np.prod(self.shape)) * 4
+        self.inventory = field_inventory(self.physics, self.shape, boundary_width)
+        self.primary = primary_wavefield(self.physics)
+        # forward kernels (the optimized modeling path)
+        kw = {}
+        if self.physics == "isotropic":
+            kw["variant"] = pml_variant
+            kw["pml_width"] = boundary_width
+        elif self.physics == "acoustic":
+            kw["fissioned"] = self.options.loop_fission
+        self.forward_workloads = workloads_for(
+            self.physics, self.shape, space_order, **kw
+        )
+        # backward kernels
+        if self.physics == "isotropic" or self.options.reuse_forward_kernel:
+            # "The better optimized kernel, which is used in the modeling
+            # phase ... was called instead" (the isotropic kernel is shared
+            # between the phases by construction)
+            self.backward_workloads = self.forward_workloads
+            self.backward_transpose: list[KernelWorkload] = []
+        elif self.options.transpose_fix:
+            self.backward_workloads = self.forward_workloads
+            self.backward_transpose = transpose_workloads(self.shape)
+        else:
+            self.backward_workloads = _mark_uncoalesced(self.forward_workloads)
+            self.backward_transpose = []
+        inlined = self.options.compiler.supports_inlining
+        self.receiver_workloads = receiver_injection_workloads(
+            self.nreceivers, inlined=inlined
+        )
+        self.source_workload = source_injection_workload(self.ndim)
+        self.imaging_workloads = imaging_condition_workloads(self.shape)
+        self._present_names: list[str] = []
+        self._phase = "idle"
+
+    # ------------------------------------------------------------------
+    def _launch(self, workload, present=(), async_=None):
+        """Launch under the configured construct (persona-preferred by
+        default; forced kernels/parallel for the Figure 8-9 comparisons)."""
+        opts = self.options
+        if opts.construct is None:
+            return self.rt.compute(workload, present=present, async_=async_)
+        if opts.construct == "kernels":
+            return self.rt.kernels(workload, present, opts.schedule, async_)
+        if opts.construct == "parallel":
+            return self.rt.parallel(workload, present, opts.schedule, async_)
+        raise ConfigurationError(f"unknown construct '{opts.construct}'")
+
+    # ------------------------------------------------------------------
+    # step 1: data allocation
+    # ------------------------------------------------------------------
+    def allocate_forward(self) -> None:
+        """``enter data copyin`` of the full forward inventory."""
+        if self._phase != "idle":
+            raise ConfigurationError(f"allocate_forward in phase '{self._phase}'")
+        self.rt.enter_data(copyin=dict(self.inventory))
+        self._present_names = list(self.inventory)
+        self._phase = "forward"
+
+    # ------------------------------------------------------------------
+    # step 2: forward phase
+    # ------------------------------------------------------------------
+    def forward_step(self, inject_source: bool = True) -> None:
+        """One forward time step's launches."""
+        if self._phase != "forward":
+            raise ConfigurationError(f"forward_step in phase '{self._phase}'")
+        async_ = self.options.async_kernels
+        for w in self.forward_workloads:
+            self._launch(w, present=[self.primary], async_=async_)
+        if inject_source:
+            self._launch(self.source_workload, present=[self.primary], async_=async_)
+        if async_ or (async_ is None and self.rt.compiler.auto_async_kernels):
+            self.rt.wait()
+
+    def snapshot_to_host(self, decimate: int = 1) -> None:
+        """``update host`` of the wavefield for the snapshot store."""
+        nbytes = self.field_bytes // (decimate**self.ndim)
+        self.rt.update_host(self.primary, nbytes=nbytes)
+
+    # ------------------------------------------------------------------
+    # step 3: offload forward, upload backward
+    # ------------------------------------------------------------------
+    def swap_to_backward(self) -> None:
+        """Free the modeling wavefields except the forward one; upload the
+        backward wavefields and the image."""
+        if self._phase != "forward":
+            raise ConfigurationError(f"swap_to_backward in phase '{self._phase}'")
+        self.rt.wait()
+        drop = [
+            n
+            for n in self._present_names
+            if n.startswith("wf:") and n != self.primary
+        ]
+        self.rt.exit_data(delete=drop)
+        for n in drop:
+            self._present_names.remove(n)
+        backward = {
+            "bwd:" + n.split(":", 1)[1]: b
+            for n, b in self.inventory.items()
+            if n.startswith("wf:")
+        }
+        backward["img:image"] = self.field_bytes
+        self.rt.enter_data(copyin=backward)
+        self._present_names.extend(backward)
+        self._phase = "backward"
+
+    # ------------------------------------------------------------------
+    # step 4: backward phase
+    # ------------------------------------------------------------------
+    def load_forward_snapshot(self) -> None:
+        """``update device`` of the stored forward wavefield (per snap)."""
+        self.rt.update_device(self.primary)
+
+    def imaging_step(self) -> None:
+        """Apply the imaging condition (per snap): on the GPU as the two
+        even/odd kernels, or on the host after pulling both wavefields."""
+        if self.options.image_on_gpu:
+            for w in self.imaging_workloads:
+                self._launch(w, present=["img:image"])
+        else:
+            self.rt.update_host(self.primary)
+            self.rt.update_host("bwd:" + self.primary.split(":", 1)[1])
+
+    def backward_step(self, inject_receivers: bool = True) -> None:
+        """One backward time step's launches."""
+        if self._phase != "backward":
+            raise ConfigurationError(f"backward_step in phase '{self._phase}'")
+        async_ = self.options.async_kernels
+        if self.physics == "isotropic":
+            # "the isotropic case requires many host-GPU updates within the
+            # (enter data/exit data) region to keep the variables consistent
+            # on both host and GPU" (paper Section 6.2)
+            self.rt.update_host(self.primary)
+            self.rt.update_device("bwd:" + self.primary.split(":", 1)[1])
+        for w in self.backward_transpose:
+            self._launch(w, async_=async_)
+        for w in self.backward_workloads:
+            self._launch(w, async_=async_)
+        if inject_receivers:
+            for w in self.receiver_workloads:
+                self._launch(w, async_=async_)
+        if async_ or (async_ is None and self.rt.compiler.auto_async_kernels):
+            self.rt.wait()
+
+    # ------------------------------------------------------------------
+    # step 5: store image and offload
+    # ------------------------------------------------------------------
+    def finalize(self, with_image: bool) -> None:
+        """``update host`` the image, then drop everything from the card."""
+        self.rt.wait()
+        if with_image and "img:image" in self._present_names:
+            self.rt.update_host("img:image")
+        self.rt.exit_data(delete=list(self._present_names))
+        self._present_names = []
+        self._phase = "idle"
+
+    # ------------------------------------------------------------------
+    def gpu_times(self) -> GpuTimes:
+        """Summarise the device's accumulated modelled time."""
+        dev = self.rt.device
+        return GpuTimes(
+            total=dev.elapsed,
+            kernel=dev.times.kernel,
+            h2d=dev.times.h2d,
+            d2h=dev.times.d2h,
+            launches=dev.kernel_launches,
+            success=True,
+            profile=dev.profiler.report(),
+        )
+
+
+def failed_times(reason: str) -> GpuTimes:
+    """A GpuTimes marking a failed configuration (OOM / compiler) — the
+    paper's ``x`` table entries."""
+    return GpuTimes(success=False, failure=reason)
+
+
+def run_pipeline_modeling(
+    pipeline: OffloadPipeline,
+    nt: int,
+    snap_period: int,
+    snapshot_decimate: int = 4,
+) -> GpuTimes:
+    """Estimate-mode forward run (no physics): the full Figure-4 forward
+    schedule for ``nt`` steps."""
+    try:
+        pipeline.allocate_forward()
+    except DeviceOutOfMemoryError:
+        return failed_times("oom")
+    for n in range(nt):
+        pipeline.forward_step()
+        if (n + 1) % snap_period == 0:
+            pipeline.snapshot_to_host(decimate=snapshot_decimate)
+    pipeline.finalize(with_image=False)
+    return pipeline.gpu_times()
+
+
+def run_pipeline_rtm(
+    pipeline: OffloadPipeline,
+    nt: int,
+    snap_period: int,
+) -> GpuTimes:
+    """Estimate-mode RTM run (no physics): forward with full-field
+    snapshots, swap, backward with imaging + receiver injection."""
+    compiler = pipeline.options.compiler
+    tag = f"{pipeline.physics}-{pipeline.ndim}d-rtm"
+    if tag in getattr(compiler, "known_failures", ()):
+        return failed_times("compiler")
+    try:
+        pipeline.allocate_forward()
+    except DeviceOutOfMemoryError:
+        return failed_times("oom")
+    for n in range(nt):
+        pipeline.forward_step()
+        if (n + 1) % snap_period == 0:
+            pipeline.snapshot_to_host(decimate=1)  # RTM needs full fields
+    try:
+        pipeline.swap_to_backward()
+    except DeviceOutOfMemoryError:
+        return failed_times("oom")
+    for n in range(nt - 1, -1, -1):
+        if (n + 1) % snap_period == 0:
+            pipeline.load_forward_snapshot()
+            pipeline.imaging_step()
+        pipeline.backward_step()
+    pipeline.finalize(with_image=pipeline.options.image_on_gpu)
+    return pipeline.gpu_times()

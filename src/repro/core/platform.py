@@ -1,0 +1,43 @@
+"""Evaluation platforms: the paper's two cluster+card pairings."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.gpusim.pcie import PCIE_GEN2_X16, PCIE_GEN3_X16, PCIeModel
+from repro.gpusim.specs import K40, M2090, GPUSpec
+from repro.mpisim.cluster import CRAY_XC30, IBM_CLUSTER, ClusterSpec
+from repro.utils.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class Platform:
+    """One evaluation platform: host cluster + attached GPU + link."""
+
+    name: str
+    cluster: ClusterSpec
+    gpu: GPUSpec
+    pcie: PCIeModel
+
+    @property
+    def mpi_cores(self) -> int:
+        """The full-socket reference core count (10 CRAY / 8 IBM)."""
+        return self.cluster.mpi_cores
+
+
+#: Cray XC30 + Tesla K40 (Gen3 link), the newer platform.
+CRAY_K40 = Platform("CRAY", CRAY_XC30, K40, PCIE_GEN3_X16)
+
+#: IBM cluster + Tesla M2090 ("dedicated PCIe2x16 per GPU").
+IBM_M2090 = Platform("IBM", IBM_CLUSTER, M2090, PCIE_GEN2_X16)
+
+PLATFORMS = {"CRAY": CRAY_K40, "IBM": IBM_M2090}
+
+
+def platform(name: str) -> Platform:
+    try:
+        return PLATFORMS[name.upper()]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown platform '{name}'; expected one of {sorted(PLATFORMS)}"
+        ) from None

@@ -1,0 +1,119 @@
+"""Multi-shot surveys: the full imaging condition of the paper's Section 3.2.
+
+The cross-correlation image is "summed over the sources s" — one RTM per
+shot, stacked. This module runs a line of shots across the model and stacks
+their images (optionally illumination-normalised per shot), which evens out
+the single-shot illumination footprint and extends lateral coverage.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+import numpy as np
+
+from repro.core.config import GPUOptions, GpuTimes, RTMConfig
+from repro.core.imaging import mute_shallow, normalize_image
+from repro.core.platform import CRAY_K40, Platform
+from repro.core.rtm import run_rtm
+from repro.model.earth_model import EarthModel
+from repro.utils.errors import ConfigurationError
+
+
+@dataclass
+class SurveyResult:
+    """Stacked multi-shot migration output."""
+
+    image: np.ndarray
+    shot_images: list[np.ndarray]
+    shot_x_indices: list[int]
+    gpu: list[GpuTimes] = field(default_factory=list)
+
+    @property
+    def nshots(self) -> int:
+        return len(self.shot_images)
+
+
+def shot_line(
+    model: EarthModel, nshots: int, margin: int = 24
+) -> list[int]:
+    """Evenly spaced shot x-indices across the model (inside ``margin``)."""
+    nx = model.grid.shape[1]
+    if nshots < 1:
+        raise ConfigurationError("nshots must be >= 1")
+    if 2 * margin >= nx:
+        raise ConfigurationError("margin leaves no room for shots")
+    return [int(x) for x in np.linspace(margin, nx - 1 - margin, nshots)]
+
+
+def run_survey(
+    config: RTMConfig,
+    shot_x_indices: Sequence[int] | None = None,
+    nshots: int = 3,
+    gpu_options: GPUOptions | None = None,
+    platform: Platform = CRAY_K40,
+) -> SurveyResult:
+    """Migrate ``nshots`` shots and stack the raw images.
+
+    ``config.model`` and acquisition settings are shared across shots; each
+    shot's source is placed at (``config.source_depth_index`` or the
+    default depth, shot x-index). The stack is normalised and muted once at
+    the end (per-shot normalisation would over-weight poorly illuminated
+    shots).
+    """
+    if config.model is None:
+        raise ConfigurationError("run_survey needs an EarthModel")
+    if config.model.grid.ndim != 2:
+        raise ConfigurationError("run_survey currently supports 2-D models")
+    xs = (
+        list(shot_x_indices)
+        if shot_x_indices is not None
+        else shot_line(config.model, nshots)
+    )
+    if not xs:
+        raise ConfigurationError("need at least one shot")
+    depth = (
+        config.source_depth_index
+        if config.source_depth_index is not None
+        else min(config.boundary_width + 4, config.model.grid.shape[0] - 1)
+    )
+    stacked = np.zeros(config.model.grid.shape, dtype=np.float32)
+    shot_images: list[np.ndarray] = []
+    gpu_times: list[GpuTimes] = []
+    for x in xs:
+        if not 0 <= x < config.model.grid.shape[1]:
+            raise ConfigurationError(f"shot x-index {x} outside the grid")
+        shot_cfg = RTMConfig(
+            physics=config.physics,
+            model=config.model,
+            nt=config.nt,
+            dt=config.dt,
+            peak_freq=config.peak_freq,
+            space_order=config.space_order,
+            boundary_width=config.boundary_width,
+            snap_period=config.snap_period,
+            snapshot_decimate=config.snapshot_decimate,
+            receivers=config.receivers,
+            source_depth_index=depth,
+            pml_variant=config.pml_variant,
+            mute_cells=config.mute_cells,
+            illumination_normalize=config.illumination_normalize,
+        )
+        shot_cfg.source_x_index = x
+        result = run_rtm(shot_cfg, gpu_options=gpu_options, platform=platform)
+        shot_images.append(result.raw_image)
+        stacked += result.raw_image
+        if result.gpu is not None:
+            gpu_times.append(result.gpu)
+    mute = (
+        config.mute_cells
+        if config.mute_cells is not None
+        else config.boundary_width + 8
+    )
+    image = mute_shallow(normalize_image(stacked), mute)
+    return SurveyResult(
+        image=image, shot_images=shot_images, shot_x_indices=xs, gpu=gpu_times
+    )
+
+

@@ -1,0 +1,175 @@
+"""The simulated device: memory + PCIe + streams + profiler + clock.
+
+A :class:`Device` is the execution target of the :mod:`repro.acc` runtime.
+All operations advance the device's :class:`~repro.utils.timer.SimClock`
+according to the cost models; nothing here touches real wavefield data (the
+acc runtime executes the NumPy kernels and merely *accounts* their modelled
+device time here).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.gpusim.kernelmodel import (
+    KernelEstimate,
+    LaunchConfig,
+    estimate_kernel_time,
+)
+from repro.gpusim.memory import DeviceMemory
+from repro.gpusim.pcie import PCIE_GEN2_X16, PCIeModel
+from repro.gpusim.profiler import ProfileEvent, Profiler
+from repro.gpusim.specs import CUDA_5_0, CudaToolkit, GPUSpec
+from repro.gpusim.streams import StreamPool
+from repro.propagators.base import KernelWorkload
+from repro.utils.timer import SimClock
+
+
+@dataclass
+class DeviceTimes:
+    """Per-category simulated time accumulated by a device."""
+
+    kernel: float = 0.0
+    h2d: float = 0.0
+    d2h: float = 0.0
+    alloc: float = 0.0
+
+
+class Device:
+    """One simulated accelerator card.
+
+    Parameters
+    ----------
+    spec:
+        The card (:data:`~repro.gpusim.specs.M2090` or
+        :data:`~repro.gpusim.specs.K40`).
+    pcie:
+        Link model; defaults to Gen2 x16 (override per platform).
+    toolkit:
+        CUDA backend used for code generation (5.0 / 5.5).
+    pinned_host:
+        Whether host arrays live in pinned memory (the PGI ``pin`` target
+        option); raises effective PCIe rates.
+    """
+
+    #: modelled cost of one cudaMalloc/cudaFree (driver round trip)
+    ALLOC_COST_S = 1.0e-4
+    #: host-side present-table lookup per kernel argument: the OpenACC
+    #: runtime resolves every array in the construct against its present
+    #: table before each launch — the per-launch 'lag time' async queueing
+    #: hides (the paper's Figure 11 30 % win)
+    PRESENT_LOOKUP_S = 3.0e-6
+
+    def __init__(
+        self,
+        spec: GPUSpec,
+        pcie: PCIeModel | None = None,
+        toolkit: CudaToolkit = CUDA_5_0,
+        pinned_host: bool = False,
+    ):
+        self.spec = spec
+        self.pcie = pcie if pcie is not None else PCIE_GEN2_X16
+        self.toolkit = toolkit
+        self.pinned_host = bool(pinned_host)
+        self.clock = SimClock()
+        self.memory = DeviceMemory(spec.memory_bytes)
+        self.streams = StreamPool(self.clock, max_queues=spec.max_concurrent_kernels)
+        self.profiler = Profiler()
+        self.times = DeviceTimes()
+        self.kernel_launches = 0
+
+    # ------------------------------------------------------------------
+    # memory management
+    # ------------------------------------------------------------------
+    def allocate(self, name: str, nbytes: int) -> None:
+        """Device allocation (charges the driver round trip)."""
+        self.memory.allocate(name, nbytes)
+        self.clock.advance(self.ALLOC_COST_S, "alloc")
+        self.times.alloc += self.ALLOC_COST_S
+
+    def release(self, name: str) -> None:
+        self.memory.release(name)
+        self.clock.advance(self.ALLOC_COST_S * 0.5, "alloc")
+        self.times.alloc += self.ALLOC_COST_S * 0.5
+
+    # ------------------------------------------------------------------
+    # transfers
+    # ------------------------------------------------------------------
+    def h2d(self, nbytes: int, name: str = "h2d", chunks: int = 1, queue: int | None = None) -> float:
+        """Host-to-device copy of ``nbytes`` (``chunks`` DMA transactions for
+        strided/partial data). Returns the modelled duration."""
+        t = self.pcie.transfer_time(nbytes, pinned=self.pinned_host, chunks=chunks)
+        if queue is None:
+            start, end = self.streams.run_copy_sync(t)
+        else:
+            start, end = self.streams.run_copy_async(queue, t)
+        self.times.h2d += t
+        self.clock.charge(0.0, "h2d")
+        self.profiler.record(ProfileEvent("h2d", name, start, end, int(nbytes), queue))
+        return t
+
+    def d2h(self, nbytes: int, name: str = "d2h", chunks: int = 1, queue: int | None = None) -> float:
+        """Device-to-host copy."""
+        t = self.pcie.transfer_time(nbytes, pinned=self.pinned_host, chunks=chunks)
+        if queue is None:
+            start, end = self.streams.run_copy_sync(t)
+        else:
+            start, end = self.streams.run_copy_async(queue, t)
+        self.times.d2h += t
+        self.profiler.record(ProfileEvent("d2h", name, start, end, int(nbytes), queue))
+        return t
+
+    # ------------------------------------------------------------------
+    # kernels
+    # ------------------------------------------------------------------
+    def launch(
+        self,
+        workload: KernelWorkload,
+        launch: LaunchConfig | None = None,
+        enqueue_cost_factor: float = 1.0,
+    ) -> KernelEstimate:
+        """Model one kernel launch; honours the launch config's async queue.
+
+        ``enqueue_cost_factor`` lets a compiler persona inflate the async
+        enqueue cost (the PGI-async regression the paper reports).
+        """
+        est = estimate_kernel_time(self.spec, workload, launch, self.toolkit)
+        queue = launch.async_queue if launch is not None else None
+        host_admin = self.PRESENT_LOOKUP_S * (2 + workload.address_streams)
+        if queue is None:
+            start, end = self.streams.run_kernel_sync(
+                est.seconds, self.spec.launch_overhead_s + host_admin
+            )
+        else:
+            from repro.gpusim.streams import ASYNC_ENQUEUE_COST
+
+            start, end = self.streams.run_kernel_async(
+                queue,
+                est.seconds,
+                (ASYNC_ENQUEUE_COST + host_admin) * enqueue_cost_factor,
+            )
+        self.times.kernel += est.seconds
+        self.kernel_launches += 1
+        self.profiler.record(
+            ProfileEvent("kernel", workload.name, start, end, 0, queue)
+        )
+        return est
+
+    def wait(self, queue: int | None = None) -> float:
+        """``acc wait``: advance the host clock to queued-work completion."""
+        return self.streams.wait(queue)
+
+    # ------------------------------------------------------------------
+    @property
+    def elapsed(self) -> float:
+        """Host wall time of everything run so far (simulated seconds)."""
+        return self.clock.now
+
+    def reset(self) -> None:
+        """Fresh timeline and profile; device memory is also cleared."""
+        self.clock.reset()
+        self.memory.release_all()
+        self.streams = StreamPool(self.clock, max_queues=self.spec.max_concurrent_kernels)
+        self.profiler.clear()
+        self.times = DeviceTimes()
+        self.kernel_launches = 0

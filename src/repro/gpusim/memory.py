@@ -1,0 +1,110 @@
+"""Device global-memory allocator.
+
+Tracks named allocations against the card's capacity and raises
+:class:`~repro.utils.errors.DeviceOutOfMemoryError` on exhaustion — the
+mechanism behind the paper's elastic-3D ``x`` entries on the 6 GB M2090 and
+behind its data-allocation strategy ("the forward and backward wave-field
+variables of RTM cannot be allocated at the same time on GPU").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.utils.errors import DeviceError, DeviceOutOfMemoryError
+from repro.utils.units import bytes_to_human
+
+#: cudaMalloc alignment granularity.
+_ALIGN = 256
+
+
+def _aligned(nbytes: int) -> int:
+    return (nbytes + _ALIGN - 1) // _ALIGN * _ALIGN
+
+
+@dataclass
+class Allocation:
+    """One live device allocation."""
+
+    name: str
+    nbytes: int
+    aligned_bytes: int
+
+
+@dataclass
+class DeviceMemory:
+    """Capacity-checked allocator keyed by allocation name.
+
+    ``reserved_bytes`` models the CUDA context/ECC/display footprint that is
+    unavailable to the application (~3 % of the card by default).
+    """
+
+    capacity: int
+    reserved_fraction: float = 0.03
+    _allocs: dict[str, Allocation] = field(default_factory=dict)
+    peak_bytes: int = 0
+
+    def __post_init__(self):
+        if self.capacity <= 0:
+            raise DeviceError("capacity must be positive")
+        if not 0 <= self.reserved_fraction < 1:
+            raise DeviceError("reserved_fraction must be in [0, 1)")
+
+    # ------------------------------------------------------------------
+    @property
+    def usable(self) -> int:
+        return int(self.capacity * (1.0 - self.reserved_fraction))
+
+    @property
+    def used(self) -> int:
+        return sum(a.aligned_bytes for a in self._allocs.values())
+
+    @property
+    def free(self) -> int:
+        return self.usable - self.used
+
+    def allocations(self) -> tuple[Allocation, ...]:
+        return tuple(self._allocs.values())
+
+    def holds(self, name: str) -> bool:
+        return name in self._allocs
+
+    # ------------------------------------------------------------------
+    def allocate(self, name: str, nbytes: int) -> Allocation:
+        """Reserve ``nbytes`` under ``name``.
+
+        Raises :class:`DeviceOutOfMemoryError` when the aligned request does
+        not fit, and :class:`DeviceError` on a duplicate name (a real
+        runtime would leak; we fail fast).
+        """
+        if nbytes < 0:
+            raise DeviceError(f"negative allocation size {nbytes}")
+        if name in self._allocs:
+            raise DeviceError(f"allocation '{name}' already exists on device")
+        aligned = _aligned(int(nbytes))
+        if aligned > self.free:
+            raise DeviceOutOfMemoryError(aligned, self.free, self.usable)
+        alloc = Allocation(name, int(nbytes), aligned)
+        self._allocs[name] = alloc
+        self.peak_bytes = max(self.peak_bytes, self.used)
+        return alloc
+
+    def release(self, name: str) -> None:
+        """Free the allocation named ``name`` (error if absent)."""
+        if name not in self._allocs:
+            raise DeviceError(f"allocation '{name}' not present on device")
+        del self._allocs[name]
+
+    def release_all(self) -> None:
+        self._allocs.clear()
+
+    def would_fit(self, nbytes: int) -> bool:
+        """Whether a new allocation of ``nbytes`` would currently succeed."""
+        return _aligned(int(nbytes)) <= self.free
+
+    def summary(self) -> str:
+        """Human-readable usage line (what ``nvidia-smi`` told the authors)."""
+        return (
+            f"{bytes_to_human(self.used)} / {bytes_to_human(self.usable)} used, "
+            f"{len(self._allocs)} allocations, peak {bytes_to_human(self.peak_bytes)}"
+        )

@@ -1,0 +1,78 @@
+"""CUDA occupancy calculator (simplified but faithful to the limit rules).
+
+Occupancy — "number of concurrently running threads" in the paper's words —
+is bounded per SM by (a) the register file, (b) the max resident threads,
+and (c) the max resident blocks. The paper tunes ``maxregcount`` and finds
+64 registers/thread optimal on both cards (its Figure 10); the register-
+spill side of that trade-off lives in :mod:`repro.gpusim.kernelmodel`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.gpusim.specs import GPUSpec
+from repro.utils.errors import ConfigurationError
+
+#: register allocation granularity per warp (both Fermi and Kepler allocate
+#: registers in warp-granular chunks; 256 regs/warp covers both)
+_REG_GRANULARITY = 256
+
+
+@dataclass(frozen=True)
+class OccupancyResult:
+    """Occupancy figures for one launch configuration on one card."""
+
+    active_blocks_per_sm: int
+    active_warps_per_sm: int
+    max_warps_per_sm: int
+    limited_by: str  # 'registers' | 'threads' | 'blocks'
+
+    @property
+    def occupancy(self) -> float:
+        """Fraction of the SM's warp slots occupied (0..1)."""
+        if self.max_warps_per_sm == 0:
+            return 0.0
+        return self.active_warps_per_sm / self.max_warps_per_sm
+
+
+def occupancy(
+    spec: GPUSpec, regs_per_thread: int, threads_per_block: int
+) -> OccupancyResult:
+    """Occupancy of a kernel using ``regs_per_thread`` registers launched in
+    blocks of ``threads_per_block`` threads.
+
+    ``regs_per_thread`` is the *allocated* count (post ``maxregcount``
+    clamping); it must not exceed the architecture limit.
+    """
+    if threads_per_block < 1 or threads_per_block > spec.max_threads_per_block:
+        raise ConfigurationError(
+            f"threads_per_block {threads_per_block} outside 1..{spec.max_threads_per_block}"
+        )
+    if regs_per_thread < 1 or regs_per_thread > spec.max_regs_per_thread:
+        raise ConfigurationError(
+            f"regs_per_thread {regs_per_thread} outside 1..{spec.max_regs_per_thread} "
+            f"for {spec.name}"
+        )
+    warps_per_block = -(-threads_per_block // spec.warp_size)  # ceil
+    # register limit: registers are allocated per warp with granularity
+    regs_per_warp = regs_per_thread * spec.warp_size
+    regs_per_warp = -(-regs_per_warp // _REG_GRANULARITY) * _REG_GRANULARITY
+    regs_per_block = regs_per_warp * warps_per_block
+    blocks_by_regs = spec.regs_per_sm // regs_per_block if regs_per_block else spec.max_blocks_per_sm
+    blocks_by_threads = spec.max_threads_per_sm // threads_per_block
+    blocks_by_limit = spec.max_blocks_per_sm
+    active = min(blocks_by_regs, blocks_by_threads, blocks_by_limit)
+    if active == blocks_by_regs and active < min(blocks_by_threads, blocks_by_limit):
+        limiter = "registers"
+    elif active == blocks_by_threads and active <= blocks_by_limit:
+        limiter = "threads"
+    else:
+        limiter = "blocks"
+    active = max(active, 0)
+    return OccupancyResult(
+        active_blocks_per_sm=active,
+        active_warps_per_sm=active * warps_per_block,
+        max_warps_per_sm=spec.max_warps_per_sm,
+        limited_by=limiter if active > 0 else "registers",
+    )

@@ -1,0 +1,76 @@
+"""PCIe transfer cost model.
+
+Captures the three effects the paper leans on:
+
+* **pinned vs pageable** host memory — the PGI ``pin`` option "avoid[s] the
+  cost of transfers between pageable and pinned host arrays"; pageable
+  transfers are staged through a driver bounce buffer at roughly half the
+  bus rate;
+* **partial (ghost-node) transfers** — "Exchanging only ghost nodes ...
+  significantly reduces the amount of data exchange";
+* **non-contiguous data** — "exchanging non-contiguous data remains a
+  non-optimal solution": strided faces move as many small DMA chunks, each
+  paying per-transaction latency, until a transposition packs them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.utils.errors import ConfigurationError
+from repro.utils.units import GB
+
+
+@dataclass(frozen=True)
+class TransferStats:
+    """Outcome of one modelled transfer."""
+
+    nbytes: int
+    seconds: float
+    pinned: bool
+    chunks: int
+    direction: str  # 'h2d' | 'd2h'
+
+    @property
+    def effective_bandwidth(self) -> float:
+        return self.nbytes / self.seconds if self.seconds > 0 else 0.0
+
+
+@dataclass(frozen=True)
+class PCIeModel:
+    """Cost model for one card's host link.
+
+    Parameters are per *direction*; defaults model a Gen2 x16 link (the
+    M2090's "dedicated PCIe2x16"). The K40/XC30 uses Gen3 rates.
+    """
+
+    #: peak bus bandwidth with pinned host memory (bytes/s)
+    pinned_bandwidth: float = 6.0 * GB
+    #: achievable rate through the pageable bounce buffer (bytes/s)
+    pageable_bandwidth: float = 3.0 * GB
+    #: fixed per-transfer (per-DMA-chunk) setup latency (s)
+    latency: float = 8e-6
+
+    def transfer_time(
+        self, nbytes: int, pinned: bool = False, chunks: int = 1
+    ) -> float:
+        """Seconds to move ``nbytes`` split over ``chunks`` DMA transactions."""
+        if nbytes < 0:
+            raise ConfigurationError("nbytes must be >= 0")
+        if chunks < 1:
+            raise ConfigurationError("chunks must be >= 1")
+        bw = self.pinned_bandwidth if pinned else self.pageable_bandwidth
+        return chunks * self.latency + nbytes / bw
+
+    def transfer(
+        self, nbytes: int, direction: str, pinned: bool = False, chunks: int = 1
+    ) -> TransferStats:
+        if direction not in ("h2d", "d2h"):
+            raise ConfigurationError(f"direction must be h2d/d2h, got {direction}")
+        t = self.transfer_time(nbytes, pinned, chunks)
+        return TransferStats(int(nbytes), t, pinned, int(chunks), direction)
+
+
+#: Link models used by the two evaluation platforms.
+PCIE_GEN2_X16 = PCIeModel(pinned_bandwidth=6.0 * GB, pageable_bandwidth=3.0 * GB, latency=10e-6)
+PCIE_GEN3_X16 = PCIeModel(pinned_bandwidth=11.0 * GB, pageable_bandwidth=5.5 * GB, latency=8e-6)

@@ -1,0 +1,131 @@
+"""Execution profiler for the simulated device.
+
+Collects kernel and memcpy events and renders the grouped time-share tables
+the paper reads off the Nvidia Visual Profiler (its Figures 11, 14 and 15 —
+e.g. ``73.4% [8502] kernel_2d_139_gpu / 26.2% [408096] sample_put_real_118 /
+0.4% [4251] sample_put_real_98``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.utils.units import bytes_to_human, seconds_to_human
+
+
+@dataclass(frozen=True)
+class ProfileEvent:
+    """One timeline entry."""
+
+    kind: str  # 'kernel' | 'h2d' | 'd2h'
+    name: str
+    start: float
+    end: float
+    nbytes: int = 0
+    queue: int | None = None
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+
+@dataclass
+class KernelLine:
+    """Aggregated row of the compute section of a profile report."""
+
+    name: str
+    count: int
+    total_seconds: float
+    share: float  # of total compute time
+
+
+@dataclass
+class ProfileReport:
+    """Grouped view over one run's events."""
+
+    kernels: list[KernelLine]
+    memcpy_h2d_seconds: float
+    memcpy_d2h_seconds: float
+    memcpy_h2d_bytes: int
+    memcpy_d2h_bytes: int
+    compute_seconds: float
+    span_seconds: float
+
+    def kernel_share(self, name_prefix: str) -> float:
+        """Combined compute-time share of kernels whose name starts with
+        ``name_prefix`` (0..1)."""
+        return sum(k.share for k in self.kernels if k.name.startswith(name_prefix))
+
+    def to_text(self) -> str:
+        """Render in the style of the paper's profiler figures."""
+        lines = ["Compute:"]
+        for k in self.kernels:
+            lines.append(
+                f"  {100 * k.share:5.1f}% [{k.count}] {k.name}"
+            )
+        lines.append(
+            f"MemCpy (HtoD): {seconds_to_human(self.memcpy_h2d_seconds)} "
+            f"({bytes_to_human(self.memcpy_h2d_bytes)})"
+        )
+        lines.append(
+            f"MemCpy (DtoH): {seconds_to_human(self.memcpy_d2h_seconds)} "
+            f"({bytes_to_human(self.memcpy_d2h_bytes)})"
+        )
+        lines.append(f"Total span: {seconds_to_human(self.span_seconds)}")
+        return "\n".join(lines)
+
+
+@dataclass
+class Profiler:
+    """Event recorder; negligible overhead, always on."""
+
+    events: list[ProfileEvent] = field(default_factory=list)
+    enabled: bool = True
+
+    def record(self, event: ProfileEvent) -> None:
+        if self.enabled:
+            self.events.append(event)
+
+    def clear(self) -> None:
+        self.events.clear()
+
+    # ------------------------------------------------------------------
+    def report(self) -> ProfileReport:
+        """Aggregate all recorded events."""
+        per_kernel: dict[str, list[float]] = {}
+        h2d_t = d2h_t = 0.0
+        h2d_b = d2h_b = 0
+        t_min = float("inf")
+        t_max = 0.0
+        for ev in self.events:
+            t_min = min(t_min, ev.start)
+            t_max = max(t_max, ev.end)
+            if ev.kind == "kernel":
+                per_kernel.setdefault(ev.name, []).append(ev.duration)
+            elif ev.kind == "h2d":
+                h2d_t += ev.duration
+                h2d_b += ev.nbytes
+            elif ev.kind == "d2h":
+                d2h_t += ev.duration
+                d2h_b += ev.nbytes
+        compute = sum(sum(v) for v in per_kernel.values())
+        kernels = [
+            KernelLine(
+                name=name,
+                count=len(durs),
+                total_seconds=sum(durs),
+                share=(sum(durs) / compute) if compute > 0 else 0.0,
+            )
+            for name, durs in per_kernel.items()
+        ]
+        kernels.sort(key=lambda k: k.total_seconds, reverse=True)
+        span = (t_max - t_min) if self.events else 0.0
+        return ProfileReport(
+            kernels=kernels,
+            memcpy_h2d_seconds=h2d_t,
+            memcpy_d2h_seconds=d2h_t,
+            memcpy_h2d_bytes=h2d_b,
+            memcpy_d2h_bytes=d2h_b,
+            compute_seconds=compute,
+            span_seconds=span,
+        )

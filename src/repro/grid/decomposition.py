@@ -1,0 +1,287 @@
+"""Cartesian domain decomposition with ghost (halo) layers.
+
+The paper's CPU reference "is based on domain decomposition where each domain
+may be divided into sub-domains mapped onto several hosts", exchanging ghost
+nodes whose thickness "is determined by the stencil used to solve the wave
+equation" (radius 4 for the 8-wide operators). This module computes the
+geometry of that decomposition; the actual message passing lives in
+:mod:`repro.mpisim`.
+
+Terminology
+-----------
+owned region
+    The grid points a rank updates.
+local array
+    owned region + ``halo`` ghost points on each side that has a neighbour
+    (global domain edges get ghost layers too so every local array has a
+    uniform border; edge ghosts are filled by the boundary condition rather
+    than by exchange).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Sequence
+
+import numpy as np
+
+from repro.grid.grid import Grid
+from repro.utils.errors import ConfigurationError
+
+
+def best_dims(nranks: int, ndim: int) -> tuple[int, ...]:
+    """Factor ``nranks`` into an ``ndim``-tuple of factors as close to each
+    other as possible — the equivalent of ``MPI_Dims_create``.
+
+    The factors are returned largest-first, matching MPICH behaviour.
+    """
+    if nranks < 1:
+        raise ConfigurationError("nranks must be >= 1")
+    if ndim < 1:
+        raise ConfigurationError("ndim must be >= 1")
+    dims = [1] * ndim
+    remaining = nranks
+    # Greedily peel off the largest prime factor onto the currently smallest
+    # dimension, then sort; this reproduces balanced MPI dims for the sizes
+    # we care about (small rank counts).
+    primes: list[int] = []
+    n = remaining
+    p = 2
+    while p * p <= n:
+        while n % p == 0:
+            primes.append(p)
+            n //= p
+        p += 1
+    if n > 1:
+        primes.append(n)
+    for prime in sorted(primes, reverse=True):
+        dims.sort()
+        dims[0] *= prime
+    return tuple(sorted(dims, reverse=True))
+
+
+@dataclass(frozen=True)
+class HaloSpec:
+    """Ghost-layer description for one rank.
+
+    ``lo[i]``/``hi[i]`` are True when the rank has a neighbour on the
+    low/high side of axis ``i`` (i.e. the ghost layer there is filled by
+    exchange, not by the physical boundary condition).
+    """
+
+    width: int
+    lo: tuple[bool, ...]
+    hi: tuple[bool, ...]
+
+    def exchange_faces(self) -> list[tuple[int, str]]:
+        """All (axis, side) pairs that require a message exchange."""
+        faces = []
+        for ax in range(len(self.lo)):
+            if self.lo[ax]:
+                faces.append((ax, "lo"))
+            if self.hi[ax]:
+                faces.append((ax, "hi"))
+        return faces
+
+
+@dataclass(frozen=True)
+class Subdomain:
+    """One rank's portion of the global grid.
+
+    Attributes
+    ----------
+    rank:
+        Linear rank id (C order over ``dims``).
+    coords:
+        Cartesian coordinates of the rank in the process grid.
+    owned:
+        Slices of the *global* array this rank owns.
+    local_grid:
+        :class:`~repro.grid.grid.Grid` covering the local array
+        (owned + halo border).
+    halo:
+        :class:`HaloSpec` for this rank.
+    """
+
+    rank: int
+    coords: tuple[int, ...]
+    owned: tuple[slice, ...]
+    local_grid: Grid
+    halo: HaloSpec
+
+    @property
+    def owned_shape(self) -> tuple[int, ...]:
+        return tuple(s.stop - s.start for s in self.owned)
+
+    def interior(self) -> tuple[slice, ...]:
+        """Slices of the *local* array corresponding to the owned region."""
+        h = self.halo.width
+        return tuple(slice(h, h + n) for n in self.owned_shape)
+
+    def scatter(self, global_field: np.ndarray) -> np.ndarray:
+        """Extract this rank's local array (with halo) from a global field.
+
+        Halo cells that fall outside the global domain are filled by edge
+        replication, which is what the physical absorbing boundary would
+        overwrite anyway.
+        """
+        h = self.halo.width
+        pad = [(h, h)] * global_field.ndim
+        padded = np.pad(global_field, pad, mode="edge")
+        sl = tuple(
+            slice(s.start, s.stop + 2 * h) for s in self.owned
+        )  # owned region in padded coords starts at s.start (+h offset -h halo)
+        return np.ascontiguousarray(padded[sl])
+
+    def gather_into(self, global_field: np.ndarray, local_field: np.ndarray) -> None:
+        """Write this rank's owned region of ``local_field`` back into the
+        global array."""
+        global_field[self.owned] = local_field[self.interior()]
+
+
+class CartesianDecomposition:
+    """Split a :class:`Grid` across ``dims`` ranks with stencil-radius halos.
+
+    Parameters
+    ----------
+    grid:
+        The global grid.
+    dims:
+        Number of ranks along each axis; a scalar total is factored with
+        :func:`best_dims`.
+    halo:
+        Ghost-layer width (the stencil radius; 4 for the paper's 8-wide
+        operators).
+    """
+
+    def __init__(
+        self,
+        grid: Grid,
+        dims: int | Sequence[int],
+        halo: int = 4,
+    ):
+        self.grid = grid
+        if np.isscalar(dims):
+            self.dims = best_dims(int(dims), grid.ndim)  # type: ignore[arg-type]
+        else:
+            self.dims = tuple(int(d) for d in dims)  # type: ignore[union-attr]
+        if len(self.dims) != grid.ndim:
+            raise ConfigurationError(
+                f"dims must have {grid.ndim} entries, got {len(self.dims)}"
+            )
+        if any(d < 1 for d in self.dims):
+            raise ConfigurationError(f"dims must be positive, got {self.dims}")
+        if halo < 0:
+            raise ConfigurationError("halo width must be >= 0")
+        self.halo = int(halo)
+        for ax, (n, d) in enumerate(zip(grid.shape, self.dims)):
+            if n // d < max(1, self.halo):
+                raise ConfigurationError(
+                    f"axis {ax}: {n} points over {d} ranks leaves slabs thinner "
+                    f"than the halo width {self.halo}"
+                )
+        self._subdomains = [self._build(r) for r in range(self.nranks)]
+
+    # ------------------------------------------------------------------
+    @property
+    def nranks(self) -> int:
+        return int(np.prod(self.dims))
+
+    def coords_of(self, rank: int) -> tuple[int, ...]:
+        """Cartesian coordinates of ``rank`` (C order)."""
+        if not 0 <= rank < self.nranks:
+            raise ConfigurationError(f"rank {rank} out of range 0..{self.nranks - 1}")
+        return tuple(int(c) for c in np.unravel_index(rank, self.dims))
+
+    def rank_of(self, coords: Sequence[int]) -> int:
+        """Linear rank of Cartesian ``coords``."""
+        return int(np.ravel_multi_index(tuple(coords), self.dims))
+
+    def neighbour(self, rank: int, axis: int, side: str) -> int | None:
+        """Rank of the neighbour of ``rank`` on ``side`` ('lo'/'hi') of
+        ``axis``, or None at the domain edge (no periodic wrap)."""
+        coords = list(self.coords_of(rank))
+        coords[axis] += -1 if side == "lo" else 1
+        if coords[axis] < 0 or coords[axis] >= self.dims[axis]:
+            return None
+        return self.rank_of(coords)
+
+    def axis_ranges(self, axis: int) -> list[tuple[int, int]]:
+        """Owned index ranges along ``axis`` for each process-coordinate.
+
+        Points are distributed as evenly as possible, the first
+        ``n % d`` slabs getting one extra point (block distribution).
+        """
+        n, d = self.grid.shape[axis], self.dims[axis]
+        base, extra = divmod(n, d)
+        ranges = []
+        start = 0
+        for c in range(d):
+            size = base + (1 if c < extra else 0)
+            ranges.append((start, start + size))
+            start += size
+        return ranges
+
+    def _build(self, rank: int) -> Subdomain:
+        coords = self.coords_of(rank)
+        owned = tuple(
+            slice(*self.axis_ranges(ax)[c]) for ax, c in enumerate(coords)
+        )
+        owned_shape = tuple(s.stop - s.start for s in owned)
+        local_shape = tuple(n + 2 * self.halo for n in owned_shape)
+        lo = tuple(c > 0 for c in coords)
+        hi = tuple(c < d - 1 for c, d in zip(coords, self.dims))
+        halo = HaloSpec(self.halo, lo, hi)
+        origin = tuple(
+            self.grid.origin[ax]
+            + self.grid.spacing[ax] * (owned[ax].start - self.halo)
+            for ax in range(self.grid.ndim)
+        )
+        local_grid = Grid(local_shape, self.grid.spacing, origin)
+        return Subdomain(rank, coords, owned, local_grid, halo)
+
+    def subdomain(self, rank: int) -> Subdomain:
+        return self._subdomains[rank]
+
+    def __iter__(self) -> Iterator[Subdomain]:
+        return iter(self._subdomains)
+
+    # ------------------------------------------------------------------
+    # halo message geometry
+    # ------------------------------------------------------------------
+    def send_slices(self, axis: int, side: str, local_shape: tuple[int, ...]) -> tuple[slice, ...]:
+        """Slices of a local array holding the *owned* cells adjacent to the
+        (axis, side) face — the data sent to that neighbour."""
+        h = self.halo
+        sl = [slice(None)] * len(local_shape)
+        if side == "lo":
+            sl[axis] = slice(h, 2 * h)
+        else:
+            sl[axis] = slice(local_shape[axis] - 2 * h, local_shape[axis] - h)
+        return tuple(sl)
+
+    def recv_slices(self, axis: int, side: str, local_shape: tuple[int, ...]) -> tuple[slice, ...]:
+        """Slices of a local array holding the ghost cells on the
+        (axis, side) face — where a neighbour's data lands."""
+        h = self.halo
+        sl = [slice(None)] * len(local_shape)
+        if side == "lo":
+            sl[axis] = slice(0, h)
+        else:
+            sl[axis] = slice(local_shape[axis] - h, local_shape[axis])
+        return tuple(sl)
+
+    def face_bytes(self, rank: int, dtype_itemsize: int = 4) -> int:
+        """Total bytes this rank exchanges per halo swap (all faces, one
+        field)."""
+        sub = self.subdomain(rank)
+        local_shape = sub.local_grid.shape
+        total = 0
+        for axis, side in sub.halo.exchange_faces():
+            sl = self.send_slices(axis, side, local_shape)
+            count = 1
+            for s, n in zip(sl, local_shape):
+                start, stop, _ = s.indices(n)
+                count *= stop - start
+            total += count * dtype_itemsize
+        return total

@@ -1,0 +1,204 @@
+"""Synthetic earth-model builders.
+
+The paper's models come from TOTAL's production velocity workflows, which we
+cannot have; these builders generate synthetic media exercising the same code
+paths (sharp reflectors for RTM imaging, smooth lenses for kinematics,
+random media for scattering-heavy workloads). Each returns an
+:class:`~repro.model.earth_model.EarthModel` with vp, rho (Gardner relation)
+and optionally vs (constant vp/vs ratio).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.grid.grid import Grid
+from repro.model.earth_model import EarthModel
+from repro.utils.arrays import DTYPE
+from repro.utils.errors import ConfigurationError
+
+
+def _gardner_density(vp: np.ndarray) -> np.ndarray:
+    """Gardner's relation ``rho = 310 * vp^0.25`` (SI units), the standard
+    velocity-to-density proxy when no density log exists."""
+    return (310.0 * np.asarray(vp, dtype=np.float64) ** 0.25).astype(DTYPE)
+
+
+def _with_fields(
+    grid: Grid,
+    vp: np.ndarray,
+    with_density: bool,
+    vs_ratio: float | None,
+    name: str,
+) -> EarthModel:
+    vp = vp.astype(DTYPE)
+    rho = _gardner_density(vp) if with_density else None
+    vs = None
+    if vs_ratio is not None:
+        if not 0.0 < vs_ratio < 1.0:
+            raise ConfigurationError("vs_ratio must be in (0, 1)")
+        vs = (vp * np.float32(vs_ratio)).astype(DTYPE)
+    return EarthModel(grid, vp, rho=rho, vs=vs, name=name)
+
+
+def constant_model(
+    shape: Sequence[int],
+    spacing: float | Sequence[float] = 10.0,
+    vp: float = 2000.0,
+    with_density: bool = True,
+    vs_ratio: float | None = None,
+) -> EarthModel:
+    """Homogeneous medium — the analytic-solution test case."""
+    grid = Grid(shape, spacing)
+    return _with_fields(grid, grid.full(vp), with_density, vs_ratio, "constant")
+
+
+def layered_model(
+    shape: Sequence[int],
+    spacing: float | Sequence[float] = 10.0,
+    interfaces: Sequence[float] = (1000.0,),
+    velocities: Sequence[float] = (1500.0, 2500.0),
+    with_density: bool = True,
+    vs_ratio: float | None = None,
+) -> EarthModel:
+    """Horizontally layered medium.
+
+    ``interfaces`` are the depths (metres) of the layer boundaries;
+    ``velocities`` has one more entry than ``interfaces`` (top layer first).
+    This is the canonical RTM validation model: the migrated image should
+    light up exactly at the interface depths.
+    """
+    if len(velocities) != len(interfaces) + 1:
+        raise ConfigurationError(
+            f"need len(velocities) == len(interfaces)+1, got "
+            f"{len(velocities)} vs {len(interfaces)}"
+        )
+    if sorted(interfaces) != list(interfaces):
+        raise ConfigurationError("interfaces must be sorted by depth")
+    grid = Grid(shape, spacing)
+    z = grid.axis(0)
+    vp_profile = np.full(z.shape, velocities[0], dtype=np.float64)
+    for depth, v in zip(interfaces, velocities[1:]):
+        vp_profile[z >= depth] = v
+    shape_ones = (len(z),) + (1,) * (grid.ndim - 1)
+    vp = np.broadcast_to(vp_profile.reshape(shape_ones), grid.shape).copy()
+    return _with_fields(grid, vp, with_density, vs_ratio, "layered")
+
+
+def lens_model(
+    shape: Sequence[int],
+    spacing: float | Sequence[float] = 10.0,
+    background_vp: float = 2000.0,
+    lens_vp: float = 2600.0,
+    radius_fraction: float = 0.2,
+    with_density: bool = True,
+    vs_ratio: float | None = None,
+) -> EarthModel:
+    """A smooth Gaussian high-velocity lens in a homogeneous background —
+    bends rays without sharp reflections (kinematics tests)."""
+    if not 0.0 < radius_fraction <= 0.5:
+        raise ConfigurationError("radius_fraction must be in (0, 0.5]")
+    grid = Grid(shape, spacing)
+    axes = grid.axes()
+    center = [a[len(a) // 2] for a in axes]
+    radius = radius_fraction * min(grid.extent)
+    r2 = np.zeros(grid.shape, dtype=np.float64)
+    for i, a in enumerate(axes):
+        shape_ones = [1] * grid.ndim
+        shape_ones[i] = len(a)
+        r2 = r2 + ((a - center[i]).reshape(shape_ones)) ** 2
+    bump = np.exp(-r2 / (2.0 * radius**2))
+    vp = background_vp + (lens_vp - background_vp) * bump
+    return _with_fields(grid, vp, with_density, vs_ratio, "lens")
+
+
+def fault_model(
+    shape: Sequence[int],
+    spacing: float | Sequence[float] = 10.0,
+    interface_depth: float = 1000.0,
+    throw: float = 300.0,
+    velocities: tuple[float, float] = (1800.0, 2800.0),
+    with_density: bool = True,
+    vs_ratio: float | None = None,
+) -> EarthModel:
+    """Two-layer medium with a vertical fault offsetting the interface by
+    ``throw`` metres across the middle of the x axis — produces a lateral
+    velocity discontinuity plus a diffracting edge, the structure Figure 5 of
+    the paper images."""
+    grid = Grid(shape, spacing)
+    z = grid.axis(0)
+    x = grid.axis(1)
+    x_mid = x[len(x) // 2]
+    depth_left = interface_depth
+    depth_right = interface_depth + throw
+    depth_of_x = np.where(x < x_mid, depth_left, depth_right)
+    if grid.ndim == 2:
+        mask = z[:, None] >= depth_of_x[None, :]
+    else:
+        mask = np.broadcast_to(
+            (z[:, None] >= depth_of_x[None, :])[:, :, None], grid.shape
+        )
+    vp = np.where(mask, velocities[1], velocities[0]).astype(np.float64)
+    return _with_fields(grid, vp, with_density, vs_ratio, "fault")
+
+
+def random_media_model(
+    shape: Sequence[int],
+    spacing: float | Sequence[float] = 10.0,
+    background_vp: float = 2500.0,
+    fluctuation: float = 0.1,
+    correlation_cells: int = 8,
+    seed: int = 0,
+    with_density: bool = True,
+    vs_ratio: float | None = None,
+) -> EarthModel:
+    """Band-limited random velocity fluctuations around a background —
+    a scattering-rich medium approximating geological heterogeneity.
+
+    ``fluctuation`` is the relative RMS perturbation; ``correlation_cells``
+    sets the smoothing length (grid cells) of the Gaussian filter realised by
+    repeated box blurs.
+    """
+    if not 0.0 <= fluctuation < 0.5:
+        raise ConfigurationError("fluctuation must be in [0, 0.5)")
+    if correlation_cells < 1:
+        raise ConfigurationError("correlation_cells must be >= 1")
+    grid = Grid(shape, spacing)
+    rng = np.random.default_rng(seed)
+    noise = rng.standard_normal(grid.shape)
+    # three box blurs approximate a Gaussian of the requested width
+    width = max(1, correlation_cells)
+    kernel = np.ones(width, dtype=np.float64) / width
+    for _ in range(3):
+        for axis in range(grid.ndim):
+            noise = np.apply_along_axis(
+                lambda v: np.convolve(v, kernel, mode="same"), axis, noise
+            )
+    rms = float(np.sqrt(np.mean(noise**2)))
+    if rms > 0:
+        noise = noise / rms
+    vp = background_vp * (1.0 + fluctuation * noise)
+    vp = np.clip(vp, 0.3 * background_vp, 2.5 * background_vp)
+    return _with_fields(grid, vp, with_density, vs_ratio, "random-media")
+
+
+def with_thomsen(
+    model: EarthModel, epsilon: float | np.ndarray, delta: float | np.ndarray
+) -> EarthModel:
+    """Return a copy of ``model`` carrying Thomsen anisotropy parameters
+    (constant values are broadcast over the grid) — input for the VTI
+    extension propagator."""
+    shape = model.grid.shape
+    eps = np.full(shape, epsilon, dtype=DTYPE) if np.isscalar(epsilon) else np.ascontiguousarray(epsilon, dtype=DTYPE)
+    dlt = np.full(shape, delta, dtype=DTYPE) if np.isscalar(delta) else np.ascontiguousarray(delta, dtype=DTYPE)
+    return EarthModel(
+        model.grid,
+        model.vp.copy(),
+        rho=None if model.rho is None else model.rho.copy(),
+        vs=None if model.vs is None else model.vs.copy(),
+        epsilon=eps,
+        delta=dlt,
+        name=model.name + "+vti",
+    )

@@ -1,0 +1,155 @@
+"""The :class:`EarthModel`: physical parameters on a grid.
+
+The three formulations of the paper's Section 3.3 consume different subsets:
+
+* isotropic (Eq. 1): ``vp`` only (constant density);
+* acoustic variable-density (Eq. 2): ``vp`` and ``rho``;
+* elastic (Eq. 3): ``vp``, ``vs`` and ``rho`` (converted internally to the
+  Lame parameters ``lambda``/``mu``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.grid.grid import Grid
+from repro.utils.arrays import DTYPE, as_f32
+from repro.utils.errors import ConfigurationError
+
+
+@dataclass
+class EarthModel:
+    """Material model on a :class:`~repro.grid.grid.Grid`.
+
+    Parameters
+    ----------
+    grid:
+        The grid the parameter fields live on.
+    vp:
+        P-wave (pressure) velocity in m/s. Required, strictly positive.
+    rho:
+        Density in kg/m^3. Optional; defaults to constant 1000 (water) when a
+        formulation that needs it is used on a model built without one.
+    vs:
+        S-wave (shear) velocity in m/s. Optional; required by the elastic
+        formulation. May contain zeros (fluid regions).
+    """
+
+    grid: Grid
+    vp: np.ndarray
+    rho: np.ndarray | None = None
+    vs: np.ndarray | None = None
+    #: Thomsen anisotropy parameters for the VTI extension; None = isotropic
+    epsilon: np.ndarray | None = None
+    delta: np.ndarray | None = None
+    name: str = field(default="model")
+
+    def __post_init__(self):
+        self.vp = self._check_field("vp", self.vp, positive=True)
+        if self.rho is not None:
+            self.rho = self._check_field("rho", self.rho, positive=True)
+        if self.vs is not None:
+            self.vs = self._check_field("vs", self.vs, positive=False)
+            if np.any(np.asarray(self.vs) < 0):
+                raise ConfigurationError("vs must be non-negative")
+            # physical admissibility: vs < vp everywhere (Poisson ratio > -1)
+            if np.any(self.vs >= self.vp):
+                raise ConfigurationError("vs must be strictly below vp everywhere")
+        if self.epsilon is not None:
+            self.epsilon = self._check_field("epsilon", self.epsilon, positive=False)
+            if np.any(self.epsilon < -0.4) or np.any(self.epsilon > 1.0):
+                raise ConfigurationError("epsilon outside the plausible [-0.4, 1] range")
+        if self.delta is not None:
+            self.delta = self._check_field("delta", self.delta, positive=False)
+            if np.any(self.delta < -0.4) or np.any(self.delta > 1.0):
+                raise ConfigurationError("delta outside the plausible [-0.4, 1] range")
+
+    def _check_field(self, name: str, a: np.ndarray, positive: bool) -> np.ndarray:
+        a = as_f32(np.broadcast_to(a, self.grid.shape) if np.isscalar(a) else a)
+        if a.shape != self.grid.shape:
+            raise ConfigurationError(
+                f"{name} has shape {a.shape}, grid is {self.grid.shape}"
+            )
+        if not np.all(np.isfinite(a)):
+            raise ConfigurationError(f"{name} contains non-finite values")
+        if positive and np.any(a <= 0):
+            raise ConfigurationError(f"{name} must be strictly positive")
+        return a
+
+    # ------------------------------------------------------------------
+    @property
+    def ndim(self) -> int:
+        return self.grid.ndim
+
+    @property
+    def vp_max(self) -> float:
+        return float(self.vp.max())
+
+    @property
+    def vp_min(self) -> float:
+        return float(self.vp.min())
+
+    def density(self) -> np.ndarray:
+        """Density field, defaulting to 1000 kg/m^3 when unset."""
+        if self.rho is None:
+            return self.grid.full(1000.0)
+        return self.rho
+
+    def shear_velocity(self) -> np.ndarray:
+        """S-wave velocity; raises if the model has none (elastic physics
+        requires it)."""
+        if self.vs is None:
+            raise ConfigurationError(
+                f"model '{self.name}' has no vs field; the elastic formulation "
+                "needs one (use builders with vs_ratio, or set vs explicitly)"
+            )
+        return self.vs
+
+    def lame_parameters(self) -> tuple[np.ndarray, np.ndarray]:
+        """Lame parameters ``(lam, mu)`` derived from (vp, vs, rho):
+        ``mu = rho*vs^2``, ``lam = rho*(vp^2 - 2 vs^2)``."""
+        rho = self.density().astype(np.float64)
+        vs = self.shear_velocity().astype(np.float64)
+        vp = self.vp.astype(np.float64)
+        mu = rho * vs**2
+        lam = rho * (vp**2 - 2.0 * vs**2)
+        if np.any(lam < 0):
+            raise ConfigurationError(
+                "vp/vs combination gives negative lambda (vs too close to vp)"
+            )
+        return lam.astype(DTYPE), mu.astype(DTYPE)
+
+    def max_wave_speed(self) -> float:
+        """Fastest wave speed in the model — the CFL-relevant velocity.
+
+        With Thomsen epsilon set, the horizontal P speed is stretched to
+        ``vp * sqrt(1 + 2 epsilon)``; vs is always slower than vp."""
+        if self.epsilon is not None:
+            stretch = np.sqrt(1.0 + 2.0 * np.maximum(self.epsilon.astype(np.float64), 0.0))
+            return float((self.vp.astype(np.float64) * stretch).max())
+        return self.vp_max
+
+    def is_anisotropic(self) -> bool:
+        """Whether the model carries (nonzero) Thomsen parameters."""
+        for f in (self.epsilon, self.delta):
+            if f is not None and float(np.abs(f).max()) > 0:
+                return True
+        return False
+
+    def memory_bytes(self) -> int:
+        """Bytes held by the parameter fields (single precision)."""
+        total = self.vp.nbytes
+        for f in (self.rho, self.vs, self.epsilon, self.delta):
+            if f is not None:
+                total += f.nbytes
+        return total
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        parts = [f"vp[{self.vp_min:.0f}..{self.vp_max:.0f}]"]
+        if self.rho is not None:
+            parts.append("rho")
+        if self.vs is not None:
+            parts.append("vs")
+        return f"EarthModel({self.name}, {self.grid}, {'+'.join(parts)})"

@@ -1,0 +1,56 @@
+"""Save/load earth models as ``.npz`` archives."""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+
+from repro.grid.grid import Grid
+from repro.model.earth_model import EarthModel
+from repro.utils.errors import ConfigurationError
+
+
+def save_model(model: EarthModel, path: str | os.PathLike) -> None:
+    """Write a model (grid geometry + parameter fields) to ``path``."""
+    payload: dict[str, np.ndarray] = {
+        "shape": np.asarray(model.grid.shape, dtype=np.int64),
+        "spacing": np.asarray(model.grid.spacing, dtype=np.float64),
+        "origin": np.asarray(model.grid.origin, dtype=np.float64),
+        "vp": model.vp,
+        "name": np.asarray(model.name),
+    }
+    if model.rho is not None:
+        payload["rho"] = model.rho
+    if model.vs is not None:
+        payload["vs"] = model.vs
+    if model.epsilon is not None:
+        payload["epsilon"] = model.epsilon
+    if model.delta is not None:
+        payload["delta"] = model.delta
+    np.savez_compressed(os.fspath(path), **payload)
+
+
+def load_model(path: str | os.PathLike) -> EarthModel:
+    """Read a model previously written by :func:`save_model`."""
+    with np.load(os.fspath(path), allow_pickle=False) as data:
+        required = {"shape", "spacing", "origin", "vp"}
+        missing = required - set(data.files)
+        if missing:
+            raise ConfigurationError(
+                f"{path} is not a repro model archive (missing {sorted(missing)})"
+            )
+        grid = Grid(
+            tuple(int(n) for n in data["shape"]),
+            tuple(float(s) for s in data["spacing"]),
+            tuple(float(o) for o in data["origin"]),
+        )
+        return EarthModel(
+            grid,
+            data["vp"],
+            rho=data["rho"] if "rho" in data.files else None,
+            vs=data["vs"] if "vs" in data.files else None,
+            epsilon=data["epsilon"] if "epsilon" in data.files else None,
+            delta=data["delta"] if "delta" in data.files else None,
+            name=str(data["name"]) if "name" in data.files else "model",
+        )

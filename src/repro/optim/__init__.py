@@ -1,0 +1,33 @@
+"""The paper's optimization catalogue as reusable transformations and tuners."""
+
+from repro.optim.transformations import (
+    loop_fission,
+    mark_uncoalesced,
+    with_transposition,
+    inline_receiver_loop,
+    remove_branches,
+    collapse_nest,
+)
+from repro.optim.tuning import (
+    register_sweep,
+    RegisterSweepPoint,
+    vector_length_sweep,
+    predict_best_launch,
+    async_comparison,
+    AsyncComparison,
+)
+
+__all__ = [
+    "loop_fission",
+    "mark_uncoalesced",
+    "with_transposition",
+    "inline_receiver_loop",
+    "remove_branches",
+    "collapse_nest",
+    "register_sweep",
+    "RegisterSweepPoint",
+    "vector_length_sweep",
+    "predict_best_launch",
+    "async_comparison",
+    "AsyncComparison",
+]

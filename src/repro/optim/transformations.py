@@ -1,0 +1,104 @@
+"""Code transformations over kernel workloads.
+
+These operate on the :class:`~repro.propagators.base.KernelWorkload`
+metadata — the shape the directive compiler and cost model see — mirroring
+the source-level rewrites of the paper's Section 5.3 ("inlining,
+permutation, fission, transposition, tiling, and collapsing").
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from repro.propagators.base import KernelWorkload
+from repro.utils.errors import ConfigurationError
+
+
+def loop_fission(workload: KernelWorkload, parts: int) -> list[KernelWorkload]:
+    """Split one fused kernel into ``parts`` kernels, one per dimension /
+    term group (the paper's Figure 12 rewrite of the acoustic 3-D kernel).
+
+    Per-part arithmetic and traffic are divided evenly; the shared input
+    stream (the field being differentiated, e.g. ``p``) is re-read by every
+    part, so total traffic *rises* slightly while register pressure drops —
+    the trade that pays on Fermi and not on Kepler.
+    """
+    if parts < 2:
+        raise ConfigurationError("fission needs parts >= 2")
+    if workload.address_streams < parts:
+        raise ConfigurationError(
+            f"cannot fission {workload.address_streams} streams into {parts} parts"
+        )
+    shared = 1  # the differentiated field stays in every part
+    per_part_streams = max(
+        2, shared + (workload.address_streams - shared) // parts
+    )
+    return [
+        replace(
+            workload,
+            name=f"{workload.name}_fission{i}",
+            flops_per_point=workload.flops_per_point / parts,
+            reads_per_point=workload.reads_per_point / parts + shared,
+            writes_per_point=workload.writes_per_point / parts,
+            address_streams=per_part_streams,
+        )
+        for i in range(parts)
+    ]
+
+
+def mark_uncoalesced(workload: KernelWorkload) -> KernelWorkload:
+    """The backward-phase original: inner parallel loop no longer walks
+    unit-stride memory (Figure 13 'before')."""
+    return replace(
+        workload, name=workload.name + "_uncoalesced", inner_contiguous=False
+    )
+
+
+def with_transposition(workload: KernelWorkload) -> list[KernelWorkload]:
+    """Figure 13 'after': transpose to a temporary on the GPU, run the now
+    coalesced kernel, transpose back. Returns the three-kernel sequence."""
+    from repro.propagators.workloads import transpose_workloads
+
+    fixed = replace(
+        workload, name=workload.name + "_transposed", inner_contiguous=True
+    )
+    to_tmp, from_tmp = transpose_workloads(workload.loop_dims)
+    return [to_tmp, fixed, from_tmp]
+
+
+def inline_receiver_loop(nreceivers: int) -> KernelWorkload:
+    """Inlining the receiver-term routine so one kernel encapsulates the
+    receiver loop (what CRAY managed and PGI refused)."""
+    from repro.propagators.workloads import receiver_injection_workloads
+
+    (w,) = receiver_injection_workloads(nreceivers, inlined=True)
+    return w
+
+
+def remove_branches(workload: KernelWorkload, extra_flops: float = 0.0) -> KernelWorkload:
+    """The 'compute PML everywhere' rewrite: pay ``extra_flops`` per point
+    to drop the data-dependent branches."""
+    return replace(
+        workload,
+        name=workload.name + "_branchless",
+        flops_per_point=workload.flops_per_point + extra_flops,
+        has_branches=False,
+    )
+
+
+def collapse_nest(workload: KernelWorkload, levels: int) -> KernelWorkload:
+    """Collapse ``levels`` loop levels into one iteration space (metadata
+    view of the OpenACC ``collapse`` clause)."""
+    if levels < 2 or levels > len(workload.loop_dims):
+        raise ConfigurationError(
+            f"collapse levels {levels} invalid for a {len(workload.loop_dims)}-deep nest"
+        )
+    dims = workload.loop_dims
+    head = 1
+    for d in dims[:levels]:
+        head *= d
+    return replace(
+        workload,
+        name=workload.name + f"_collapse{levels}",
+        loop_dims=(head,) + dims[levels:],
+    )

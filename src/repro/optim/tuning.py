@@ -1,0 +1,168 @@
+"""Performance tuners over the device model.
+
+* :func:`register_sweep` — the ``maxregcount`` study of the paper's
+  Figure 10 (64 registers/thread optimal on both cards).
+* :func:`vector_length_sweep` / :func:`predict_best_launch` — the
+  prediction-based gang/vector tuning of the paper's reference [13]
+  (Siddiqui & Feki), realised against the analytic cost model.
+* :func:`async_comparison` — the async-streams study of Figure 11.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.gpusim.kernelmodel import (
+    KernelEstimate,
+    LaunchConfig,
+    estimate_kernel_time,
+)
+from repro.gpusim.specs import CUDA_5_0, CudaToolkit, GPUSpec
+from repro.propagators.base import KernelWorkload
+from repro.utils.errors import ConfigurationError
+
+DEFAULT_REGISTER_CANDIDATES = (16, 32, 64, 128, 255)
+DEFAULT_VECTOR_CANDIDATES = (32, 64, 128, 256, 512, 1024)
+
+
+@dataclass(frozen=True)
+class RegisterSweepPoint:
+    """One point of a maxregcount sweep."""
+
+    maxregcount: int
+    seconds: float
+    occupancy: float
+    spilled_regs: int
+
+
+def register_sweep(
+    spec: GPUSpec,
+    workloads: list[KernelWorkload],
+    candidates: tuple[int, ...] = DEFAULT_REGISTER_CANDIDATES,
+    toolkit: CudaToolkit = CUDA_5_0,
+    threads_per_block: int = 128,
+) -> list[RegisterSweepPoint]:
+    """Total modelled time of one step's kernels per maxregcount value."""
+    if not workloads:
+        raise ConfigurationError("register_sweep needs at least one workload")
+    points = []
+    for reg in candidates:
+        reg_eff = min(reg, spec.max_regs_per_thread)
+        total = 0.0
+        occ = 0.0
+        spilled = 0
+        for w in workloads:
+            est = estimate_kernel_time(
+                spec,
+                w,
+                LaunchConfig(threads_per_block=threads_per_block, maxregcount=reg_eff),
+                toolkit,
+            )
+            total += est.seconds
+            occ += est.occupancy * est.seconds
+            spilled = max(spilled, est.spilled_regs)
+        points.append(
+            RegisterSweepPoint(
+                maxregcount=reg,
+                seconds=total,
+                occupancy=occ / total if total > 0 else 0.0,
+                spilled_regs=spilled,
+            )
+        )
+    return points
+
+
+def best_register_count(points: list[RegisterSweepPoint]) -> int:
+    """The sweep's winner."""
+    return min(points, key=lambda p: p.seconds).maxregcount
+
+
+def vector_length_sweep(
+    spec: GPUSpec,
+    workload: KernelWorkload,
+    candidates: tuple[int, ...] = DEFAULT_VECTOR_CANDIDATES,
+    maxregcount: int | None = 64,
+    toolkit: CudaToolkit = CUDA_5_0,
+) -> dict[int, KernelEstimate]:
+    """Model the kernel at each OpenACC vector length (threads/block)."""
+    out: dict[int, KernelEstimate] = {}
+    for v in candidates:
+        if v > spec.max_threads_per_block:
+            continue
+        out[v] = estimate_kernel_time(
+            spec,
+            workload,
+            LaunchConfig(threads_per_block=v, maxregcount=maxregcount),
+            toolkit,
+        )
+    if not out:
+        raise ConfigurationError("no admissible vector lengths")
+    return out
+
+
+def predict_best_launch(
+    spec: GPUSpec,
+    workload: KernelWorkload,
+    maxregcount: int | None = 64,
+    toolkit: CudaToolkit = CUDA_5_0,
+) -> tuple[LaunchConfig, KernelEstimate]:
+    """Prediction-based gang/vector tuning (ref [13] of the paper): pick the
+    vector length the model says is fastest."""
+    sweep = vector_length_sweep(spec, workload, maxregcount=maxregcount, toolkit=toolkit)
+    best_v = min(sweep, key=lambda v: sweep[v].seconds)
+    return (
+        LaunchConfig(threads_per_block=best_v, maxregcount=maxregcount),
+        sweep[best_v],
+    )
+
+
+@dataclass(frozen=True)
+class AsyncComparison:
+    """Synchronous vs asynchronous execution of one step's kernel set."""
+
+    sync_seconds: float
+    async_seconds: float
+
+    @property
+    def improvement(self) -> float:
+        """Fractional time saved by async (>0 means async is faster)."""
+        if self.sync_seconds == 0:
+            return 0.0
+        return 1.0 - self.async_seconds / self.sync_seconds
+
+
+def async_comparison(
+    spec: GPUSpec,
+    workloads: list[KernelWorkload],
+    steps: int = 100,
+    enqueue_cost_factor: float = 1.0,
+    toolkit: CudaToolkit = CUDA_5_0,
+    maxregcount: int | None = 64,
+) -> AsyncComparison:
+    """Model ``steps`` iterations of the kernel set launched synchronously
+    vs on round-robin async queues (paper Figure 11: the win is launch-gap
+    packing; ``enqueue_cost_factor`` > 1 models PGI's expensive async
+    path that made async a net loss there)."""
+    from repro.gpusim.device import Device
+
+    if not workloads:
+        raise ConfigurationError("async_comparison needs at least one workload")
+    # synchronous
+    dev = Device(spec, toolkit=toolkit)
+    for _ in range(steps):
+        for w in workloads:
+            dev.launch(w, LaunchConfig(maxregcount=maxregcount))
+    sync_t = dev.elapsed
+    # async round-robin + wait at step end
+    dev = Device(spec, toolkit=toolkit)
+    nq = max(1, min(len(workloads), spec.max_concurrent_kernels - 1))
+    for _ in range(steps):
+        for i, w in enumerate(workloads):
+            dev.launch(
+                w,
+                LaunchConfig(maxregcount=maxregcount, async_queue=1 + (i % nq)),
+                enqueue_cost_factor=enqueue_cost_factor,
+            )
+        dev.wait()
+    async_t = dev.elapsed
+    return AsyncComparison(sync_seconds=sync_t, async_seconds=async_t)

@@ -1,0 +1,123 @@
+"""Acoustic variable-density propagator — Eq. 2 of the paper.
+
+First-order pressure/velocity-flow system on a staggered grid (the paper's
+"25-point stencil staggered grid first order system"), absorbed by C-PML.
+Dimension-agnostic: the same class covers the 2-D system of Eq. 2 and its
+3-D extension (an extra ``q_y`` flow component).
+
+Staggering (same-shape storage): pressure ``p`` on integer points, flow
+``q_i`` half-shifted along axis ``i``. The leapfrog step is
+
+1. ``p += dt * rho * vp^2 * (sum_i D-_i q_i) + dt * rho * vp^2 * F(t)``
+   with ``F`` the *time-integrated* wavelet (Eq. 2 injects
+   :math:`\\partial_t^{-1} f`);
+2. ``q_i += dt * (1/rho)_i * D+_i p`` for each axis.
+
+Every spatial derivative passes through the C-PML convolution.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.boundary.cpml import CPML
+from repro.model.earth_model import EarthModel
+from repro.propagators.base import KernelWorkload, Propagator, staggered_average
+from repro.stencil.operators import staggered_diff_backward, staggered_diff_forward
+from repro.utils.arrays import DTYPE
+
+_AXIS_TAGS = {2: ("z", "x"), 3: ("z", "x", "y")}
+
+
+class AcousticPropagator(Propagator):
+    """Variable-density acoustic propagator (2-D or 3-D, from the model)."""
+
+    scheme = "staggered"
+    physics = "acoustic"
+
+    def __init__(
+        self,
+        model: EarthModel,
+        dt: float | None = None,
+        space_order: int = 8,
+        boundary_width: int = 16,
+        cpml_alpha_max: float = 0.0,
+        **kwargs,
+    ):
+        super().__init__(model, dt, space_order, boundary_width, **kwargs)
+        self.p = self._new_field("p")
+        self.q: list[np.ndarray] = [
+            self._new_field(f"q{_AXIS_TAGS[self.grid.ndim][ax]}")
+            for ax in range(self.grid.ndim)
+        ]
+        rho = model.density().astype(np.float64)
+        vp = model.vp.astype(np.float64)
+        #: bulk-modulus-like coefficient of the pressure update: rho * vp^2
+        self.kappa = (rho * vp**2).astype(DTYPE)
+        #: buoyancy 1/rho averaged to each flow component's half position
+        self.buoyancy: list[np.ndarray] = [
+            staggered_average((1.0 / rho).astype(DTYPE), ax)
+            for ax in range(self.grid.ndim)
+        ]
+        self.cpml = CPML(
+            self.grid,
+            boundary_width,
+            model.max_wave_speed(),
+            self.dt,
+            alpha_max=cpml_alpha_max,
+        )
+        self._deriv = np.zeros(self.grid.shape, dtype=DTYPE)
+        self._div = np.zeros(self.grid.shape, dtype=DTYPE)
+
+    def snapshot_field(self) -> np.ndarray:
+        return self.p
+
+    # ------------------------------------------------------------------
+    def step_pressure(self, sources: Sequence[tuple[tuple[int, ...], float]] = ()) -> None:
+        """First leapfrog sub-stage: update ``p`` from the flow divergence
+        and inject sources. Exposed separately so domain-decomposed drivers
+        can exchange the fresh pressure halos before :meth:`step_flow`."""
+        h = self.grid.spacing
+        div = self._div
+        div.fill(0.0)
+        for ax in range(self.grid.ndim):
+            # the operator only writes the valid interior; clear the reused
+            # buffer so stale border values never leak into div or the C-PML
+            # memory variables
+            self._deriv.fill(0.0)
+            d = staggered_diff_backward(
+                self.q[ax], ax, h[ax], self.space_order, out=self._deriv
+            )
+            d = self.cpml.damp(f"dq{ax}", ax, d, half=False)
+            div += d
+        self.p += np.float32(self.dt) * self.kappa * div
+        # source: Eq. 2 injects rho*vp^2 * time-integral of the wavelet; the
+        # driver passes the integrated amplitude
+        for index, amp in sources:
+            self.p[index] += np.float32(self.dt) * self.kappa[index] * np.float32(amp)
+
+    def step_flow(self) -> None:
+        """Second leapfrog sub-stage: update the flow components from the
+        (fresh) pressure gradient."""
+        h = self.grid.spacing
+        for ax in range(self.grid.ndim):
+            self._deriv.fill(0.0)
+            d = staggered_diff_forward(
+                self.p, ax, h[ax], self.space_order, out=self._deriv
+            )
+            d = self.cpml.damp(f"dp{ax}", ax, d, half=True)
+            self.q[ax] += np.float32(self.dt) * self.buoyancy[ax] * d
+
+    def _step_impl(self, sources: Sequence[tuple[tuple[int, ...], float]]) -> None:
+        self.step_pressure(sources)
+        if self.mid_step_hook is not None:
+            self.mid_step_hook()
+        self.step_flow()
+
+    # ------------------------------------------------------------------
+    def kernel_workloads(self) -> list[KernelWorkload]:
+        from repro.propagators.workloads import acoustic_workloads
+
+        return acoustic_workloads(self.grid.shape, self.space_order)

@@ -1,0 +1,305 @@
+"""Common propagator machinery.
+
+A :class:`Propagator` owns named wavefield arrays (``fields``), advances them
+one leapfrog step at a time, and reports per-step *kernel workloads* — the
+iteration space, flop and byte counts the OpenACC/GPU layers use to model
+execution cost. The physics itself always runs for real in NumPy; the
+workload metadata is pure bookkeeping.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, Sequence
+
+import numpy as np
+
+from repro.grid.grid import Grid
+from repro.model.earth_model import EarthModel
+from repro.propagators.cfl import default_dt, max_stable_dt
+from repro.source.injection import PointSource
+from repro.utils.arrays import DTYPE
+from repro.utils.errors import ConfigurationError, StabilityError
+
+
+@dataclass
+class KernelWorkload:
+    """Cost metadata of one compute kernel launched per time step.
+
+    Attributes
+    ----------
+    name:
+        Kernel identity (stable across steps; the profiler groups by it).
+    points:
+        Iteration-space size (grid points updated).
+    flops_per_point:
+        Floating-point operations per updated point.
+    reads_per_point / writes_per_point:
+        Array elements read/written per point (element = 4 bytes here).
+    loop_dims:
+        Extents of the perfectly-nested loop levels, outermost first —
+        consumed by the directive compiler to choose a launch configuration.
+    address_streams:
+        Number of distinct multi-dimensional array bases indexed in the body
+        — a proxy for the address-arithmetic register pressure the paper
+        blames for the acoustic-3D fission win ("most of the register
+        pressure ... was with the array address variables").
+    has_branches:
+        Whether the body carries data-dependent branches (the PML
+        if-statements of the isotropic kernel).
+    inner_contiguous:
+        Whether the innermost parallel loop walks unit-stride memory —
+        drives the coalescing factor of the GPU model.
+    """
+
+    name: str
+    points: int
+    flops_per_point: float
+    reads_per_point: float
+    writes_per_point: float
+    loop_dims: tuple[int, ...]
+    address_streams: int = 4
+    has_branches: bool = False
+    inner_contiguous: bool = True
+    #: number of grid axes the body's widest stencil gathers along: the
+    #: isotropic Laplacian reads a 25-point cross spanning every axis
+    #: (``ndim``), while staggered first-derivative kernels gather along one
+    #: axis per array. Multi-axis gathers waste GPU memory transactions
+    #: (no shared-memory tiling under 2014-era OpenACC codegen).
+    gather_axes: int = 1
+
+    @property
+    def flops(self) -> float:
+        return self.points * self.flops_per_point
+
+    @property
+    def bytes_moved(self) -> float:
+        return self.points * 4.0 * (self.reads_per_point + self.writes_per_point)
+
+
+@dataclass
+class PropagatorState:
+    """Diagnostics snapshot: step counter and wavefield health."""
+
+    step: int = 0
+    last_max_amplitude: float = 0.0
+
+
+class Propagator(ABC):
+    """Base class: named fields + leapfrog stepping + workload metadata.
+
+    Subclasses implement :meth:`_step_impl` (pure physics on ``self.fields``)
+    and :meth:`kernel_workloads`.
+
+    Parameters
+    ----------
+    model:
+        Earth model providing the physical parameters.
+    dt:
+        Time step in seconds; ``None`` picks a safe default from the CFL
+        bound. An explicitly unstable ``dt`` raises
+        :class:`~repro.utils.errors.StabilityError` immediately.
+    space_order:
+        FD accuracy order (the paper's operators are order 8).
+    boundary_width:
+        Absorbing-layer width in cells.
+    check_health_every:
+        Period (steps) of the non-finite wavefield check; 0 disables.
+    """
+
+    #: 'second_order' or 'staggered' — the CFL family of the subclass.
+    scheme: str = "second_order"
+    #: short physics tag ('isotropic', 'acoustic', 'elastic')
+    physics: str = "base"
+
+    def __init__(
+        self,
+        model: EarthModel,
+        dt: float | None = None,
+        space_order: int = 8,
+        boundary_width: int = 16,
+        check_health_every: int = 50,
+    ):
+        self.model = model
+        self.grid: Grid = model.grid
+        self.space_order = int(space_order)
+        if self.space_order <= 0 or self.space_order % 2:
+            raise ConfigurationError("space_order must be a positive even integer")
+        self.radius = self.space_order // 2
+        self.boundary_width = int(boundary_width)
+        if self.boundary_width < 0:
+            raise ConfigurationError("boundary_width must be >= 0")
+        if self.boundary_width and self.boundary_width < self.radius:
+            raise ConfigurationError(
+                f"boundary_width {boundary_width} thinner than stencil radius "
+                f"{self.radius}"
+            )
+        limit = max_stable_dt(model.max_wave_speed(), self.grid.spacing, self.scheme, self.space_order)
+        if dt is None:
+            dt = default_dt(model.max_wave_speed(), self.grid.spacing, self.scheme, self.space_order)
+        elif dt <= 0:
+            raise ConfigurationError("dt must be positive")
+        elif dt > limit:
+            raise StabilityError(
+                f"dt={dt:g}s exceeds the CFL limit {limit:g}s for "
+                f"{self.physics}/{self.scheme} on this grid"
+            )
+        self.dt = float(dt)
+        self.check_health_every = int(check_health_every)
+        self.state = PropagatorState()
+        self.fields: dict[str, np.ndarray] = {}
+        #: called between the two sub-stages of a staggered leapfrog step
+        #: (after pressure/velocity updates, before flow/stress updates).
+        #: Domain-decomposed runs hang their mid-step ghost exchange here:
+        #: the second sub-stage differentiates the *freshly updated* fields,
+        #: so their halos must be refreshed mid-step.
+        self.mid_step_hook: Callable[[], None] | None = None
+
+    # ------------------------------------------------------------------
+    # field management
+    # ------------------------------------------------------------------
+    def _new_field(self, name: str) -> np.ndarray:
+        a = np.zeros(self.grid.shape, dtype=DTYPE)
+        self.fields[name] = a
+        return a
+
+    def reset(self) -> None:
+        """Zero all wavefields and restart the step counter (coefficients and
+        material fields are kept)."""
+        for a in self.fields.values():
+            a.fill(0.0)
+        self.state = PropagatorState()
+
+    def wavefield_bytes(self) -> int:
+        """Bytes of all time-varying fields (what must live on the device)."""
+        return sum(a.nbytes for a in self.fields.values())
+
+    @abstractmethod
+    def snapshot_field(self) -> np.ndarray:
+        """The observable wavefield recorded in snapshots/seismograms
+        (displacement for isotropic, pressure for acoustic/elastic)."""
+
+    def inject_pressure(
+        self,
+        indices: np.ndarray,
+        amplitudes: np.ndarray | float,
+        scale: float = 1.0,
+    ) -> None:
+        """Add a pressure-like perturbation at grid points — the receiver
+        injection of the RTM backward phase. The default writes into the
+        observable field directly (valid when :meth:`snapshot_field`
+        returns real propagator state); the elastic propagators override it
+        to drive the diagonal stresses."""
+        from repro.source.injection import inject
+
+        inject(self.snapshot_field(), indices, amplitudes, scale=scale)
+
+    # ------------------------------------------------------------------
+    # stepping
+    # ------------------------------------------------------------------
+    @abstractmethod
+    def _step_impl(self, sources: Sequence[tuple[tuple[int, ...], float]]) -> None:
+        """Advance all fields by one time step, injecting the given
+        ``(index, amplitude)`` source terms."""
+
+    def step(
+        self,
+        sources: Sequence[tuple[tuple[int, ...], float]] = (),
+        injector: Callable[[np.ndarray], None] | None = None,
+    ) -> None:
+        """Advance one time step.
+
+        ``sources`` carries point-source injections for this step;
+        ``injector``, when given, is called with the snapshot field *after*
+        the update (receiver injection in the RTM backward phase).
+        """
+        self._step_impl(sources)
+        if injector is not None:
+            injector(self.snapshot_field())
+        self.state.step += 1
+        if self.check_health_every and self.state.step % self.check_health_every == 0:
+            self._check_health()
+
+    def run(
+        self,
+        nt: int,
+        source: PointSource | None = None,
+        on_step: Callable[[int, "Propagator"], None] | None = None,
+    ) -> None:
+        """Run ``nt`` steps with an optional point source and per-step hook."""
+        if nt < 0:
+            raise ConfigurationError("nt must be >= 0")
+        for n in range(nt):
+            srcs: list[tuple[tuple[int, ...], float]] = []
+            if source is not None:
+                amp = source.amplitude(n)
+                if amp != 0.0:
+                    srcs.append((source.index, amp))
+            self.step(srcs)
+            if on_step is not None:
+                on_step(n, self)
+
+    def _check_health(self) -> None:
+        u = self.snapshot_field()
+        peak = float(np.max(np.abs(u)))
+        self.state.last_max_amplitude = peak
+        if not np.isfinite(peak):
+            raise StabilityError(
+                f"{self.physics} wavefield turned non-finite at step "
+                f"{self.state.step} (dt too large or model pathological?)"
+            )
+
+    # ------------------------------------------------------------------
+    # cost metadata
+    # ------------------------------------------------------------------
+    @abstractmethod
+    def kernel_workloads(self) -> list[KernelWorkload]:
+        """The compute kernels launched per forward time step, with their
+        cost metadata (consumed by :mod:`repro.acc` / :mod:`repro.gpusim`)."""
+
+    def total_flops_per_step(self) -> float:
+        return sum(w.flops for w in self.kernel_workloads())
+
+    def total_bytes_per_step(self) -> float:
+        return sum(w.bytes_moved for w in self.kernel_workloads())
+
+
+def staggered_average(param: np.ndarray, axis: int) -> np.ndarray:
+    """Arithmetic average of a material parameter onto half points along
+    ``axis`` (same-shape convention: sample ``i`` -> location ``i + 1/2``;
+    the last sample replicates its neighbour)."""
+    out = param.astype(np.float64).copy()
+    sl_lo = [slice(None)] * param.ndim
+    sl_hi = [slice(None)] * param.ndim
+    sl_lo[axis] = slice(0, -1)
+    sl_hi[axis] = slice(1, None)
+    out[tuple(sl_lo)] = 0.5 * (
+        param[tuple(sl_lo)].astype(np.float64) + param[tuple(sl_hi)].astype(np.float64)
+    )
+    return out.astype(DTYPE)
+
+
+def staggered_harmonic_average(param: np.ndarray, axes: Iterable[int]) -> np.ndarray:
+    """Harmonic average onto points half-shifted along all ``axes`` — the
+    physically correct interpolation for the shear modulus at shear-stress
+    positions (a zero in any contributing cell keeps the average zero, as a
+    fluid cell must)."""
+    inv = np.where(param > 0, 1.0 / np.maximum(param.astype(np.float64), 1e-300), np.inf)
+    acc = inv.copy()
+    count = 1
+    for axis in axes:
+        sl_hi = [slice(None)] * param.ndim
+        sl_hi[axis] = slice(1, None)
+        shifted = np.empty_like(acc)
+        sl_lo = [slice(None)] * param.ndim
+        sl_lo[axis] = slice(0, -1)
+        shifted[tuple(sl_lo)] = acc[tuple(sl_hi)]
+        sl_last = [slice(None)] * param.ndim
+        sl_last[axis] = slice(-1, None)
+        shifted[tuple(sl_last)] = acc[tuple(sl_last)]
+        acc = acc + shifted
+        count *= 2
+    with np.errstate(divide="ignore"):
+        out = np.where(np.isinf(acc), 0.0, count / np.maximum(acc, 1e-300))
+    return out.astype(DTYPE)

@@ -1,0 +1,168 @@
+"""Elastic 3-D velocity-stress propagator — Eq. 3 of the paper in full.
+
+Nine wavefields on the standard 3-D staggered lattice, axes ``(z, x, y)``:
+
+==============================  ============================
+field                           stagger (half-shifted along)
+==============================  ============================
+``sxx``, ``syy``, ``szz``       — (integer points)
+``vz`` / ``vx`` / ``vy``        z / x / y
+``sxy``                         x and y
+``sxz``                         x and z
+``syz``                         y and z
+==============================  ============================
+
+This is "the most computationally intensive case" of the paper — nine field
+updates with 22 C-PML-damped spatial derivatives per time step — and the one
+whose wavefields exceed the Fermi M2090's 6 GB at the paper's 3-D sizes
+(the ``x`` entries in its Tables 3 and 4).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.boundary.cpml import CPML
+from repro.model.earth_model import EarthModel
+from repro.propagators.base import (
+    KernelWorkload,
+    Propagator,
+    staggered_average,
+    staggered_harmonic_average,
+)
+from repro.stencil.operators import staggered_diff_backward, staggered_diff_forward
+from repro.utils.arrays import DTYPE
+from repro.utils.errors import ConfigurationError
+
+_Z, _X, _Y = 0, 1, 2
+
+
+class ElasticPropagator3D(Propagator):
+    """Isotropic elastic velocity-stress propagator in 3-D."""
+
+    scheme = "staggered"
+    physics = "elastic"
+
+    def __init__(
+        self,
+        model: EarthModel,
+        dt: float | None = None,
+        space_order: int = 8,
+        boundary_width: int = 16,
+        cpml_alpha_max: float = 0.0,
+        **kwargs,
+    ):
+        if model.grid.ndim != 3:
+            raise ConfigurationError("ElasticPropagator3D needs a 3-D model")
+        super().__init__(model, dt, space_order, boundary_width, **kwargs)
+        lam, mu = model.lame_parameters()
+        rho = model.density().astype(np.float64)
+        self.lam = lam
+        self.lam2mu = (lam.astype(np.float64) + 2.0 * mu.astype(np.float64)).astype(DTYPE)
+        inv_rho = (1.0 / rho).astype(DTYPE)
+        self.buoy = {
+            _Z: staggered_average(inv_rho, _Z),
+            _X: staggered_average(inv_rho, _X),
+            _Y: staggered_average(inv_rho, _Y),
+        }
+        self.mu_xy = staggered_harmonic_average(mu, (_X, _Y))
+        self.mu_xz = staggered_harmonic_average(mu, (_X, _Z))
+        self.mu_yz = staggered_harmonic_average(mu, (_Y, _Z))
+        self.vx = self._new_field("vx")
+        self.vy = self._new_field("vy")
+        self.vz = self._new_field("vz")
+        self.sxx = self._new_field("sxx")
+        self.syy = self._new_field("syy")
+        self.szz = self._new_field("szz")
+        self.sxy = self._new_field("sxy")
+        self.sxz = self._new_field("sxz")
+        self.syz = self._new_field("syz")
+        self.cpml = CPML(
+            self.grid,
+            boundary_width,
+            model.max_wave_speed(),
+            self.dt,
+            alpha_max=cpml_alpha_max,
+        )
+        self._buf = np.zeros(self.grid.shape, dtype=DTYPE)
+        self._pressure = np.zeros(self.grid.shape, dtype=DTYPE)
+
+    def snapshot_field(self) -> np.ndarray:
+        """Pressure-like observable ``-(sxx + syy + szz)/3``."""
+        np.add(self.sxx, self.syy, out=self._pressure)
+        self._pressure += self.szz
+        self._pressure *= np.float32(-1.0 / 3.0)
+        return self._pressure
+
+    def inject_pressure(self, indices, amplitudes, scale: float = 1.0) -> None:
+        """Pressure injection drives the three diagonal stresses."""
+        from repro.source.injection import inject
+
+        for field in (self.sxx, self.syy, self.szz):
+            inject(field, indices, amplitudes, scale=-scale)
+
+    # ------------------------------------------------------------------
+    def _diff(self, f: np.ndarray, axis: int, fwd: bool, name: str) -> np.ndarray:
+        """One damped derivative into a fresh array (22 per step; fresh
+        allocation keeps the data flow simple and is amortised by the
+        kernel-sized arithmetic around it)."""
+        self._buf.fill(0.0)
+        h = self.grid.spacing[axis]
+        if fwd:
+            d = staggered_diff_forward(f, axis, h, self.space_order, out=self._buf)
+        else:
+            d = staggered_diff_backward(f, axis, h, self.space_order, out=self._buf)
+        d = self.cpml.damp(name, axis, d, half=fwd)
+        return d.copy()
+
+    def _step_impl(self, sources: Sequence[tuple[tuple[int, ...], float]]) -> None:
+        dt = np.float32(self.dt)
+        # --- velocities -----------------------------------------------
+        self.vx += dt * self.buoy[_X] * (
+            self._diff(self.sxx, _X, True, "dsxx_dx")
+            + self._diff(self.sxy, _Y, False, "dsxy_dy")
+            + self._diff(self.sxz, _Z, False, "dsxz_dz")
+        )
+        self.vy += dt * self.buoy[_Y] * (
+            self._diff(self.sxy, _X, False, "dsxy_dx")
+            + self._diff(self.syy, _Y, True, "dsyy_dy")
+            + self._diff(self.syz, _Z, False, "dsyz_dz")
+        )
+        self.vz += dt * self.buoy[_Z] * (
+            self._diff(self.sxz, _X, False, "dsxz_dx")
+            + self._diff(self.syz, _Y, False, "dsyz_dy")
+            + self._diff(self.szz, _Z, True, "dszz_dz")
+        )
+        if self.mid_step_hook is not None:
+            self.mid_step_hook()
+        # --- diagonal stresses (sharing the three divergence terms) ----
+        dvx_dx = self._diff(self.vx, _X, False, "dvx_dx")
+        dvy_dy = self._diff(self.vy, _Y, False, "dvy_dy")
+        dvz_dz = self._diff(self.vz, _Z, False, "dvz_dz")
+        self.sxx += dt * (self.lam2mu * dvx_dx + self.lam * (dvy_dy + dvz_dz))
+        self.syy += dt * (self.lam2mu * dvy_dy + self.lam * (dvx_dx + dvz_dz))
+        self.szz += dt * (self.lam2mu * dvz_dz + self.lam * (dvx_dx + dvy_dy))
+        # --- shear stresses --------------------------------------------
+        self.sxy += dt * self.mu_xy * (
+            self._diff(self.vy, _X, True, "dvy_dx") + self._diff(self.vx, _Y, True, "dvx_dy")
+        )
+        self.sxz += dt * self.mu_xz * (
+            self._diff(self.vz, _X, True, "dvz_dx") + self._diff(self.vx, _Z, True, "dvx_dz")
+        )
+        self.syz += dt * self.mu_yz * (
+            self._diff(self.vz, _Y, True, "dvz_dy") + self._diff(self.vy, _Z, True, "dvy_dz")
+        )
+        # --- explosive source ------------------------------------------
+        for index, amp in sources:
+            a = dt * np.float32(amp)
+            self.sxx[index] += a
+            self.syy[index] += a
+            self.szz[index] += a
+
+    # ------------------------------------------------------------------
+    def kernel_workloads(self) -> list[KernelWorkload]:
+        from repro.propagators.workloads import elastic_workloads
+
+        return elastic_workloads(self.grid.shape, self.space_order)

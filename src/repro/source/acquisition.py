@@ -1,0 +1,110 @@
+"""Acquisition geometry: receiver spreads and shots.
+
+A :class:`Shot` bundles what one RTM migration needs: the source, the
+receiver spread, and (after modeling) the recorded seismogram that the
+backward phase re-injects at the receiver positions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.grid.grid import Grid
+from repro.source.injection import PointSource, extract, inject
+from repro.utils.arrays import DTYPE
+from repro.utils.errors import ConfigurationError
+
+
+@dataclass
+class Receivers:
+    """A set of receivers given by their grid indices, shape ``(n, ndim)``."""
+
+    indices: np.ndarray
+
+    def __post_init__(self):
+        self.indices = np.atleast_2d(np.asarray(self.indices, dtype=np.intp))
+        if self.indices.size == 0:
+            raise ConfigurationError("receiver set must not be empty")
+
+    @property
+    def count(self) -> int:
+        return self.indices.shape[0]
+
+    @property
+    def ndim(self) -> int:
+        return self.indices.shape[1]
+
+    def record(self, field: np.ndarray) -> np.ndarray:
+        """Sample the wavefield at all receivers (one time step's traces)."""
+        return extract(field, self.indices)
+
+    def inject_traces(self, field: np.ndarray, traces: np.ndarray, scale: float = 1.0) -> None:
+        """Add one time step's trace amplitudes at the receiver positions —
+        the receiver injection of the RTM backward phase."""
+        traces = np.asarray(traces)
+        if traces.shape != (self.count,):
+            raise ConfigurationError(
+                f"expected {self.count} trace samples, got shape {traces.shape}"
+            )
+        inject(field, self.indices, traces, scale=scale)
+
+
+def line_receivers(grid: Grid, depth_index: int, stride: int = 1, margin: int = 0) -> Receivers:
+    """Receivers along a horizontal line (2-D) or plane diagonal line (3-D)
+    at constant depth ``depth_index``, every ``stride`` grid points, keeping
+    ``margin`` points clear of the lateral edges."""
+    if not 0 <= depth_index < grid.shape[0]:
+        raise ConfigurationError(
+            f"depth_index {depth_index} outside axis of {grid.shape[0]} points"
+        )
+    xs = np.arange(margin, grid.shape[1] - margin, stride, dtype=np.intp)
+    if xs.size == 0:
+        raise ConfigurationError("margin/stride leave no receivers")
+    if grid.ndim == 2:
+        idx = np.stack([np.full_like(xs, depth_index), xs], axis=1)
+    else:
+        y_mid = grid.shape[2] // 2
+        idx = np.stack(
+            [np.full_like(xs, depth_index), xs, np.full_like(xs, y_mid)], axis=1
+        )
+    return Receivers(idx)
+
+
+def grid_receivers(grid: Grid, depth_index: int, stride: int = 4, margin: int = 0) -> Receivers:
+    """A full areal spread at constant depth (3-D only): receivers on an
+    ``stride``-decimated (x, y) lattice."""
+    if grid.ndim != 3:
+        raise ConfigurationError("grid_receivers requires a 3-D grid")
+    xs = np.arange(margin, grid.shape[1] - margin, stride, dtype=np.intp)
+    ys = np.arange(margin, grid.shape[2] - margin, stride, dtype=np.intp)
+    if xs.size == 0 or ys.size == 0:
+        raise ConfigurationError("margin/stride leave no receivers")
+    gx, gy = np.meshgrid(xs, ys, indexing="ij")
+    n = gx.size
+    idx = np.stack(
+        [np.full(n, depth_index, dtype=np.intp), gx.ravel(), gy.ravel()], axis=1
+    )
+    return Receivers(idx)
+
+
+@dataclass
+class Shot:
+    """One experiment: a source, a receiver spread, and (once modelled) the
+    recorded data of shape ``(nt, nreceivers)``."""
+
+    source: PointSource
+    receivers: Receivers
+    data: np.ndarray | None = field(default=None)
+
+    def allocate_data(self, nt: int) -> np.ndarray:
+        """Allocate the seismogram buffer for ``nt`` time steps."""
+        self.data = np.zeros((nt, self.receivers.count), dtype=DTYPE)
+        return self.data
+
+    def record_step(self, step: int, wavefield: np.ndarray) -> None:
+        """Record one time step into the seismogram."""
+        if self.data is None:
+            raise ConfigurationError("call allocate_data(nt) before recording")
+        self.data[step, :] = self.receivers.record(wavefield)

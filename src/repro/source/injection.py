@@ -1,0 +1,92 @@
+"""Point-source injection and receiver extraction/injection.
+
+The paper ports both injections to the GPU (Section 5.4): source injection is
+a single-point update with ~0.04 % GPU utilization; receiver injection loops
+over all receivers and reaches ~26 % after the receiver loop is inlined into
+one kernel. The same functions serve both the host path and the device path
+(the :mod:`repro.acc` runtime executes them against device-resident arrays).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.grid.grid import Grid
+from repro.utils.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class PointSource:
+    """A point source: grid index + source time function.
+
+    ``wavelet[n]`` is the source amplitude at time step ``n``.
+    """
+
+    index: tuple[int, ...]
+    wavelet: np.ndarray
+
+    @staticmethod
+    def at_coords(grid: Grid, coords: Sequence[float], wavelet: np.ndarray) -> "PointSource":
+        """Place a source at physical coordinates (metres), snapping to the
+        nearest grid point."""
+        return PointSource(grid.nearest_index(coords), np.asarray(wavelet))
+
+    @staticmethod
+    def at_center(grid: Grid, wavelet: np.ndarray, depth_index: int | None = None) -> "PointSource":
+        """Source at the horizontal centre of the grid; ``depth_index``
+        defaults to the vertical centre."""
+        idx = list(grid.center_index())
+        if depth_index is not None:
+            if not 0 <= depth_index < grid.shape[0]:
+                raise ConfigurationError(
+                    f"depth_index {depth_index} outside axis of {grid.shape[0]} points"
+                )
+            idx[0] = int(depth_index)
+        return PointSource(tuple(idx), np.asarray(wavelet))
+
+    def amplitude(self, step: int) -> float:
+        """Amplitude at time step ``step`` (0 beyond the wavelet length)."""
+        if 0 <= step < len(self.wavelet):
+            return float(self.wavelet[step])
+        return 0.0
+
+
+def inject(
+    field: np.ndarray,
+    indices: np.ndarray,
+    amplitudes: np.ndarray | float,
+    scale: float = 1.0,
+) -> None:
+    """Add ``scale * amplitudes`` into ``field`` at ``indices``.
+
+    ``indices`` is an ``(n, ndim)`` integer array (one row per injection
+    point). Duplicate indices accumulate, matching the physical superposition
+    of collocated receivers — this uses ``np.add.at`` rather than fancy-index
+    assignment, which would silently drop duplicates.
+    """
+    indices = np.asarray(indices)
+    if indices.ndim == 1:
+        indices = indices[None, :]
+    if indices.shape[1] != field.ndim:
+        raise ConfigurationError(
+            f"indices are {indices.shape[1]}-D but field is {field.ndim}-D"
+        )
+    amp = np.broadcast_to(
+        np.asarray(amplitudes, dtype=field.dtype), (indices.shape[0],)
+    )
+    np.add.at(field, tuple(indices.T), (scale * amp).astype(field.dtype))
+
+
+def extract(field: np.ndarray, indices: np.ndarray) -> np.ndarray:
+    """Sample ``field`` at ``indices`` — receiver recording."""
+    indices = np.asarray(indices)
+    if indices.ndim == 1:
+        indices = indices[None, :]
+    if indices.shape[1] != field.ndim:
+        raise ConfigurationError(
+            f"indices are {indices.shape[1]}-D but field is {field.ndim}-D"
+        )
+    return field[tuple(indices.T)]

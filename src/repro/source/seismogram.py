@@ -1,0 +1,115 @@
+"""Seismogram (shot-record) processing utilities.
+
+The modeling driver produces raw ``(nt, nreceivers)`` float32 records
+("predicts the seismograms that can be recorded by a set of sensors", paper
+Section 3.1); these helpers cover the basic processing an adopter applies
+before interpretation or migration: gain, normalisation, muting, picking
+and resampling.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils.arrays import DTYPE
+from repro.utils.errors import ConfigurationError
+
+
+def _check(seismogram: np.ndarray) -> np.ndarray:
+    a = np.asarray(seismogram)
+    if a.ndim != 2:
+        raise ConfigurationError(
+            f"seismogram must be (nt, nreceivers), got shape {a.shape}"
+        )
+    return a
+
+
+def agc(seismogram: np.ndarray, window: int) -> np.ndarray:
+    """Automatic gain control: divide each sample by the RMS of a centred
+    ``window``-sample segment of its own trace (reveals weak late
+    arrivals, e.g. deep reflections, next to the strong direct wave)."""
+    a = _check(seismogram).astype(np.float64)
+    if window < 1 or window > a.shape[0]:
+        raise ConfigurationError(f"window must be in 1..{a.shape[0]}")
+    power = a**2
+    kernel = np.ones(window) / window
+    rms = np.sqrt(
+        np.apply_along_axis(
+            lambda t: np.convolve(t, kernel, mode="same"), 0, power
+        )
+    )
+    floor = 1e-6 * (rms.max() or 1.0)
+    return (a / (rms + floor)).astype(DTYPE)
+
+
+def normalize_traces(seismogram: np.ndarray) -> np.ndarray:
+    """Scale each trace to unit peak amplitude (dead traces stay zero)."""
+    a = _check(seismogram).astype(np.float64)
+    peaks = np.abs(a).max(axis=0, keepdims=True)
+    peaks[peaks == 0] = 1.0
+    return (a / peaks).astype(DTYPE)
+
+
+def mute_direct_arrival(
+    seismogram: np.ndarray,
+    dt: float,
+    offsets_m: np.ndarray,
+    velocity: float,
+    pad_s: float = 0.05,
+) -> np.ndarray:
+    """Zero everything before the direct arrival per trace: sample cutoff
+    at ``offset / velocity + pad`` (the standard top mute before
+    migration/velocity analysis)."""
+    a = _check(seismogram)
+    offsets = np.asarray(offsets_m, dtype=np.float64)
+    if offsets.shape != (a.shape[1],):
+        raise ConfigurationError(
+            f"need one offset per trace ({a.shape[1]}), got {offsets.shape}"
+        )
+    if dt <= 0 or velocity <= 0:
+        raise ConfigurationError("dt and velocity must be positive")
+    out = a.astype(DTYPE).copy()
+    cut = ((np.abs(offsets) / velocity + pad_s) / dt).astype(int)
+    for j, c in enumerate(cut):
+        out[: min(max(c, 0), a.shape[0]), j] = 0.0
+    return out
+
+
+def first_breaks(
+    seismogram: np.ndarray, threshold: float = 0.05
+) -> np.ndarray:
+    """First-break picks: the first sample of each trace exceeding
+    ``threshold`` of that trace's peak amplitude (-1 for dead traces)."""
+    a = np.abs(_check(seismogram).astype(np.float64))
+    if not 0 < threshold < 1:
+        raise ConfigurationError("threshold must be in (0, 1)")
+    peaks = a.max(axis=0)
+    picks = np.full(a.shape[1], -1, dtype=np.int64)
+    for j in range(a.shape[1]):
+        if peaks[j] == 0:
+            continue
+        hits = np.nonzero(a[:, j] >= threshold * peaks[j])[0]
+        if hits.size:
+            picks[j] = int(hits[0])
+    return picks
+
+
+def resample(seismogram: np.ndarray, factor: int) -> np.ndarray:
+    """Anti-aliased decimation in time by an integer ``factor`` (simple
+    ``factor``-sample box average then take every ``factor``-th sample —
+    adequate for wavefields already oversampled by the CFL bound)."""
+    a = _check(seismogram).astype(np.float64)
+    if factor < 1:
+        raise ConfigurationError("factor must be >= 1")
+    if factor == 1:
+        return a.astype(DTYPE)
+    n_full = (a.shape[0] // factor) * factor
+    trimmed = a[:n_full]
+    boxed = trimmed.reshape(-1, factor, a.shape[1]).mean(axis=1)
+    return boxed.astype(DTYPE)
+
+
+def trace_energy(seismogram: np.ndarray) -> np.ndarray:
+    """Per-trace energy ``sum_t s^2`` — a quick acquisition QC vector."""
+    a = _check(seismogram).astype(np.float64)
+    return np.sum(a**2, axis=0)

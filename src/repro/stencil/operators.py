@@ -1,0 +1,195 @@
+"""Vectorised stencil operators.
+
+Each operator writes into the *valid interior* of a same-shape output array
+and leaves a border of ``stencil_radius(order)`` points untouched (zero when
+the caller passes a fresh array). The propagators keep wavefields inside an
+absorbing layer wider than the stencil radius, so the untouched border never
+feeds back into the physics.
+
+All operators are pure NumPy slice arithmetic — views, not copies — so a
+single fused expression per axis keeps memory traffic at the theoretical
+minimum the roofline model in :mod:`repro.gpusim` assumes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.stencil.coefficients import (
+    DEFAULT_SPACE_ORDER,
+    second_derivative_coefficients,
+    staggered_coefficients,
+)
+from repro.utils.errors import ConfigurationError
+
+
+def stencil_radius(order: int = DEFAULT_SPACE_ORDER) -> int:
+    """Half-width of the stencil of the given accuracy order (4 for the
+    paper's width-8 operators)."""
+    if order <= 0 or order % 2 != 0:
+        raise ConfigurationError(f"order must be a positive even integer, got {order}")
+    return order // 2
+
+
+def _axis_slice(ndim: int, axis: int, sl: slice) -> tuple[slice, ...]:
+    out = [slice(None)] * ndim
+    out[axis] = sl
+    return tuple(out)
+
+
+def second_derivative(
+    u: np.ndarray,
+    axis: int,
+    spacing: float,
+    order: int = DEFAULT_SPACE_ORDER,
+    out: np.ndarray | None = None,
+    accumulate: bool = False,
+) -> np.ndarray:
+    """Centered 2nd derivative of ``u`` along ``axis``.
+
+    Valid for indices ``radius .. n-radius-1`` along ``axis``; other
+    positions of ``out`` are untouched. With ``accumulate=True`` the result
+    is added to ``out`` instead of overwriting — that is how
+    :func:`laplacian` fuses the axis contributions without temporaries.
+    """
+    m = stencil_radius(order)
+    n = u.shape[axis]
+    if n < 2 * m + 1:
+        raise ConfigurationError(
+            f"axis {axis} has {n} points, needs >= {2 * m + 1} for order {order}"
+        )
+    c0, side = second_derivative_coefficients(order)
+    inv_h2 = 1.0 / (spacing * spacing)
+    ndim = u.ndim
+    center = _axis_slice(ndim, axis, slice(m, n - m))
+    if out is None:
+        out = np.zeros_like(u)
+        accumulate = False
+    scal = u.dtype.type  # keep scalar precision matched to the field
+    acc = np.multiply(u[center], scal(c0 * inv_h2))
+    for k, ck in enumerate(side, start=1):
+        up = u[_axis_slice(ndim, axis, slice(m + k, n - m + k))]
+        dn = u[_axis_slice(ndim, axis, slice(m - k, n - m - k))]
+        acc += scal(ck * inv_h2) * (up + dn)
+    if accumulate:
+        out[center] += acc
+    else:
+        out[center] = acc
+    return out
+
+
+def laplacian(
+    u: np.ndarray,
+    spacing: tuple[float, ...],
+    order: int = DEFAULT_SPACE_ORDER,
+    out: np.ndarray | None = None,
+) -> np.ndarray:
+    """High-order Laplacian of ``u`` (sum of per-axis 2nd derivatives).
+
+    The first axis overwrites ``out``'s interior and subsequent axes
+    accumulate, so only the *common* interior (radius border on every axis)
+    holds the complete Laplacian; that is the region the propagators update.
+    """
+    if len(spacing) != u.ndim:
+        raise ConfigurationError(
+            f"spacing needs {u.ndim} entries, got {len(spacing)}"
+        )
+    if out is None:
+        out = np.zeros_like(u)
+    else:
+        out.fill(0.0)
+    for axis, h in enumerate(spacing):
+        second_derivative(u, axis, h, order=order, out=out, accumulate=True)
+    return out
+
+
+def staggered_diff_forward(
+    u: np.ndarray,
+    axis: int,
+    spacing: float,
+    order: int = DEFAULT_SPACE_ORDER,
+    out: np.ndarray | None = None,
+) -> np.ndarray:
+    """First derivative taken *forward* to half points: sample ``i`` of the
+    result approximates ``du/dx`` at ``i + 1/2``.
+
+    ``D+ u[i] = (1/h) * sum_m c_m (u[i+m] - u[i-m+1])``.
+    Valid for ``i`` in ``m-1 .. n-m-1``.
+    """
+    m = stencil_radius(order)
+    n = u.shape[axis]
+    if n < 2 * m:
+        raise ConfigurationError(
+            f"axis {axis} has {n} points, needs >= {2 * m} for order {order}"
+        )
+    coefs = staggered_coefficients(order)
+    inv_h = 1.0 / spacing
+    ndim = u.ndim
+    target = _axis_slice(ndim, axis, slice(m - 1, n - m))
+    if out is None:
+        out = np.zeros_like(u)
+    scal = u.dtype.type
+    acc = None
+    for k, ck in enumerate(coefs, start=1):
+        hi = u[_axis_slice(ndim, axis, slice(m - 1 + k, n - m + k))]
+        lo = u[_axis_slice(ndim, axis, slice(m - k, n - m - k + 1))]
+        term = scal(ck * inv_h) * (hi - lo)
+        acc = term if acc is None else acc + term
+    out[target] = acc
+    return out
+
+
+def staggered_diff_backward(
+    u: np.ndarray,
+    axis: int,
+    spacing: float,
+    order: int = DEFAULT_SPACE_ORDER,
+    out: np.ndarray | None = None,
+) -> np.ndarray:
+    """First derivative taken *backward* from half points: sample ``i`` of
+    the result approximates ``du/dx`` at integer point ``i`` given samples at
+    half points (stored with the same-shape convention, sample ``j`` == point
+    ``j + 1/2``).
+
+    ``D- u[i] = (1/h) * sum_m c_m (u[i+m-1] - u[i-m])``.
+    Valid for ``i`` in ``m .. n-m``.
+    """
+    m = stencil_radius(order)
+    n = u.shape[axis]
+    if n < 2 * m + 1:
+        raise ConfigurationError(
+            f"axis {axis} has {n} points, needs >= {2 * m + 1} for order {order}"
+        )
+    coefs = staggered_coefficients(order)
+    inv_h = 1.0 / spacing
+    ndim = u.ndim
+    target = _axis_slice(ndim, axis, slice(m, n - m + 1))
+    if out is None:
+        out = np.zeros_like(u)
+    scal = u.dtype.type
+    acc = None
+    for k, ck in enumerate(coefs, start=1):
+        hi = u[_axis_slice(ndim, axis, slice(m + k - 1, n - m + k))]
+        lo = u[_axis_slice(ndim, axis, slice(m - k, n - m - k + 1))]
+        term = scal(ck * inv_h) * (hi - lo)
+        acc = term if acc is None else acc + term
+    out[target] = acc
+    return out
+
+
+# ----------------------------------------------------------------------
+# cost metadata consumed by the GPU cost model
+# ----------------------------------------------------------------------
+def laplacian_reads_per_point(ndim: int, order: int = DEFAULT_SPACE_ORDER) -> int:
+    """Distinct input samples per output point of the Laplacian: the paper's
+    25-point figure for ndim=3, order=8."""
+    return ndim * order + 1
+
+
+def laplacian_flops_per_point(ndim: int, order: int = DEFAULT_SPACE_ORDER) -> int:
+    """Floating-point operations per output point of the symmetric-form
+    Laplacian: per axis, m adds for symmetric pairs, m multiplies, m adds to
+    accumulate, plus the centre multiply-add."""
+    m = order // 2
+    per_axis = 3 * m
+    return ndim * per_axis + 2

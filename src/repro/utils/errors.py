@@ -1,0 +1,61 @@
+"""Exception hierarchy for the repro package.
+
+Every error raised by the package derives from :class:`ReproError` so callers
+can catch package failures with a single ``except`` clause while still
+distinguishing device, numerical and communication problems.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro package."""
+
+
+class ConfigurationError(ReproError):
+    """An object was constructed with inconsistent or out-of-range options."""
+
+
+class StabilityError(ReproError):
+    """A simulation would violate (or has violated) the CFL stability bound.
+
+    Raised before time stepping when the requested ``dt`` exceeds the CFL
+    limit, and during stepping when a wavefield turns non-finite.
+    """
+
+
+class DeviceError(ReproError):
+    """Base class for simulated-accelerator failures."""
+
+
+class DeviceOutOfMemoryError(DeviceError):
+    """Allocation request exceeded the simulated device's global memory.
+
+    The paper hits this for real: the elastic 3-D variables do not fit the
+    6 GB Fermi M2090, producing the ``x`` entries in its Tables 3 and 4.
+    """
+
+    def __init__(self, requested: int, free: int, capacity: int):
+        from repro.utils.units import bytes_to_human
+
+        self.requested = int(requested)
+        self.free = int(free)
+        self.capacity = int(capacity)
+        super().__init__(
+            f"device OOM: requested {bytes_to_human(requested)}, "
+            f"free {bytes_to_human(free)} of {bytes_to_human(capacity)}"
+        )
+
+
+class PresentTableError(DeviceError):
+    """OpenACC present-table violation.
+
+    Raised when a kernel declares a ``present`` clause for host data that has
+    no live device copy, when ``exit data`` deletes data that was never
+    entered, or when nested data regions disagree about lifetimes — the same
+    classes of runtime error a real OpenACC runtime reports.
+    """
+
+
+class CommunicationError(ReproError):
+    """Malformed or mismatched message-passing operation in :mod:`repro.mpisim`."""

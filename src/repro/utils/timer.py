@@ -1,0 +1,80 @@
+"""Wall-clock timing and the simulated clock.
+
+:class:`WallTimer` measures real elapsed time (used by pytest-benchmark hooks
+and examples). :class:`SimClock` is the *modelled* clock that the GPU
+simulator and cluster cost model advance; all speedups the benchmark harness
+reports are ratios of simulated times, mirroring how the paper reports
+CPU/GPU time ratios.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+
+class WallTimer:
+    """Context-manager stopwatch.
+
+    Example::
+
+        with WallTimer() as t:
+            work()
+        print(t.elapsed)
+    """
+
+    def __init__(self) -> None:
+        self._start: float | None = None
+        self.elapsed: float = 0.0
+
+    def __enter__(self) -> "WallTimer":
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        assert self._start is not None
+        self.elapsed = time.perf_counter() - self._start
+
+
+@dataclass
+class SimClock:
+    """Monotonic simulated clock measured in seconds.
+
+    The clock only moves forward; :meth:`advance` with a negative duration is
+    a programming error and raises ``ValueError``. :meth:`advance_to` is used
+    by the stream timeline to jump to an event completion time that may be in
+    the past relative to another stream, in which case it is a no-op.
+    """
+
+    now: float = 0.0
+    #: Cumulative time attributed to named categories (kernel, h2d, d2h, ...).
+    categories: dict[str, float] = field(default_factory=dict)
+
+    def advance(self, dt: float, category: str | None = None) -> float:
+        """Move the clock forward by ``dt`` seconds and return the new time."""
+        if dt < 0:
+            raise ValueError(f"cannot advance simulated clock by {dt} s")
+        self.now += dt
+        if category is not None:
+            self.categories[category] = self.categories.get(category, 0.0) + dt
+        return self.now
+
+    def advance_to(self, t: float) -> float:
+        """Move the clock to absolute time ``t`` if it is in the future."""
+        if t > self.now:
+            self.now = t
+        return self.now
+
+    def charge(self, dt: float, category: str) -> None:
+        """Attribute ``dt`` seconds to ``category`` without moving the clock.
+
+        Used for overlapped work (async streams) where the wall time is
+        governed by the timeline but per-category accounting is still wanted.
+        """
+        if dt < 0:
+            raise ValueError(f"cannot charge negative time {dt} s")
+        self.categories[category] = self.categories.get(category, 0.0) + dt
+
+    def reset(self) -> None:
+        self.now = 0.0
+        self.categories.clear()

@@ -1,0 +1,53 @@
+"""Unit constants and human-readable formatting helpers.
+
+The GPU simulator and cluster cost models speak in bytes, seconds and flops;
+the spec sheets in the paper (its Table 2) speak in GB, GB/s and GFLOPS.
+These constants keep conversions explicit and greppable.
+"""
+
+from __future__ import annotations
+
+#: Binary byte multiples (used for device memory capacities).
+KiB = 1024
+MiB = 1024 * KiB
+GiB = 1024 * MiB
+
+#: Decimal byte multiples (used for bandwidth figures, which vendors quote
+#: in powers of ten).
+KB = 1_000
+MB = 1_000 * KB
+GB = 1_000 * MB
+
+#: One billion floating-point operations.
+GFLOP = 1_000_000_000
+
+#: Microsecond in seconds, handy for launch overheads.
+MICROSECOND = 1e-6
+MILLISECOND = 1e-3
+
+
+def bytes_to_human(n: float) -> str:
+    """Format a byte count for logs, e.g. ``bytes_to_human(3 * GiB)`` ->
+    ``'3.00 GiB'``.
+
+    Negative values are formatted with their sign preserved.
+    """
+    sign = "-" if n < 0 else ""
+    n = abs(float(n))
+    for unit, name in ((GiB, "GiB"), (MiB, "MiB"), (KiB, "KiB")):
+        if n >= unit:
+            return f"{sign}{n / unit:.2f} {name}"
+    return f"{sign}{n:.0f} B"
+
+
+def seconds_to_human(t: float) -> str:
+    """Format a duration, scaling to ns/us/ms/s as appropriate."""
+    sign = "-" if t < 0 else ""
+    t = abs(float(t))
+    if t >= 1.0:
+        return f"{sign}{t:.3f} s"
+    if t >= 1e-3:
+        return f"{sign}{t * 1e3:.3f} ms"
+    if t >= 1e-6:
+        return f"{sign}{t * 1e6:.3f} us"
+    return f"{sign}{t * 1e9:.1f} ns"

@@ -1,0 +1,132 @@
+"""Compiler-persona lowering rules (paper Section 5.2)."""
+
+import pytest
+
+from repro.acc import (
+    COMPILERS,
+    CRAY_8_2_6,
+    PGI_13_7,
+    PGI_14_3,
+    PGI_14_6,
+    CompileFlags,
+    LoopSchedule,
+)
+from repro.propagators.base import KernelWorkload
+from repro.utils.errors import ConfigurationError
+
+
+def wl(branches=False, contiguous=True, dims=(128, 128, 128)):
+    import numpy as np
+
+    return KernelWorkload(
+        name="k",
+        points=int(np.prod(dims)),
+        flops_per_point=30.0,
+        reads_per_point=12.0,
+        writes_per_point=2.0,
+        loop_dims=dims,
+        address_streams=6,
+        has_branches=branches,
+        inner_contiguous=contiguous,
+    )
+
+
+class TestLoopSchedule:
+    def test_gwv_is_explicit(self):
+        assert LoopSchedule.gwv().explicit
+
+    def test_auto_is_not(self):
+        assert not LoopSchedule.auto().explicit
+
+    def test_seq_conflicts_with_gang(self):
+        with pytest.raises(ConfigurationError):
+            LoopSchedule(seq=True, gang=True)
+
+    def test_vector_length_bounds(self):
+        with pytest.raises(ConfigurationError):
+            LoopSchedule(vector_length=2048)
+
+
+class TestPGILowering:
+    def test_kernels_with_independent_gridifies(self):
+        cfg = PGI_14_6.lower("kernels", wl(), LoopSchedule(independent=True))
+        assert cfg.gridified
+        assert cfg.collapsed_levels == 2
+
+    def test_kernels_without_independent_does_not(self):
+        cfg = PGI_14_6.lower("kernels", wl(), LoopSchedule.auto())
+        assert not cfg.gridified
+
+    def test_parallel_without_schedule_is_poor(self):
+        """PGI parallel without explicit gang/vector maps gangs over the
+        outer loop only."""
+        cfg = PGI_14_6.lower("parallel", wl(), LoopSchedule.auto())
+        assert not cfg.gridified
+
+    def test_parallel_with_full_schedule_ok(self):
+        cfg = PGI_14_6.lower("parallel", wl(), LoopSchedule.gwv())
+        assert cfg.gridified
+
+    def test_143_cannot_gridify_branchy_kernels(self):
+        """The Figure 7 mechanism."""
+        cfg = PGI_14_3.lower("kernels", wl(branches=True), LoopSchedule(independent=True))
+        assert not cfg.gridified
+
+    def test_146_gridifies_branchy_kernels(self):
+        """The Figure 6 contrast."""
+        cfg = PGI_14_6.lower("kernels", wl(branches=True), LoopSchedule(independent=True))
+        assert cfg.gridified
+
+    def test_preferred_construct(self):
+        assert PGI_14_6.preferred_construct() == "kernels"
+
+    def test_maxregcount_flag_propagates(self):
+        cfg = PGI_14_6.lower(
+            "kernels", wl(), LoopSchedule(independent=True), CompileFlags(maxregcount=64)
+        )
+        assert cfg.maxregcount == 64
+
+
+class TestCRAYLowering:
+    def test_parallel_gwv_best(self):
+        cfg = CRAY_8_2_6.lower("parallel", wl(), LoopSchedule.gwv())
+        assert cfg.gridified
+        assert cfg.coalesced
+
+    def test_parallel_auto_may_vectorize_wrong_loop(self):
+        cfg = CRAY_8_2_6.lower("parallel", wl(), LoopSchedule.auto())
+        assert not cfg.coalesced
+
+    def test_kernels_auto_uncoalesced(self):
+        """Figures 8-9: bare kernels under CRAY underperforms explicit
+        parallel."""
+        cfg = CRAY_8_2_6.lower("kernels", wl(), LoopSchedule.auto())
+        assert not cfg.coalesced
+
+    def test_preferred_construct(self):
+        assert CRAY_8_2_6.preferred_construct() == "parallel"
+
+    def test_inlining_support(self):
+        assert CRAY_8_2_6.supports_inlining
+        assert not PGI_14_6.supports_inlining
+
+    def test_auto_async(self):
+        assert CRAY_8_2_6.auto_async_kernels
+        assert not PGI_14_6.auto_async_kernels
+
+    def test_known_failures(self):
+        assert "elastic-3d-rtm" in CRAY_8_2_6.known_failures
+        assert PGI_14_6.known_failures == ()
+
+
+class TestRegistry:
+    def test_all_four_compilers(self):
+        assert set(COMPILERS) == {"pgi-13.7", "pgi-14.3", "pgi-14.6", "cray-8.2.6"}
+
+    def test_invalid_construct(self):
+        with pytest.raises(ConfigurationError):
+            PGI_13_7.lower("teams", wl())
+
+    def test_pgi_async_factor_high(self):
+        for p in (PGI_13_7, PGI_14_3, PGI_14_6):
+            assert p.async_enqueue_factor > CRAY_8_2_6.async_enqueue_factor

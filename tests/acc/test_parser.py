@@ -1,0 +1,156 @@
+"""The OpenACC directive-string parser, including the paper's own
+directive sequences verbatim."""
+
+import warnings
+
+import numpy as np
+import pytest
+
+from repro.acc import (
+    IneffectiveDirectiveWarning,
+    PGI_14_6,
+    Runtime,
+    apply_directive,
+    parse_directive,
+)
+from repro.gpusim import Device, K40
+from repro.propagators.base import KernelWorkload
+from repro.utils.errors import ConfigurationError, PresentTableError
+from repro.utils.units import MB
+
+
+def wl():
+    return KernelWorkload("k", 10**5, 20.0, 8, 2, (1000, 100), address_streams=5)
+
+
+class TestParsing:
+    def test_fortran_sentinel(self):
+        d = parse_directive("!$acc kernels")
+        assert d.construct == "kernels"
+
+    def test_c_sentinel(self):
+        d = parse_directive("#pragma acc parallel loop gang vector")
+        assert d.construct == "parallel"
+        assert d.schedule.gang and d.schedule.vector
+
+    def test_case_insensitive_sentinel(self):
+        """The paper writes 'ACC ENTER DATA COPYIN' in caps."""
+        d = parse_directive("!$ACC ENTER DATA COPYIN(u, v)")
+        assert d.construct == "enter data"
+        assert d.data["copyin"] == ("u", "v")
+
+    def test_exit_data_delete(self):
+        d = parse_directive("!$acc exit data delete(u) copyout(image)")
+        assert d.construct == "exit data"
+        assert d.data["delete"] == ("u",)
+        assert d.data["copyout"] == ("image",)
+
+    def test_update_host_device(self):
+        d = parse_directive("!$acc update host(u) device(v, w)")
+        assert d.update_host == ("u",)
+        assert d.update_device == ("v", "w")
+
+    def test_loop_scheduling_clauses(self):
+        d = parse_directive(
+            "!$acc parallel loop gang worker vector vector_length(256) "
+            "collapse(2) independent"
+        )
+        s = d.schedule
+        assert s.explicit
+        assert s.vector_length == 256
+        assert s.collapse == 2
+        assert s.independent
+
+    def test_vector_with_inline_length(self):
+        d = parse_directive("!$acc loop gang vector(64)")
+        assert d.schedule.vector_length == 64
+
+    def test_async_with_queue(self):
+        d = parse_directive("!$acc kernels async(3)")
+        assert d.async_ == 3
+
+    def test_bare_async(self):
+        d = parse_directive("!$acc kernels async")
+        assert d.async_ is True
+
+    def test_wait_queues(self):
+        d = parse_directive("!$acc wait(1, 2)")
+        assert d.construct == "wait"
+        assert d.wait_on == (1, 2)
+
+    def test_present_clause(self):
+        d = parse_directive("!$acc kernels present(u, vp)")
+        assert d.data["present"] == ("u", "vp")
+
+    def test_tile_clause_parses_with_warning(self):
+        with pytest.warns(IneffectiveDirectiveWarning):
+            d = parse_directive("!$acc loop tile(32, 4)")
+        assert d.schedule.tile == (32, 4)
+
+    def test_cache_directive(self):
+        d = parse_directive("!$acc cache(u, tmp)")
+        assert d.cache_vars == ("u", "tmp")
+
+    def test_errors(self):
+        with pytest.raises(ConfigurationError):
+            parse_directive("not a directive")
+        with pytest.raises(ConfigurationError):
+            parse_directive("!$acc teams distribute")
+        with pytest.raises(ConfigurationError):
+            parse_directive("!$acc enter copyin(u)")
+        with pytest.raises(ConfigurationError):
+            parse_directive("!$acc update")
+        with pytest.raises(ConfigurationError):
+            parse_directive("!$acc")
+
+
+class TestApplication:
+    def test_paper_section51_sequence(self):
+        """The paper's Section 5.1 step 1/5 pattern, executed verbatim:
+        ENTER DATA COPYIN after host allocation, EXIT DATA DELETE before
+        de-allocation, PRESENT on kernels in between."""
+        rt = Runtime(Device(K40), compiler=PGI_14_6)
+        u = np.zeros((256, 256), dtype=np.float32)
+        apply_directive(rt, "!$ACC ENTER DATA COPYIN(u)", data={"u": u})
+        assert rt.is_present("u")
+        est = apply_directive(
+            rt, "!$acc kernels loop independent present(u)", workload=wl()
+        )
+        assert est.seconds > 0
+        apply_directive(rt, "!$acc update host(u)")
+        apply_directive(rt, "!$ACC EXIT DATA DELETE(u)")
+        rt.shutdown_check()
+
+    def test_present_violation_detected(self):
+        rt = Runtime(Device(K40), compiler=PGI_14_6)
+        with pytest.raises(PresentTableError):
+            apply_directive(rt, "!$acc kernels present(ghost)", workload=wl())
+
+    def test_compute_needs_workload(self):
+        rt = Runtime(Device(K40), compiler=PGI_14_6)
+        with pytest.raises(ConfigurationError):
+            apply_directive(rt, "!$acc kernels")
+
+    def test_fn_executes(self):
+        rt = Runtime(Device(K40), compiler=PGI_14_6)
+        hit = []
+        apply_directive(rt, "!$acc parallel loop gang vector",
+                        workload=wl(), fn=lambda: hit.append(1))
+        assert hit == [1]
+
+    def test_async_and_wait_flow(self):
+        rt = Runtime(Device(K40), compiler=PGI_14_6)
+        apply_directive(rt, "!$acc kernels async(2)", workload=wl())
+        apply_directive(rt, "!$acc wait(2)")
+        assert rt.device.streams.idle()
+
+    def test_missing_size_rejected(self):
+        rt = Runtime(Device(K40), compiler=PGI_14_6)
+        with pytest.raises(ConfigurationError):
+            apply_directive(rt, "!$acc enter data copyin(u)")
+
+    def test_cache_application(self):
+        rt = Runtime(Device(K40), compiler=PGI_14_6)
+        rt.enter_data(copyin={"u": MB})
+        with pytest.warns(IneffectiveDirectiveWarning):
+            apply_directive(rt, "!$acc cache(u)")

@@ -1,0 +1,34 @@
+"""Fast structural checks of the figure generators (full regeneration with
+shape assertions lives in benchmarks/)."""
+
+import pytest
+
+from repro.bench import figures
+
+
+class TestFigureStructures:
+    def test_fig12_structure(self):
+        data = figures.fig12_fission()
+        assert set(data) == {"Tesla M2090", "Tesla K40"}
+        for series in data.values():
+            assert set(series) == {"fused", "fissioned"}
+            assert all(v > 0 for v in series.values())
+
+    def test_fig13_structure(self):
+        data = figures.fig13_coalescing()
+        for series in data.values():
+            assert set(series) == {"original", "transposed"}
+
+    def test_fig10_structure(self):
+        pts = figures.fig10_register_sweep()
+        assert [p.maxregcount for p in pts] == [16, 32, 64, 128, 255]
+
+    def test_fig11_structure(self):
+        data = figures.fig11_async()
+        assert set(data) == {"CRAY", "PGI"}
+        assert -5.0 < data["PGI"] < data["CRAY"] < 1.0
+
+    def test_backward_reuse_structure(self):
+        data = figures.backward_reuse_comparison("acoustic", 2)
+        assert set(data) == {"original", "reuse_modeling_kernel"}
+        assert data["original"] > data["reuse_modeling_kernel"]

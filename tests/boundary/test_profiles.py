@@ -1,0 +1,63 @@
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.boundary import damping_profile, pml_sigma_max
+from repro.utils.errors import ConfigurationError
+
+
+class TestSigmaMax:
+    def test_formula(self):
+        s = pml_sigma_max(2000.0, 160.0, reflection=1e-4, order=2)
+        assert s == pytest.approx(-3 * 2000.0 * np.log(1e-4) / (2 * 160.0))
+
+    def test_stronger_for_thinner_layer(self):
+        assert pml_sigma_max(2000.0, 80.0) > pml_sigma_max(2000.0, 160.0)
+
+    def test_stronger_for_lower_reflection(self):
+        assert pml_sigma_max(2000.0, 160.0, 1e-6) > pml_sigma_max(2000.0, 160.0, 1e-3)
+
+    def test_invalid(self):
+        with pytest.raises(ConfigurationError):
+            pml_sigma_max(-1.0, 100.0)
+        with pytest.raises(ConfigurationError):
+            pml_sigma_max(1000.0, 100.0, reflection=2.0)
+
+
+class TestDampingProfile:
+    def test_zero_in_interior(self):
+        p = damping_profile(100, 10, 50.0, 10.0)
+        assert np.all(p[10:90] == 0.0)
+
+    def test_max_at_edges(self):
+        p = damping_profile(100, 10, 50.0, 10.0)
+        assert p[0] == pytest.approx(50.0)
+        assert p[-1] == pytest.approx(50.0)
+
+    def test_monotone_into_layer(self):
+        p = damping_profile(100, 12, 50.0, 10.0)
+        assert np.all(np.diff(p[:12]) <= 0)
+        assert np.all(np.diff(p[-12:]) >= 0)
+
+    def test_symmetric(self):
+        p = damping_profile(101, 15, 42.0, 10.0)
+        np.testing.assert_allclose(p, p[::-1], atol=1e-12)
+
+    def test_zero_width(self):
+        p = damping_profile(50, 0, 50.0, 10.0)
+        assert np.all(p == 0.0)
+
+    def test_half_shift_changes_samples(self):
+        a = damping_profile(60, 10, 50.0, 10.0, half_shift=False)
+        b = damping_profile(60, 10, 50.0, 10.0, half_shift=True)
+        assert not np.allclose(a[:10], b[:10])
+
+    def test_overlapping_layers_rejected(self):
+        with pytest.raises(ConfigurationError):
+            damping_profile(10, 5, 50.0, 10.0)
+
+    @given(st.integers(min_value=2, max_value=6))
+    def test_profile_order(self, order):
+        p = damping_profile(80, 10, 10.0, 10.0, order=order)
+        assert np.all(p >= 0)
+        assert p[0] == pytest.approx(10.0, rel=1e-9)

@@ -1,0 +1,86 @@
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import checkpointed_rtm_cost, plan_checkpoints
+from repro.utils.errors import ConfigurationError
+
+
+class TestPlan:
+    def test_full_budget_stores_everything(self):
+        plan = plan_checkpoints(nt=100, snap_period=10, budget=10)
+        assert plan.stored == 10
+        assert plan.recompute_steps == 0
+        assert plan.storage_fraction == 1.0
+
+    def test_half_budget_recomputes(self):
+        plan = plan_checkpoints(nt=100, snap_period=10, budget=5)
+        assert plan.stored == 5
+        assert plan.recompute_steps > 0
+        assert 0 < plan.storage_fraction < 1
+
+    def test_first_state_always_stored(self):
+        plan = plan_checkpoints(nt=200, snap_period=10, budget=3)
+        assert 0 in plan.stored_indices
+
+    def test_minimal_budget(self):
+        plan = plan_checkpoints(nt=100, snap_period=10, budget=1)
+        assert plan.stored_indices == (0,)
+        # every other state recomputed from the start: sum_{k=1..9} 10k
+        assert plan.recompute_steps == sum(10 * k for k in range(1, 10))
+
+    def test_recompute_monotone_in_budget(self):
+        costs = [
+            plan_checkpoints(300, 10, b).recompute_steps for b in (1, 3, 6, 15, 30)
+        ]
+        assert costs == sorted(costs, reverse=True)
+        assert costs[-1] == 0
+
+    def test_invalid(self):
+        with pytest.raises(ConfigurationError):
+            plan_checkpoints(0, 10, 3)
+        with pytest.raises(ConfigurationError):
+            plan_checkpoints(100, 10, 0)
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        st.integers(min_value=10, max_value=2000),
+        st.integers(min_value=1, max_value=50),
+        st.integers(min_value=1, max_value=64),
+    )
+    def test_invariants(self, nt, snap_period, budget):
+        plan = plan_checkpoints(nt, snap_period, budget)
+        nsnaps = nt // snap_period
+        assert plan.stored <= min(budget, max(nsnaps, 0)) or nsnaps == 0
+        assert plan.recompute_steps >= 0
+        assert all(0 <= i < max(nsnaps, 1) for i in plan.stored_indices)
+        if plan.stored == nsnaps:
+            assert plan.recompute_steps == 0
+
+
+class TestCost:
+    def test_full_budget_matches_baseline_compute(self):
+        c = checkpointed_rtm_cost(
+            forward_step_seconds=0.01, nt=100, snap_period=10, budget=10,
+            field_bytes=4_000_000,
+        )
+        assert c.slowdown == pytest.approx(1.0)
+        assert c.storage_bytes == 10 * 4_000_000
+
+    def test_tight_budget_trades_storage_for_compute(self):
+        full = checkpointed_rtm_cost(0.01, 1000, 10, budget=100, field_bytes=10**6)
+        tight = checkpointed_rtm_cost(0.01, 1000, 10, budget=10, field_bytes=10**6)
+        assert tight.storage_bytes < 0.2 * full.storage_bytes
+        assert tight.checkpointed_seconds > full.checkpointed_seconds
+
+    def test_transfer_savings_can_pay_for_recompute(self):
+        """When moving a state is expensive relative to a step (the slow
+        PCIe/interconnect regime), a modest budget can even win overall."""
+        c = checkpointed_rtm_cost(
+            forward_step_seconds=0.001, nt=200, snap_period=10, budget=10,
+            field_bytes=10**6, transfer_seconds_per_state=0.05,
+        )
+        assert c.slowdown < 1.0
+
+    def test_negative_cost_rejected(self):
+        with pytest.raises(ConfigurationError):
+            checkpointed_rtm_cost(-1.0, 100, 10, 5, 100)

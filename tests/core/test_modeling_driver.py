@@ -1,0 +1,104 @@
+import numpy as np
+import pytest
+
+from repro.acc import CRAY_8_2_6, PGI_14_6
+from repro.core import (
+    GPUOptions,
+    ModelingConfig,
+    estimate_modeling,
+    run_modeling,
+)
+from repro.core.platform import CRAY_K40, IBM_M2090
+from repro.model import constant_model, layered_model
+from repro.utils.errors import ConfigurationError
+
+
+@pytest.fixture(scope="module")
+def modeling_result():
+    m = layered_model(
+        (128, 128), spacing=10.0, interfaces=[640.0], velocities=[1500.0, 2600.0]
+    )
+    cfg = ModelingConfig(
+        physics="acoustic", model=m, nt=300, peak_freq=12.0, boundary_width=16,
+        snap_period=20,
+    )
+    return run_modeling(cfg)
+
+
+class TestHostModeling:
+    def test_seismogram_shape(self, modeling_result):
+        assert modeling_result.seismogram.shape[0] == 300
+        assert modeling_result.seismogram.shape[1] > 0
+
+    def test_seismogram_records_direct_arrival(self, modeling_result):
+        """Receivers near the source must light up after the wavelet onset."""
+        s = modeling_result.seismogram
+        assert float(np.abs(s).max()) > 0
+        early = float(np.abs(s[:20]).max())
+        assert early < 1e-3 * float(np.abs(s).max())
+
+    def test_snapshots_saved_on_period(self, modeling_result):
+        store = modeling_result.snapshots
+        assert store.count == 300 // 20
+        assert all((step + 1) % 20 == 0 for step in store.steps)
+
+    def test_snapshots_decimated(self, modeling_result):
+        assert modeling_result.snapshots.frames()[0].shape == (32, 32)
+
+    def test_final_wavefield_finite(self, modeling_result):
+        assert np.all(np.isfinite(modeling_result.final_wavefield))
+
+    def test_no_gpu_timing_without_options(self, modeling_result):
+        assert modeling_result.gpu is None
+
+    def test_needs_model(self):
+        cfg = ModelingConfig(physics="acoustic", model=None, nt=10)
+        with pytest.raises(ConfigurationError):
+            run_modeling(cfg)
+
+    def test_config_validation(self):
+        with pytest.raises(ConfigurationError):
+            ModelingConfig(physics="acoustic", model=None, nt=0)
+        with pytest.raises(ConfigurationError):
+            ModelingConfig(physics="warp", model=None, nt=10)
+
+
+class TestGpuAttachedModeling:
+    def test_gpu_timing_attached(self):
+        m = constant_model((96, 96), spacing=10.0, vp=2000.0)
+        cfg = ModelingConfig(physics="acoustic", model=m, nt=60, snap_period=10,
+                             boundary_width=16)
+        res = run_modeling(cfg, gpu_options=GPUOptions(compiler=PGI_14_6))
+        assert res.gpu is not None
+        assert res.gpu.success
+        assert res.gpu.kernel > 0
+        assert res.gpu.launches >= 60
+
+    def test_gpu_attachment_does_not_change_physics(self):
+        m = constant_model((96, 96), spacing=10.0, vp=2000.0)
+        cfg = ModelingConfig(physics="acoustic", model=m, nt=60, snap_period=10,
+                             boundary_width=16)
+        plain = run_modeling(cfg)
+        timed = run_modeling(cfg, gpu_options=GPUOptions(compiler=PGI_14_6))
+        np.testing.assert_array_equal(plain.seismogram, timed.seismogram)
+
+    def test_estimate_runs_at_paper_scale(self):
+        """Estimate mode must handle grids far too large to allocate."""
+        t = estimate_modeling(
+            "acoustic", (512, 512, 512), nt=5, snap_period=5, platform=CRAY_K40,
+            options=GPUOptions(compiler=PGI_14_6),
+        )
+        assert t.success
+        assert t.total > 0
+
+    def test_estimate_oom_on_fermi(self):
+        t = estimate_modeling(
+            "elastic", (448, 448, 448), nt=2, snap_period=2, platform=IBM_M2090,
+            options=GPUOptions(compiler=PGI_14_6),
+        )
+        assert not t.success and t.failure == "oom"
+
+    def test_estimate_platform_matters(self):
+        a = estimate_modeling("acoustic", (256, 256), 50, 10, platform=CRAY_K40)
+        b = estimate_modeling("acoustic", (256, 256), 50, 10, platform=IBM_M2090)
+        assert a.total != b.total

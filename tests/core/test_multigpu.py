@@ -1,0 +1,98 @@
+"""Multi-GPU decomposition extension (the paper's path forward)."""
+
+import pytest
+
+from repro.core import estimate_multi_gpu_modeling, scaling_study
+from repro.core.platform import CRAY_K40, IBM_M2090
+from repro.utils.errors import ConfigurationError
+
+SHAPE_3D = (256, 256, 256)
+
+
+class TestScaling:
+    def test_single_gpu_matches_kernel_plus_snapshots(self):
+        t = estimate_multi_gpu_modeling("acoustic", SHAPE_3D, 50, 10, 1)
+        assert t.success
+        assert t.comm == 0.0
+        assert t.total == pytest.approx(t.kernel + t.snapshots + t.setup, rel=1e-6)
+
+    def test_speedup_grows_with_gpus(self):
+        res = scaling_study("acoustic", SHAPE_3D, 50, 10, gpu_counts=(1, 2, 4))
+        base = res[1]
+        s2 = res[2].speedup_vs(base)
+        s4 = res[4].speedup_vs(base)
+        assert 1.4 < s2 <= 2.05
+        assert s2 < s4 <= 4.1
+
+    def test_efficiency_at_most_one(self):
+        res = scaling_study("acoustic", SHAPE_3D, 50, 10, gpu_counts=(1, 2, 4, 8))
+        base = res[1]
+        for n in (2, 4, 8):
+            assert res[n].efficiency_vs(base) <= 1.0 + 1e-9
+
+    def test_overlap_helps(self):
+        """The paper's proposal: overlapping communications with GPU
+        computations improves multi-GPU performance."""
+        on = estimate_multi_gpu_modeling("acoustic", SHAPE_3D, 50, 10, 4, overlap=True)
+        off = estimate_multi_gpu_modeling("acoustic", SHAPE_3D, 50, 10, 4, overlap=False)
+        assert on.total < off.total
+
+    def test_transpose_packing_helps(self):
+        """'rearranging data of these ghost nodes by performing a
+        transposition on GPU' collapses the per-field DMA chains."""
+        packed = estimate_multi_gpu_modeling(
+            "elastic", SHAPE_3D, 50, 10, 4, transpose_pack=True, overlap=False
+        )
+        strided = estimate_multi_gpu_modeling(
+            "elastic", SHAPE_3D, 50, 10, 4, transpose_pack=False, overlap=False
+        )
+        assert packed.comm < strided.comm
+
+    def test_too_thin_slabs_fail_cleanly(self):
+        t = estimate_multi_gpu_modeling("acoustic", (32, 64, 64), 10, 5, 8)
+        assert not t.success and t.failure == "too-thin"
+
+    def test_invalid_args(self):
+        with pytest.raises(ConfigurationError):
+            estimate_multi_gpu_modeling("acoustic", SHAPE_3D, 10, 5, 0)
+        with pytest.raises(ConfigurationError):
+            estimate_multi_gpu_modeling("acoustic", SHAPE_3D, 0, 5, 2)
+
+
+class TestCapacityStory:
+    def test_elastic_3d_needs_two_fermis(self):
+        """The OOM gate that produced the paper's 'x' cells dissolves under
+        decomposition: elastic 3-D fits two M2090s but not one."""
+        one = estimate_multi_gpu_modeling(
+            "elastic", (448, 448, 448), 10, 10, 1, platform=IBM_M2090
+        )
+        two = estimate_multi_gpu_modeling(
+            "elastic", (448, 448, 448), 10, 10, 2, platform=IBM_M2090
+        )
+        assert not one.success and one.failure == "oom"
+        assert two.success
+
+    def test_per_device_bytes_shrink(self):
+        res = scaling_study("elastic", SHAPE_3D, 10, 10, gpu_counts=(1, 2, 4))
+        b1 = max(res[1].per_device_bytes)
+        b2 = max(res[2].per_device_bytes)
+        b4 = max(res[4].per_device_bytes)
+        assert b1 > b2 > b4
+
+
+class TestCommunicationModel:
+    def test_comm_independent_of_gpu_count_for_slabs(self):
+        """Slab decomposition: each interface pair exchanges concurrently,
+        so per-step comm does not grow with the card count."""
+        res = scaling_study("acoustic", SHAPE_3D, 50, 10, gpu_counts=(2, 4, 8))
+        comms = [res[n].comm for n in (2, 4, 8)]
+        assert max(comms) == pytest.approx(min(comms), rel=1e-6)
+
+    def test_elastic_exchanges_more_than_isotropic(self):
+        e = estimate_multi_gpu_modeling("elastic", SHAPE_3D, 50, 10, 2, overlap=False)
+        i = estimate_multi_gpu_modeling("isotropic", SHAPE_3D, 50, 10, 2, overlap=False)
+        assert e.comm > i.comm
+
+    def test_vti_supported(self):
+        t = estimate_multi_gpu_modeling("vti", SHAPE_3D, 20, 10, 2)
+        assert t.success

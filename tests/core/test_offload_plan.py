@@ -1,0 +1,79 @@
+import pytest
+
+from repro.core import plan_offload
+from repro.core.inventory import device_resident_bytes
+from repro.gpusim import K40, M2090
+from repro.utils.errors import ConfigurationError
+
+
+class TestStrategySelection:
+    def test_isotropic_3d_resident_on_fermi(self):
+        plan = plan_offload("isotropic", (512, 512, 512), M2090)
+        assert plan.strategy == "resident"
+
+    def test_acoustic_3d_needs_swap_on_fermi(self):
+        """The configuration that motivated the paper's Figure-4 pipeline:
+        forward fits, forward+backward does not, the swap closes the gap."""
+        plan = plan_offload("acoustic", (512, 512, 512), M2090)
+        assert plan.strategy == "swap"
+
+    def test_acoustic_3d_resident_on_kepler(self):
+        plan = plan_offload("acoustic", (512, 512, 512), K40)
+        assert plan.strategy == "resident"
+
+    def test_elastic_3d_multi_gpu_on_fermi(self):
+        plan = plan_offload("elastic", (448, 448, 448), M2090)
+        assert plan.strategy == "multi-gpu"
+        assert plan.min_gpus >= 2
+
+    def test_modeling_only_relaxes_requirements(self):
+        rtm = plan_offload("acoustic", (512, 512, 512), M2090, rtm=True)
+        fwd = plan_offload("acoustic", (512, 512, 512), M2090, rtm=False)
+        assert rtm.strategy == "swap"
+        assert fwd.strategy == "resident"
+
+    def test_small_cases_always_resident(self):
+        for phys in ("isotropic", "acoustic", "elastic", "vti"):
+            assert plan_offload(phys, (128, 128), M2090).strategy == "resident"
+
+    def test_bad_shape(self):
+        with pytest.raises(ConfigurationError):
+            plan_offload("acoustic", (128,), K40)
+
+
+class TestAccounting:
+    def test_forward_bytes_match_inventory(self):
+        plan = plan_offload("elastic", (256, 256, 256), K40)
+        assert plan.forward_bytes == device_resident_bytes("elastic", (256, 256, 256))
+
+    def test_report_mentions_strategy(self):
+        plan = plan_offload("acoustic", (512, 512, 512), M2090)
+        text = plan.report()
+        assert "swap" in text
+        assert "Tesla M2090" in text
+
+    def test_multi_gpu_report(self):
+        plan = plan_offload("elastic", (448, 448, 448), M2090)
+        assert "cards" in plan.report()
+
+    def test_peak_bytes(self):
+        plan = plan_offload("isotropic", (256, 256), K40)
+        assert plan.peak_bytes == plan.forward_bytes + plan.backward_extra_bytes
+
+
+class TestConsistencyWithPipeline:
+    def test_planner_agrees_with_estimator(self):
+        """Cases the planner calls single-card-feasible must run in the
+        pipeline; multi-gpu cases must OOM there."""
+        from repro.core import estimate_rtm
+        from repro.core.platform import IBM_M2090
+
+        plan = plan_offload("acoustic", (512, 512, 512), M2090)
+        assert plan.strategy in ("resident", "swap")
+        t = estimate_rtm("acoustic", (512, 512, 512), 2, 2, platform=IBM_M2090)
+        assert t.success
+
+        plan2 = plan_offload("elastic", (448, 448, 448), M2090)
+        assert plan2.strategy == "multi-gpu"
+        t2 = estimate_rtm("elastic", (448, 448, 448), 2, 2, platform=IBM_M2090)
+        assert not t2.success

@@ -1,0 +1,126 @@
+"""Multi-shot survey stacking (the imaging condition 'summed over the
+sources s')."""
+
+import numpy as np
+import pytest
+
+from repro.core import RTMConfig, run_survey, shot_line
+from repro.model import layered_model
+from repro.source import line_receivers
+from repro.utils.errors import ConfigurationError
+
+
+@pytest.fixture(scope="module")
+def survey_result():
+    m = layered_model(
+        (128, 128), spacing=10.0, interfaces=[640.0], velocities=[1500.0, 2600.0]
+    )
+    cfg = RTMConfig(
+        physics="acoustic", model=m, nt=620, peak_freq=12.0, boundary_width=16,
+        snap_period=4, receivers=line_receivers(m.grid, 18, stride=2, margin=16),
+        source_depth_index=18, mute_cells=40,
+    )
+    return run_survey(cfg, nshots=3)
+
+
+class TestShotLine:
+    def test_even_spacing(self):
+        m = layered_model((64, 128), interfaces=[100.0], velocities=[1500.0, 2500.0])
+        xs = shot_line(m, 3, margin=20)
+        assert xs[0] == 20 and xs[-1] == 107
+        assert xs[1] == (xs[0] + xs[2]) // 2
+
+    def test_single_shot_centered_range(self):
+        m = layered_model((64, 128), interfaces=[100.0], velocities=[1500.0, 2500.0])
+        assert shot_line(m, 1, margin=20) == [20]
+
+    def test_margin_too_big(self):
+        m = layered_model((64, 64), interfaces=[100.0], velocities=[1500.0, 2500.0])
+        with pytest.raises(ConfigurationError):
+            shot_line(m, 2, margin=40)
+
+
+class TestSurvey:
+    def test_three_shots_run(self, survey_result):
+        assert survey_result.nshots == 3
+        assert len(survey_result.shot_x_indices) == 3
+
+    def test_stack_images_reflector(self, survey_result):
+        profile = np.sum(
+            survey_result.image[:, 30:-30].astype(np.float64) ** 2, axis=1
+        )
+        assert abs(int(np.argmax(profile)) - 64) < 13
+
+    def test_stack_widens_lateral_coverage(self, survey_result):
+        """The stacked image must light the reflector over at least the span
+        between the outer shots; a single shot's footprint is narrower."""
+        def coverage(img):
+            band = np.abs(img[58:70, :]).astype(np.float64).sum(axis=0)
+            band = band / (band.max() or 1.0)
+            return int((band > 0.2).sum())
+
+        single = coverage(survey_result.shot_images[0])
+        stacked = coverage(survey_result.image)
+        assert stacked >= single
+
+    def test_shot_images_differ(self, survey_result):
+        a, b = survey_result.shot_images[0], survey_result.shot_images[-1]
+        assert not np.allclose(a, b)
+
+    def test_stack_is_muted_and_normalized(self, survey_result):
+        assert np.all(survey_result.image[:40] == 0.0)
+        assert float(np.abs(survey_result.image).max()) <= 1.0 + 1e-6
+
+    def test_explicit_shot_positions(self):
+        m = layered_model(
+            (96, 96), spacing=10.0, interfaces=[480.0], velocities=[1500.0, 2500.0]
+        )
+        cfg = RTMConfig(physics="acoustic", model=m, nt=80, snap_period=8,
+                        boundary_width=16)
+        res = run_survey(cfg, shot_x_indices=[30, 60])
+        assert res.shot_x_indices == [30, 60]
+
+    def test_bad_shot_position(self):
+        m = layered_model(
+            (96, 96), spacing=10.0, interfaces=[480.0], velocities=[1500.0, 2500.0]
+        )
+        cfg = RTMConfig(physics="acoustic", model=m, nt=20, snap_period=5,
+                        boundary_width=16)
+        with pytest.raises(ConfigurationError):
+            run_survey(cfg, shot_x_indices=[500])
+
+    def test_3d_rejected(self):
+        m = layered_model(
+            (32, 32, 32), spacing=10.0, interfaces=[100.0], velocities=[1500.0, 2500.0]
+        )
+        cfg = RTMConfig(physics="acoustic", model=m, nt=10, snap_period=5,
+                        boundary_width=8)
+        with pytest.raises(ConfigurationError):
+            run_survey(cfg, nshots=2)
+
+
+class TestSourcePlacement:
+    def test_source_x_index_honoured(self):
+        from repro.core import ModelingConfig, run_modeling
+        m = layered_model(
+            (96, 96), spacing=10.0, interfaces=[480.0], velocities=[1500.0, 2500.0]
+        )
+        cfg = ModelingConfig(physics="acoustic", model=m, nt=60, snap_period=60,
+                             boundary_width=16, source_x_index=30,
+                             snapshot_decimate=1)
+        res = run_modeling(cfg)
+        snap = res.snapshots.frames()[0]
+        # energy centroid along x must sit near column 30, not 48
+        energy = np.abs(snap).astype(np.float64).sum(axis=0)
+        centroid = float(np.sum(np.arange(96) * energy) / energy.sum())
+        assert abs(centroid - 30) < 6
+
+    def test_source_x_out_of_grid(self):
+        from repro.core import ModelingConfig, run_modeling
+        m = layered_model(
+            (96, 96), spacing=10.0, interfaces=[480.0], velocities=[1500.0, 2500.0]
+        )
+        cfg = ModelingConfig(physics="acoustic", model=m, nt=10,
+                             boundary_width=16, source_x_index=200)
+        with pytest.raises(ConfigurationError):
+            run_modeling(cfg)

@@ -1,0 +1,175 @@
+import dataclasses
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.gpusim import (
+    K40,
+    M2090,
+    LaunchConfig,
+    estimate_kernel_time,
+    estimate_register_demand,
+)
+from repro.gpusim.specs import CUDA_5_0, CUDA_5_5
+from repro.propagators.base import KernelWorkload
+from repro.utils.errors import ConfigurationError
+
+
+def wl(**kw):
+    base = dict(
+        name="k",
+        points=256**3,
+        flops_per_point=40.0,
+        reads_per_point=20.0,
+        writes_per_point=2.0,
+        loop_dims=(256, 256, 256),
+        address_streams=6,
+        has_branches=False,
+        inner_contiguous=True,
+    )
+    base.update(kw)
+    return KernelWorkload(**base)
+
+
+class TestRegisterDemand:
+    def test_grows_with_streams(self):
+        assert estimate_register_demand(wl(address_streams=12)) > estimate_register_demand(wl(address_streams=4))
+
+    def test_grows_with_dimensionality(self):
+        w2 = wl(loop_dims=(512, 512))
+        w3 = wl(loop_dims=(64, 64, 64))
+        assert estimate_register_demand(w3) > estimate_register_demand(w2)
+
+    def test_floor(self):
+        tiny = wl(address_streams=1, flops_per_point=0.0, loop_dims=(8,))
+        assert estimate_register_demand(tiny) >= 16
+
+
+class TestRooflineBehaviour:
+    def test_time_scales_with_points(self):
+        a = estimate_kernel_time(K40, wl(points=10**6))
+        b = estimate_kernel_time(K40, wl(points=4 * 10**6))
+        assert b.seconds == pytest.approx(4 * a.seconds, rel=0.3)
+
+    def test_memory_bound_for_stencils(self):
+        assert estimate_kernel_time(K40, wl()).limited_by == "memory"
+
+    def test_kepler_faster_than_fermi(self):
+        assert (
+            estimate_kernel_time(K40, wl()).seconds
+            < estimate_kernel_time(M2090, wl()).seconds
+        )
+
+    def test_achieved_bandwidth_below_peak(self):
+        e = estimate_kernel_time(K40, wl())
+        assert 0 < e.achieved_bandwidth < K40.mem_bandwidth_bytes
+
+    def test_uncoalesced_penalty(self):
+        coal = estimate_kernel_time(K40, wl())
+        unco = estimate_kernel_time(K40, wl(inner_contiguous=False))
+        assert unco.seconds / coal.seconds == pytest.approx(4.0, rel=0.15)
+
+    def test_ungridified_penalty(self):
+        good = estimate_kernel_time(K40, wl())
+        bad = estimate_kernel_time(K40, wl(), LaunchConfig(gridified=False))
+        assert bad.seconds > 2.0 * good.seconds
+
+    def test_divergence_cuda50_vs_cuda55(self):
+        """Branchy bodies hurt badly under CUDA 5.0 and barely under the
+        predicating CUDA 5.5 backend — the Figure 6 vs 7 contrast."""
+        branchy = wl(has_branches=True)
+        plain = wl()
+        slow_50 = estimate_kernel_time(K40, branchy, toolkit=CUDA_5_0).seconds
+        base_50 = estimate_kernel_time(K40, plain, toolkit=CUDA_5_0).seconds
+        slow_55 = estimate_kernel_time(K40, branchy, toolkit=CUDA_5_5).seconds
+        base_55 = estimate_kernel_time(K40, plain, toolkit=CUDA_5_5).seconds
+        assert slow_50 / base_50 > 1.8
+        assert slow_55 / base_55 < 1.3
+
+    def test_multi_axis_gather_penalty(self):
+        one = estimate_kernel_time(K40, wl(gather_axes=1))
+        three = estimate_kernel_time(K40, wl(gather_axes=3))
+        assert three.seconds > one.seconds
+
+    def test_2d_utilization_derate(self):
+        """Same total work as a 2-D nest runs a bit slower (paper: ~70 %
+        2-D vs ~90 % 3-D utilization)."""
+        w3 = wl()
+        w2 = wl(loop_dims=(4096, 4096), points=4096 * 4096)
+        e3 = estimate_kernel_time(K40, w3)
+        e2 = estimate_kernel_time(K40, w2)
+        per_pt_3 = e3.seconds / w3.points
+        per_pt_2 = e2.seconds / w2.points
+        assert per_pt_2 > per_pt_3
+
+
+class TestRegisterEffects:
+    def test_architectural_spill_on_fermi_only(self):
+        """Demand beyond 63 registers spills on Fermi, not on Kepler —
+        the Figure 12 fission mechanism."""
+        heavy = wl(address_streams=10, flops_per_point=70.0)
+        ef = estimate_kernel_time(M2090, heavy)
+        ek = estimate_kernel_time(K40, heavy)
+        assert ef.spilled_regs > 0
+        assert ek.spilled_regs == 0
+
+    def test_flag_clamp_absorbed_by_rematerialization(self):
+        """maxregcount slightly below demand costs almost nothing (the
+        Figure 10 shape at 64 registers)."""
+        heavy = wl(address_streams=10, flops_per_point=70.0)
+        e = estimate_kernel_time(K40, heavy, LaunchConfig(maxregcount=64))
+        assert e.spilled_regs == 0
+
+    def test_deep_clamp_spills(self):
+        heavy = wl(address_streams=10, flops_per_point=70.0)
+        e = estimate_kernel_time(K40, heavy, LaunchConfig(maxregcount=16))
+        assert e.spilled_regs > 0
+
+    def test_spill_traffic_slows_kernel(self):
+        heavy = wl(address_streams=10, flops_per_point=70.0)
+        ok = estimate_kernel_time(K40, heavy, LaunchConfig(maxregcount=64)).seconds
+        spilled = estimate_kernel_time(K40, heavy, LaunchConfig(maxregcount=16)).seconds
+        assert spilled > 1.5 * ok
+
+    def test_occupancy_drop_at_high_regcount(self):
+        heavy = wl(address_streams=10, flops_per_point=70.0)
+        at64 = estimate_kernel_time(K40, heavy, LaunchConfig(maxregcount=64))
+        at255 = estimate_kernel_time(K40, heavy, LaunchConfig(maxregcount=255))
+        assert at255.occupancy < at64.occupancy
+
+    def test_maxregcount_floor_validated(self):
+        with pytest.raises(ConfigurationError):
+            LaunchConfig(maxregcount=8)
+
+
+class TestDeviceFloor:
+    def test_tiny_kernel_floor(self):
+        tiny = wl(points=1, loop_dims=(1,))
+        e = estimate_kernel_time(K40, tiny)
+        assert e.seconds >= 7e-6
+
+
+class TestPropertyInvariants:
+    @settings(max_examples=40, deadline=None)
+    @given(
+        st.integers(min_value=1, max_value=10**7),
+        st.floats(min_value=1.0, max_value=500.0),
+        st.integers(min_value=2, max_value=16),
+        st.sampled_from([M2090, K40]),
+    )
+    def test_time_positive_and_finite(self, points, flops, streams, spec):
+        w = wl(points=points, flops_per_point=flops, address_streams=streams,
+               loop_dims=(points,))
+        e = estimate_kernel_time(spec, w)
+        assert e.seconds > 0
+        assert e.dram_bytes > 0
+        assert 0 <= e.occupancy <= 1
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(min_value=16, max_value=255))
+    def test_monotone_spills(self, reg):
+        """Lower maxregcount never reduces spilled registers."""
+        heavy = wl(address_streams=12, flops_per_point=90.0)
+        e_low = estimate_kernel_time(K40, heavy, LaunchConfig(maxregcount=max(16, reg // 2)))
+        e_high = estimate_kernel_time(K40, heavy, LaunchConfig(maxregcount=reg))
+        assert e_low.spilled_regs >= e_high.spilled_regs

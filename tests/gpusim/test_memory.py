@@ -1,0 +1,92 @@
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.gpusim import DeviceMemory
+from repro.utils.errors import DeviceError, DeviceOutOfMemoryError
+from repro.utils.units import GiB, MiB
+
+
+class TestAllocator:
+    def test_allocate_and_release(self):
+        mem = DeviceMemory(1 * GiB)
+        mem.allocate("a", 100 * MiB)
+        assert mem.holds("a")
+        assert mem.used >= 100 * MiB
+        mem.release("a")
+        assert not mem.holds("a")
+        assert mem.used == 0
+
+    def test_reserved_fraction(self):
+        mem = DeviceMemory(1000, reserved_fraction=0.1)
+        assert mem.usable == 900
+
+    def test_oom_raises_with_details(self):
+        mem = DeviceMemory(100 * MiB)
+        with pytest.raises(DeviceOutOfMemoryError) as e:
+            mem.allocate("big", 200 * MiB)
+        assert e.value.requested >= 200 * MiB
+        assert e.value.capacity == mem.usable
+
+    def test_duplicate_name_rejected(self):
+        mem = DeviceMemory(1 * GiB)
+        mem.allocate("a", 10)
+        with pytest.raises(DeviceError):
+            mem.allocate("a", 10)
+
+    def test_release_unknown_rejected(self):
+        with pytest.raises(DeviceError):
+            DeviceMemory(1 * GiB).release("ghost")
+
+    def test_negative_size_rejected(self):
+        with pytest.raises(DeviceError):
+            DeviceMemory(1 * GiB).allocate("x", -5)
+
+    def test_alignment(self):
+        mem = DeviceMemory(1 * GiB)
+        a = mem.allocate("x", 1)
+        assert a.aligned_bytes == 256
+
+    def test_would_fit(self):
+        mem = DeviceMemory(1 * MiB, reserved_fraction=0.0)
+        assert mem.would_fit(512 * 1024)
+        mem.allocate("half", 512 * 1024)
+        assert not mem.would_fit(600 * 1024)
+
+    def test_peak_tracking(self):
+        mem = DeviceMemory(1 * GiB)
+        mem.allocate("a", 100 * MiB)
+        mem.allocate("b", 200 * MiB)
+        mem.release("a")
+        assert mem.peak_bytes >= 300 * MiB
+
+    def test_release_all(self):
+        mem = DeviceMemory(1 * GiB)
+        for i in range(5):
+            mem.allocate(f"f{i}", MiB)
+        mem.release_all()
+        assert mem.used == 0
+
+    def test_elastic_3d_exceeds_m2090(self):
+        """The paper's Table 3/4 'x': the elastic 3-D working set does not
+        fit a 6 GB Fermi but fits a 12 GB Kepler."""
+        from repro.core.inventory import device_resident_bytes
+        from repro.gpusim.specs import K40, M2090
+
+        need = device_resident_bytes("elastic", (448, 448, 448))
+        assert need > DeviceMemory(M2090.memory_bytes).usable
+        assert need < DeviceMemory(K40.memory_bytes).usable
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.lists(st.integers(min_value=1, max_value=50 * MiB), min_size=1, max_size=20))
+    def test_accounting_invariant(self, sizes):
+        """used == sum of aligned live allocations, free + used == usable."""
+        mem = DeviceMemory(2 * GiB)
+        live = {}
+        for i, s in enumerate(sizes):
+            try:
+                a = mem.allocate(f"b{i}", s)
+                live[f"b{i}"] = a.aligned_bytes
+            except DeviceOutOfMemoryError:
+                break
+        assert mem.used == sum(live.values())
+        assert mem.free + mem.used == mem.usable

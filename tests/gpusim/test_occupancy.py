@@ -1,0 +1,63 @@
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.gpusim import K40, M2090, occupancy
+from repro.utils.errors import ConfigurationError
+
+
+class TestOccupancyRules:
+    def test_low_registers_full_occupancy_k40(self):
+        """32 regs x 256 threads on Kepler: thread-limited, 100 %."""
+        r = occupancy(K40, 32, 256)
+        assert r.occupancy == pytest.approx(1.0)
+        assert r.limited_by in ("threads", "blocks")
+
+    def test_64_regs_k40_half_occupancy(self):
+        """The paper's maxregcount:64 with 128-thread blocks on the K40
+        yields 50 % occupancy (8 blocks x 4 warps of 64 slots)."""
+        r = occupancy(K40, 64, 128)
+        assert r.occupancy == pytest.approx(0.5)
+        assert r.limited_by == "registers"
+
+    def test_63_regs_m2090(self):
+        """Fermi at its 63-register ceiling with 128-thread blocks: the
+        32768-register file holds 4 blocks -> 16 of 48 warps."""
+        r = occupancy(M2090, 63, 128)
+        assert r.active_blocks_per_sm == 4
+        assert r.occupancy == pytest.approx(16 / 48)
+
+    def test_more_registers_never_increase_occupancy(self):
+        prev = 1.1
+        for regs in (16, 32, 64, 128, 255):
+            occ = occupancy(K40, regs, 128).occupancy
+            assert occ <= prev + 1e-9
+            prev = occ
+
+    def test_block_limit_binds_for_tiny_blocks(self):
+        r = occupancy(K40, 16, 32)
+        # 16 blocks/SM max x 32 threads = 512 of 2048 threads
+        assert r.active_blocks_per_sm == K40.max_blocks_per_sm
+        assert r.occupancy == pytest.approx(512 / 2048)
+
+    def test_register_limit_validated(self):
+        with pytest.raises(ConfigurationError):
+            occupancy(M2090, 100, 128)  # Fermi max is 63
+        occupancy(K40, 100, 128)  # fine on Kepler
+
+    def test_threads_validated(self):
+        with pytest.raises(ConfigurationError):
+            occupancy(K40, 32, 2048)
+
+    @given(
+        st.sampled_from([M2090, K40]),
+        st.integers(min_value=16, max_value=63),
+        st.sampled_from([32, 64, 128, 256, 512, 1024]),
+    )
+    def test_invariants(self, spec, regs, tpb):
+        r = occupancy(spec, regs, tpb)
+        assert 0.0 <= r.occupancy <= 1.0
+        assert r.active_warps_per_sm <= spec.max_warps_per_sm
+        # the register file is never oversubscribed
+        warps_per_block = -(-tpb // 32)
+        regs_per_warp = -(-regs * 32 // 256) * 256
+        assert r.active_blocks_per_sm * warps_per_block * regs_per_warp <= spec.regs_per_sm

@@ -1,0 +1,60 @@
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.gpusim import PCIeModel
+from repro.gpusim.pcie import PCIE_GEN2_X16, PCIE_GEN3_X16
+from repro.utils.errors import ConfigurationError
+from repro.utils.units import GB, MB
+
+
+class TestTransferTime:
+    def test_pinned_faster_than_pageable(self):
+        m = PCIeModel()
+        assert m.transfer_time(100 * MB, pinned=True) < m.transfer_time(100 * MB, pinned=False)
+
+    def test_latency_floor(self):
+        m = PCIeModel(latency=1e-5)
+        assert m.transfer_time(0) == pytest.approx(1e-5)
+
+    def test_chunked_pays_per_chunk_latency(self):
+        """Non-contiguous ghost faces: many small DMA chunks cost more."""
+        m = PCIeModel()
+        whole = m.transfer_time(10 * MB, chunks=1)
+        strided = m.transfer_time(10 * MB, chunks=512)
+        assert strided > whole
+        assert strided - whole == pytest.approx(511 * m.latency)
+
+    def test_partial_cheaper_than_full(self):
+        """The paper's ghost-node optimization: partial transfers win even
+        when strided, for realistic face sizes."""
+        m = PCIE_GEN2_X16
+        full = m.transfer_time(512 * MB, pinned=True)
+        ghost = m.transfer_time(16 * MB, pinned=True, chunks=256)
+        assert ghost < full
+
+    def test_gen3_faster_than_gen2(self):
+        assert PCIE_GEN3_X16.transfer_time(GB, pinned=True) < PCIE_GEN2_X16.transfer_time(GB, pinned=True)
+
+    def test_invalid(self):
+        m = PCIeModel()
+        with pytest.raises(ConfigurationError):
+            m.transfer_time(-1)
+        with pytest.raises(ConfigurationError):
+            m.transfer_time(10, chunks=0)
+
+
+class TestTransferStats:
+    def test_effective_bandwidth_below_peak(self):
+        m = PCIeModel()
+        st_ = m.transfer(100 * MB, "h2d", pinned=True)
+        assert st_.effective_bandwidth < m.pinned_bandwidth
+        assert st_.effective_bandwidth > 0.5 * m.pinned_bandwidth
+
+    def test_direction_validated(self):
+        with pytest.raises(ConfigurationError):
+            PCIeModel().transfer(10, "sideways")
+
+    @given(st.integers(min_value=1, max_value=10**9))
+    def test_monotone_in_bytes(self, n):
+        m = PCIeModel()
+        assert m.transfer_time(n + 1) >= m.transfer_time(n)

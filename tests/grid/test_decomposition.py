@@ -1,0 +1,142 @@
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.grid import CartesianDecomposition, Grid, best_dims
+from repro.utils.errors import ConfigurationError
+
+
+class TestBestDims:
+    def test_perfect_square(self):
+        assert best_dims(4, 2) == (2, 2)
+
+    def test_prime(self):
+        assert best_dims(7, 2) == (7, 1)
+
+    def test_balanced_factorisation(self):
+        assert best_dims(12, 2) == (4, 3)
+
+    def test_3d(self):
+        assert best_dims(8, 3) == (2, 2, 2)
+
+    def test_one_rank(self):
+        assert best_dims(1, 3) == (1, 1, 1)
+
+    @given(st.integers(min_value=1, max_value=64), st.integers(min_value=1, max_value=3))
+    def test_product_preserved(self, n, d):
+        assert int(np.prod(best_dims(n, d))) == n
+
+
+class TestDecompositionGeometry:
+    def test_nranks(self):
+        g = Grid((64, 64))
+        d = CartesianDecomposition(g, (2, 3), halo=4)
+        assert d.nranks == 6
+
+    def test_scalar_dims_factored(self):
+        g = Grid((64, 64))
+        d = CartesianDecomposition(g, 4, halo=4)
+        assert d.dims == (2, 2)
+
+    def test_owned_regions_tile_domain(self):
+        """Owned slices must partition the global grid exactly."""
+        g = Grid((30, 50))
+        d = CartesianDecomposition(g, (3, 2), halo=2)
+        cover = np.zeros(g.shape, dtype=int)
+        for sub in d:
+            cover[sub.owned] += 1
+        assert np.all(cover == 1)
+
+    def test_uneven_distribution(self):
+        g = Grid((10, 10))
+        d = CartesianDecomposition(g, (3, 1), halo=2)
+        sizes = [d.subdomain(r).owned_shape[0] for r in range(3)]
+        assert sorted(sizes) == [3, 3, 4]
+        assert sum(sizes) == 10
+
+    def test_local_shape_includes_halo(self):
+        g = Grid((32, 32))
+        d = CartesianDecomposition(g, (2, 2), halo=3)
+        sub = d.subdomain(0)
+        assert sub.local_grid.shape == (16 + 6, 16 + 6)
+
+    def test_slab_thinner_than_halo_rejected(self):
+        g = Grid((8, 8))
+        with pytest.raises(ConfigurationError):
+            CartesianDecomposition(g, (4, 1), halo=4)
+
+    def test_neighbours(self):
+        g = Grid((32, 32))
+        d = CartesianDecomposition(g, (2, 2), halo=2)
+        assert d.neighbour(0, 0, "hi") == d.rank_of((1, 0))
+        assert d.neighbour(0, 0, "lo") is None
+        assert d.neighbour(0, 1, "hi") == d.rank_of((0, 1))
+
+    def test_coords_rank_roundtrip(self):
+        g = Grid((32, 32, 32))
+        d = CartesianDecomposition(g, (2, 2, 2), halo=2)
+        for r in range(d.nranks):
+            assert d.rank_of(d.coords_of(r)) == r
+
+    def test_halo_spec_edges(self):
+        g = Grid((32, 32))
+        d = CartesianDecomposition(g, (2, 2), halo=2)
+        corner = d.subdomain(0)
+        assert corner.halo.lo == (False, False)
+        assert corner.halo.hi == (True, True)
+        assert len(corner.halo.exchange_faces()) == 2
+
+
+class TestScatterGather:
+    def test_roundtrip(self, rng):
+        g = Grid((24, 24))
+        d = CartesianDecomposition(g, (2, 2), halo=4)
+        field = rng.standard_normal(g.shape).astype(np.float32)
+        out = np.zeros_like(field)
+        for sub in d:
+            local = sub.scatter(field)
+            sub.gather_into(out, local)
+        np.testing.assert_array_equal(out, field)
+
+    def test_scatter_interior_matches_owned(self, rng):
+        g = Grid((24, 24))
+        d = CartesianDecomposition(g, (2, 2), halo=3)
+        field = rng.standard_normal(g.shape).astype(np.float32)
+        for sub in d:
+            local = sub.scatter(field)
+            np.testing.assert_array_equal(local[sub.interior()], field[sub.owned])
+
+    @settings(max_examples=20, deadline=None)
+    @given(
+        st.sampled_from([(1, 1), (2, 1), (2, 2), (3, 2)]),
+        st.integers(min_value=1, max_value=4),
+    )
+    def test_roundtrip_property(self, dims, halo):
+        g = Grid((24, 26))
+        d = CartesianDecomposition(g, dims, halo=halo)
+        field = np.arange(g.npoints, dtype=np.float32).reshape(g.shape)
+        out = np.zeros_like(field)
+        for sub in d:
+            sub.gather_into(out, sub.scatter(field))
+        np.testing.assert_array_equal(out, field)
+
+
+class TestMessageGeometry:
+    def test_send_recv_slices_shapes_match(self):
+        g = Grid((32, 32))
+        d = CartesianDecomposition(g, (2, 1), halo=4)
+        shape = d.subdomain(0).local_grid.shape
+        send = d.send_slices(0, "hi", shape)
+        recv = d.recv_slices(0, "hi", shape)
+        a = np.zeros(shape)
+        assert a[send].shape == a[recv].shape
+
+    def test_face_bytes_positive_for_interior_rank(self):
+        g = Grid((48, 48))
+        d = CartesianDecomposition(g, (3, 1), halo=4)
+        assert d.face_bytes(1) > d.face_bytes(0) > 0
+
+    def test_single_rank_no_exchange(self):
+        g = Grid((16, 16))
+        d = CartesianDecomposition(g, 1, halo=4)
+        assert d.face_bytes(0) == 0

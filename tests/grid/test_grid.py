@@ -1,0 +1,132 @@
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.grid import Grid
+from repro.utils.errors import ConfigurationError
+
+
+class TestConstruction:
+    def test_2d(self):
+        g = Grid((10, 20), spacing=5.0)
+        assert g.ndim == 2
+        assert g.shape == (10, 20)
+        assert g.spacing == (5.0, 5.0)
+
+    def test_3d(self):
+        g = Grid((4, 5, 6), spacing=(1.0, 2.0, 3.0))
+        assert g.ndim == 3
+        assert g.spacing == (1.0, 2.0, 3.0)
+
+    def test_1d_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Grid((10,))
+
+    def test_4d_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Grid((2, 2, 2, 2))
+
+    def test_tiny_axis_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Grid((1, 10))
+
+    def test_negative_spacing_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Grid((10, 10), spacing=-1.0)
+
+    def test_spacing_length_mismatch_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Grid((10, 10), spacing=(1.0, 2.0, 3.0))
+
+    def test_origin_length_mismatch_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Grid((10, 10), origin=(0.0,))
+
+
+class TestGeometry:
+    def test_npoints(self):
+        assert Grid((10, 20)).npoints == 200
+
+    def test_axis_names(self):
+        assert Grid((4, 4)).axis_names == ("z", "x")
+        assert Grid((4, 4, 4)).axis_names == ("z", "x", "y")
+
+    def test_extent(self):
+        g = Grid((11, 21), spacing=10.0)
+        assert g.extent == (100.0, 200.0)
+
+    def test_axis_coordinates(self):
+        g = Grid((5, 5), spacing=2.0, origin=1.0)
+        np.testing.assert_allclose(g.axis(0), [1, 3, 5, 7, 9])
+
+    def test_axes_returns_all(self):
+        g = Grid((3, 4, 5))
+        assert len(g.axes()) == 3
+
+    def test_min_spacing(self):
+        assert Grid((4, 4), spacing=(2.0, 3.0)).min_spacing == 2.0
+
+
+class TestFields:
+    def test_zeros_shape_dtype(self):
+        a = Grid((6, 7)).zeros()
+        assert a.shape == (6, 7)
+        assert a.dtype == np.float32
+
+    def test_full(self):
+        a = Grid((4, 4)).full(2.5)
+        assert np.all(a == np.float32(2.5))
+
+    def test_field_bytes(self):
+        assert Grid((10, 10)).field_bytes() == 400
+
+
+class TestIndexing:
+    def test_nearest_index_roundtrip(self):
+        g = Grid((20, 20), spacing=10.0)
+        idx = g.nearest_index((55.0, 140.0))
+        assert idx == (6, 14)
+
+    def test_nearest_index_out_of_range(self):
+        g = Grid((10, 10), spacing=10.0)
+        with pytest.raises(ConfigurationError):
+            g.nearest_index((1000.0, 0.0))
+
+    def test_index_coords_inverse(self):
+        g = Grid((20, 20), spacing=10.0, origin=5.0)
+        coords = g.index_coords((3, 4))
+        assert g.nearest_index(coords) == (3, 4)
+
+    def test_center_index(self):
+        assert Grid((10, 11)).center_index() == (5, 5)
+
+    @given(st.integers(min_value=0, max_value=19), st.integers(min_value=0, max_value=19))
+    def test_roundtrip_property(self, i, j):
+        g = Grid((20, 20), spacing=7.5, origin=-30.0)
+        assert g.nearest_index(g.index_coords((i, j))) == (i, j)
+
+
+class TestDerivedGrids:
+    def test_with_shape(self):
+        g = Grid((10, 10), spacing=3.0, origin=1.0)
+        h = g.with_shape((5, 6))
+        assert h.shape == (5, 6)
+        assert h.spacing == g.spacing
+        assert h.origin == g.origin
+
+    def test_scaled_preserves_extent(self):
+        g = Grid((11, 11), spacing=10.0)
+        h = g.scaled(2)
+        assert h.extent == g.extent
+        assert h.shape == (21, 21)
+
+    def test_scaled_identity(self):
+        g = Grid((11, 11))
+        assert g.scaled(1).shape == g.shape
+
+    def test_scaled_invalid(self):
+        with pytest.raises(ConfigurationError):
+            Grid((5, 5)).scaled(0)
+
+    def test_iter_yields_shape(self):
+        assert tuple(Grid((3, 4))) == (3, 4)

@@ -1,0 +1,99 @@
+import numpy as np
+import pytest
+
+from repro.grid import Grid
+from repro.model import EarthModel
+from repro.utils.errors import ConfigurationError
+
+
+def _grid():
+    return Grid((16, 16), spacing=10.0)
+
+
+class TestValidation:
+    def test_minimal(self):
+        m = EarthModel(_grid(), np.full((16, 16), 1500.0, dtype=np.float32))
+        assert m.ndim == 2
+        assert m.vp_min == m.vp_max == 1500.0
+
+    def test_wrong_shape_rejected(self):
+        with pytest.raises(ConfigurationError):
+            EarthModel(_grid(), np.full((8, 8), 1500.0, dtype=np.float32))
+
+    def test_nonpositive_vp_rejected(self):
+        vp = np.full((16, 16), 1500.0, dtype=np.float32)
+        vp[0, 0] = 0.0
+        with pytest.raises(ConfigurationError):
+            EarthModel(_grid(), vp)
+
+    def test_nan_rejected(self):
+        vp = np.full((16, 16), 1500.0, dtype=np.float32)
+        vp[3, 3] = np.nan
+        with pytest.raises(ConfigurationError):
+            EarthModel(_grid(), vp)
+
+    def test_negative_rho_rejected(self):
+        vp = np.full((16, 16), 1500.0, dtype=np.float32)
+        rho = np.full((16, 16), -1.0, dtype=np.float32)
+        with pytest.raises(ConfigurationError):
+            EarthModel(_grid(), vp, rho=rho)
+
+    def test_vs_above_vp_rejected(self):
+        vp = np.full((16, 16), 1500.0, dtype=np.float32)
+        vs = np.full((16, 16), 1600.0, dtype=np.float32)
+        with pytest.raises(ConfigurationError):
+            EarthModel(_grid(), vp, vs=vs)
+
+    def test_negative_vs_rejected(self):
+        vp = np.full((16, 16), 1500.0, dtype=np.float32)
+        vs = np.full((16, 16), -10.0, dtype=np.float32)
+        with pytest.raises(ConfigurationError):
+            EarthModel(_grid(), vp, vs=vs)
+
+    def test_zero_vs_allowed_fluid(self):
+        vp = np.full((16, 16), 1500.0, dtype=np.float32)
+        vs = np.zeros((16, 16), dtype=np.float32)
+        m = EarthModel(_grid(), vp, vs=vs)
+        assert float(m.shear_velocity().max()) == 0.0
+
+
+class TestDerivedQuantities:
+    def test_default_density(self):
+        m = EarthModel(_grid(), np.full((16, 16), 1500.0, dtype=np.float32))
+        np.testing.assert_allclose(m.density(), 1000.0)
+
+    def test_shear_velocity_missing_raises(self):
+        m = EarthModel(_grid(), np.full((16, 16), 1500.0, dtype=np.float32))
+        with pytest.raises(ConfigurationError):
+            m.shear_velocity()
+
+    def test_lame_parameters_values(self):
+        vp = np.full((16, 16), 2000.0, dtype=np.float32)
+        vs = np.full((16, 16), 1000.0, dtype=np.float32)
+        rho = np.full((16, 16), 2500.0, dtype=np.float32)
+        m = EarthModel(_grid(), vp, rho=rho, vs=vs)
+        lam, mu = m.lame_parameters()
+        assert float(mu[0, 0]) == pytest.approx(2500.0 * 1000.0**2, rel=1e-5)
+        assert float(lam[0, 0]) == pytest.approx(
+            2500.0 * (2000.0**2 - 2 * 1000.0**2), rel=1e-5
+        )
+
+    def test_lame_consistency_vp(self):
+        """vp^2 == (lam + 2 mu) / rho must hold after the roundtrip."""
+        vp = np.full((16, 16), 2000.0, dtype=np.float32)
+        vs = np.full((16, 16), 800.0, dtype=np.float32)
+        rho = np.full((16, 16), 2200.0, dtype=np.float32)
+        m = EarthModel(_grid(), vp, rho=rho, vs=vs)
+        lam, mu = m.lame_parameters()
+        vp_back = np.sqrt((lam.astype(np.float64) + 2 * mu) / rho)
+        np.testing.assert_allclose(vp_back, 2000.0, rtol=1e-5)
+
+    def test_max_wave_speed(self):
+        vp = np.full((16, 16), 1500.0, dtype=np.float32)
+        vp[5, 5] = 3000.0
+        assert EarthModel(_grid(), vp).max_wave_speed() == 3000.0
+
+    def test_memory_bytes(self):
+        vp = np.full((16, 16), 1500.0, dtype=np.float32)
+        m = EarthModel(_grid(), vp, rho=vp.copy(), vs=(vp * 0.5))
+        assert m.memory_bytes() == 3 * 16 * 16 * 4

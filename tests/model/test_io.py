@@ -1,0 +1,47 @@
+import numpy as np
+import pytest
+
+from repro.model import constant_model, layered_model, load_model, save_model
+from repro.utils.errors import ConfigurationError
+
+
+class TestRoundtrip:
+    def test_full_model(self, tmp_path):
+        m = layered_model(
+            (32, 32), spacing=5.0, interfaces=[80.0], velocities=[1500.0, 2500.0],
+            vs_ratio=0.5,
+        )
+        path = tmp_path / "model.npz"
+        save_model(m, path)
+        m2 = load_model(path)
+        assert m2.grid.shape == m.grid.shape
+        assert m2.grid.spacing == m.grid.spacing
+        np.testing.assert_array_equal(m2.vp, m.vp)
+        np.testing.assert_array_equal(m2.rho, m.rho)
+        np.testing.assert_array_equal(m2.vs, m.vs)
+
+    def test_vp_only_model(self, tmp_path):
+        m = constant_model((16, 16), with_density=False)
+        path = tmp_path / "m.npz"
+        save_model(m, path)
+        m2 = load_model(path)
+        assert m2.rho is None
+        assert m2.vs is None
+
+    def test_name_preserved(self, tmp_path):
+        m = constant_model((16, 16))
+        path = tmp_path / "m.npz"
+        save_model(m, path)
+        assert load_model(path).name == "constant"
+
+    def test_3d(self, tmp_path):
+        m = constant_model((8, 9, 10))
+        path = tmp_path / "m3.npz"
+        save_model(m, path)
+        assert load_model(path).grid.shape == (8, 9, 10)
+
+    def test_not_a_model_archive(self, tmp_path):
+        path = tmp_path / "junk.npz"
+        np.savez(path, foo=np.zeros(3))
+        with pytest.raises(ConfigurationError):
+            load_model(path)

@@ -1,0 +1,85 @@
+import pytest
+
+from repro.mpisim import CLUSTERS, CRAY_XC30, IBM_CLUSTER, ClusterCostModel
+from repro.propagators.workloads import (
+    acoustic_workloads,
+    elastic_workloads,
+    isotropic_workloads,
+)
+from repro.utils.errors import ConfigurationError
+
+
+class TestSpecs:
+    def test_full_socket_core_counts(self):
+        """Paper Table 1: 10 cores on CRAY, 8 on IBM."""
+        assert CRAY_XC30.mpi_cores == 10
+        assert IBM_CLUSTER.mpi_cores == 8
+
+    def test_cray_node_faster(self):
+        assert CRAY_XC30.mem_bandwidth_bytes > IBM_CLUSTER.mem_bandwidth_bytes
+        assert CRAY_XC30.peak_gflops > IBM_CLUSTER.peak_gflops
+
+    def test_snapshot_path_asymmetry(self):
+        """The XC30's 'novel intercommunications technology' vs the IBM
+        cluster's old interconnect."""
+        assert CRAY_XC30.snapshot_bandwidth > 10 * IBM_CLUSTER.snapshot_bandwidth
+
+    def test_registry(self):
+        assert CLUSTERS["cray"] is CRAY_XC30
+        assert CLUSTERS["IBM"] is IBM_CLUSTER
+
+    def test_ibm_rtm_backward_anomaly(self):
+        assert IBM_CLUSTER.backward_quality("acoustic") < 1.0
+        assert IBM_CLUSTER.backward_quality("isotropic") == 1.0
+        assert CRAY_XC30.backward_quality("acoustic") == 1.0
+
+
+class TestKernelTime:
+    def test_scales_with_points(self):
+        m = ClusterCostModel(CRAY_XC30)
+        w_small = isotropic_workloads((128, 128))[0]
+        w_big = isotropic_workloads((512, 512))[0]
+        ratio = m.kernel_time(w_big) / m.kernel_time(w_small)
+        assert ratio == pytest.approx(16.0, rel=0.05)
+
+    def test_ibm_slower_than_cray(self):
+        w = acoustic_workloads((256, 256, 256))
+        t_cray = ClusterCostModel(CRAY_XC30).step_time(w)
+        t_ibm = ClusterCostModel(IBM_CLUSTER).step_time(w)
+        assert t_ibm > t_cray
+
+    def test_elastic_step_costs_more_than_isotropic(self):
+        shape = (128, 128, 128)
+        m = ClusterCostModel(CRAY_XC30)
+        t_iso = m.step_time(isotropic_workloads(shape))
+        t_ela = m.step_time(elastic_workloads(shape))
+        assert t_ela > 3 * t_iso
+
+    def test_high_stream_kernels_defeat_vectorization(self):
+        """The elastic/staggered bodies run near-scalar on the CPU — the
+        mechanism behind the paper's best GPU speedups being elastic."""
+        from repro.propagators.base import KernelWorkload
+
+        simple = KernelWorkload("iso_x", 10**6, 40.0, 10, 1, (1000, 1000), address_streams=4)
+        complex_ = KernelWorkload("iso_y", 10**6, 40.0, 10, 1, (1000, 1000), address_streams=12)
+        m = ClusterCostModel(CRAY_XC30)
+        # same flops; the wide body must not be faster
+        assert m.kernel_time(complex_) >= m.kernel_time(simple)
+
+
+class TestCommunicationTerms:
+    def test_halo_time_monotone(self):
+        m = ClusterCostModel(CRAY_XC30)
+        assert m.halo_time(10**6, 4) < m.halo_time(10**7, 4)
+        with pytest.raises(ConfigurationError):
+            m.halo_time(-1, 0)
+
+    def test_snapshot_time_platform_gap(self):
+        nbytes = 512 * 1024 * 1024
+        t_cray = ClusterCostModel(CRAY_XC30).snapshot_time(nbytes)
+        t_ibm = ClusterCostModel(IBM_CLUSTER).snapshot_time(nbytes)
+        assert t_ibm > 10 * t_cray
+
+    def test_injection_time_small(self):
+        m = ClusterCostModel(CRAY_XC30)
+        assert m.injection_time(1) < 1e-4

@@ -1,0 +1,131 @@
+import numpy as np
+import pytest
+
+from repro.mpisim import RankComm, SimMPI
+from repro.utils.errors import CommunicationError
+
+
+class TestPointToPoint:
+    def test_isend_irecv_roundtrip(self):
+        mpi = SimMPI(2)
+        c0, c1 = mpi.comm(0), mpi.comm(1)
+        data = np.arange(10, dtype=np.float32)
+        c0.isend(data, dest=1, tag=7)
+        buf = np.zeros(10, dtype=np.float32)
+        req = c1.irecv(buf, source=0, tag=7)
+        req.wait()
+        np.testing.assert_array_equal(buf, data)
+
+    def test_send_copies_eagerly(self):
+        """Mutating the send buffer after isend must not corrupt the
+        message (MPI_ISEND standard-send with buffering)."""
+        mpi = SimMPI(2)
+        data = np.ones(4, dtype=np.float32)
+        mpi.comm(0).isend(data, dest=1)
+        data[:] = -1
+        buf = np.zeros(4, dtype=np.float32)
+        mpi.comm(1).irecv(buf, source=0).wait()
+        np.testing.assert_array_equal(buf, 1.0)
+
+    def test_tag_matching(self):
+        mpi = SimMPI(2)
+        mpi.comm(0).isend(np.array([1.0]), dest=1, tag=1)
+        mpi.comm(0).isend(np.array([2.0]), dest=1, tag=2)
+        buf = np.zeros(1)
+        mpi.comm(1).irecv(buf, source=0, tag=2).wait()
+        assert buf[0] == 2.0
+
+    def test_fifo_within_tag(self):
+        mpi = SimMPI(2)
+        for v in (1.0, 2.0, 3.0):
+            mpi.comm(0).isend(np.array([v]), dest=1, tag=0)
+        got = []
+        for _ in range(3):
+            buf = np.zeros(1)
+            mpi.comm(1).irecv(buf, source=0, tag=0).wait()
+            got.append(buf[0])
+        assert got == [1.0, 2.0, 3.0]
+
+    def test_deadlock_detected(self):
+        mpi = SimMPI(2)
+        buf = np.zeros(1)
+        req = mpi.comm(1).irecv(buf, source=0, tag=9)
+        with pytest.raises(CommunicationError):
+            req.wait()
+
+    def test_size_mismatch_detected(self):
+        mpi = SimMPI(2)
+        mpi.comm(0).isend(np.zeros(4), dest=1)
+        buf = np.zeros(8)
+        with pytest.raises(CommunicationError):
+            mpi.comm(1).irecv(buf, source=0).wait()
+
+    def test_self_send_rejected(self):
+        mpi = SimMPI(2)
+        with pytest.raises(CommunicationError):
+            mpi.comm(0).isend(np.zeros(1), dest=0)
+
+    def test_bad_rank_rejected(self):
+        mpi = SimMPI(2)
+        with pytest.raises(CommunicationError):
+            mpi.comm(0).isend(np.zeros(1), dest=5)
+        with pytest.raises(CommunicationError):
+            mpi.comm(5)
+
+
+class TestWaitAnyAll:
+    def test_waitany_returns_completed_index(self):
+        mpi = SimMPI(3)
+        mpi.comm(1).isend(np.array([5.0]), dest=0, tag=1)
+        b1, b2 = np.zeros(1), np.zeros(1)
+        reqs = [
+            mpi.comm(0).irecv(b2, source=2, tag=2),
+            mpi.comm(0).irecv(b1, source=1, tag=1),
+        ]
+        i = RankComm.waitany(reqs)
+        assert i == 1
+        assert b1[0] == 5.0
+
+    def test_waitany_all_done_rejected(self):
+        mpi = SimMPI(2)
+        mpi.comm(0).isend(np.zeros(1), dest=1)
+        buf = np.zeros(1)
+        req = mpi.comm(1).irecv(buf, source=0)
+        req.wait()
+        with pytest.raises(CommunicationError):
+            RankComm.waitany([req])
+
+    def test_waitall(self):
+        mpi = SimMPI(2)
+        for t in range(4):
+            mpi.comm(0).isend(np.array([float(t)]), dest=1, tag=t)
+        bufs = [np.zeros(1) for _ in range(4)]
+        reqs = [mpi.comm(1).irecv(bufs[t], source=0, tag=t) for t in range(4)]
+        RankComm.waitall(reqs)
+        assert [b[0] for b in bufs] == [0.0, 1.0, 2.0, 3.0]
+
+    def test_send_requests_complete_immediately(self):
+        mpi = SimMPI(2)
+        req = mpi.comm(0).isend(np.zeros(1), dest=1)
+        assert req.done
+
+
+class TestStats:
+    def test_traffic_counted(self):
+        mpi = SimMPI(2)
+        mpi.comm(0).isend(np.zeros(100, dtype=np.float32), dest=1)
+        assert mpi.stats.messages == 1
+        assert mpi.stats.bytes_sent == 400
+
+    def test_pending_messages(self):
+        mpi = SimMPI(2)
+        mpi.comm(0).isend(np.zeros(1), dest=1)
+        assert mpi.pending_messages() == 1
+
+    def test_allreduce_sum(self):
+        mpi = SimMPI(3)
+        store = {}
+        for r in range(3):
+            mpi.comm(r).allreduce_sum(float(r + 1), store)
+        assert store["sum"] == 6.0
+        assert store["count"] == 3

@@ -1,0 +1,87 @@
+import pytest
+
+from repro.optim import (
+    collapse_nest,
+    inline_receiver_loop,
+    loop_fission,
+    mark_uncoalesced,
+    remove_branches,
+    with_transposition,
+)
+from repro.propagators.base import KernelWorkload
+from repro.propagators.workloads import acoustic_workloads
+from repro.utils.errors import ConfigurationError
+
+
+def fused_3d():
+    return [w for w in acoustic_workloads((128, 128, 128)) if "fused" in w.name][0]
+
+
+class TestLoopFission:
+    def test_splits_into_parts(self):
+        parts = loop_fission(fused_3d(), 3)
+        assert len(parts) == 3
+        assert all(p.points == fused_3d().points for p in parts)
+
+    def test_conserves_flops(self):
+        w = fused_3d()
+        parts = loop_fission(w, 3)
+        assert sum(p.flops_per_point for p in parts) == pytest.approx(w.flops_per_point)
+
+    def test_total_reads_rise_with_shared_stream(self):
+        """Fission re-reads the differentiated field per part — the traffic
+        cost the register relief buys."""
+        w = fused_3d()
+        parts = loop_fission(w, 3)
+        assert sum(p.reads_per_point for p in parts) > w.reads_per_point
+
+    def test_register_pressure_drops(self):
+        from repro.gpusim import estimate_register_demand
+
+        w = fused_3d()
+        parts = loop_fission(w, 3)
+        assert all(
+            estimate_register_demand(p) < estimate_register_demand(w) for p in parts
+        )
+
+    def test_invalid_parts(self):
+        with pytest.raises(ConfigurationError):
+            loop_fission(fused_3d(), 1)
+        with pytest.raises(ConfigurationError):
+            loop_fission(fused_3d(), 100)
+
+
+class TestCoalescingTransforms:
+    def test_mark_uncoalesced(self):
+        w = mark_uncoalesced(fused_3d())
+        assert not w.inner_contiguous
+
+    def test_with_transposition_three_kernels(self):
+        seq = with_transposition(mark_uncoalesced(fused_3d()))
+        assert len(seq) == 3
+        assert seq[0].name == "transpose_to_tmp"
+        assert seq[1].inner_contiguous
+        assert seq[2].name == "transpose_from_tmp"
+
+
+class TestOtherTransforms:
+    def test_inline_receiver_loop(self):
+        w = inline_receiver_loop(64)
+        assert w.points == 64
+        assert "inlined" in w.name
+
+    def test_remove_branches(self):
+        w = KernelWorkload("k", 100, 10.0, 5, 1, (10, 10), has_branches=True)
+        out = remove_branches(w, extra_flops=8.0)
+        assert not out.has_branches
+        assert out.flops_per_point == 18.0
+
+    def test_collapse_nest(self):
+        w = KernelWorkload("k", 1000, 10.0, 5, 1, (10, 10, 10))
+        out = collapse_nest(w, 2)
+        assert out.loop_dims == (100, 10)
+
+    def test_collapse_invalid(self):
+        w = KernelWorkload("k", 100, 10.0, 5, 1, (10, 10))
+        with pytest.raises(ConfigurationError):
+            collapse_nest(w, 3)

@@ -1,0 +1,70 @@
+import pytest
+
+from repro.gpusim import K40, M2090
+from repro.gpusim.specs import CUDA_5_5
+from repro.optim import (
+    async_comparison,
+    predict_best_launch,
+    register_sweep,
+    vector_length_sweep,
+)
+from repro.optim.tuning import best_register_count
+from repro.propagators.workloads import elastic_workloads
+from repro.utils.errors import ConfigurationError
+
+
+class TestRegisterSweep:
+    def test_paper_figure10_shape(self):
+        """64 registers/thread is the sweet spot on the K40 for the elastic
+        3-D kernel set; very low counts spill, very high counts lose
+        occupancy."""
+        pts = register_sweep(K40, elastic_workloads((256, 256, 256)), toolkit=CUDA_5_5)
+        by_reg = {p.maxregcount: p for p in pts}
+        assert best_register_count(pts) == 64
+        assert by_reg[16].seconds > by_reg[64].seconds
+        assert by_reg[32].seconds > by_reg[64].seconds
+        assert by_reg[255].seconds > by_reg[64].seconds
+        assert by_reg[16].spilled_regs > 0
+        assert by_reg[255].occupancy < by_reg[64].occupancy
+
+    def test_empty_workloads_rejected(self):
+        with pytest.raises(ConfigurationError):
+            register_sweep(K40, [])
+
+
+class TestVectorLengthSweep:
+    def test_respects_device_limit(self):
+        ws = elastic_workloads((128, 128))
+        sweep = vector_length_sweep(K40, ws[0])
+        assert all(v <= K40.max_threads_per_block for v in sweep)
+
+    def test_predict_best_launch_is_argmin(self):
+        ws = elastic_workloads((128, 128))
+        cfg, est = predict_best_launch(K40, ws[0])
+        sweep = vector_length_sweep(K40, ws[0])
+        assert est.seconds == min(e.seconds for e in sweep.values())
+        assert cfg.threads_per_block in sweep
+
+
+class TestAsyncComparison:
+    def test_cray_regime_gains(self):
+        """Small kernels + cheap enqueue: async packing wins (Figure 11)."""
+        ws = elastic_workloads((128, 128))
+        cmp_ = async_comparison(K40, ws, steps=50, enqueue_cost_factor=1.0)
+        assert cmp_.improvement > 0.10
+
+    def test_pgi_regime_loses(self):
+        ws = elastic_workloads((128, 128))
+        cmp_ = async_comparison(K40, ws, steps=50, enqueue_cost_factor=8.0)
+        assert cmp_.improvement < 0.0
+
+    def test_large_kernels_insensitive(self):
+        """At 3-D sizes the kernels dwarf the launch gap — async buys
+        little either way (why the paper's Figure 11 is a 2-D study)."""
+        ws = elastic_workloads((160, 160, 160))
+        cmp_ = async_comparison(K40, ws, steps=5, enqueue_cost_factor=1.0)
+        assert abs(cmp_.improvement) < 0.05
+
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigurationError):
+            async_comparison(K40, [])

@@ -1,0 +1,104 @@
+import numpy as np
+import pytest
+
+from repro.model import constant_model, layered_model
+from repro.propagators import AcousticPropagator, IsotropicPropagator
+from repro.source import PointSource, integrated_ricker
+
+
+class TestStructure:
+    def test_2d_fields(self, small_model_2d):
+        p = AcousticPropagator(small_model_2d, boundary_width=8)
+        assert set(p.fields) == {"p", "qz", "qx"}
+
+    def test_3d_fields(self, small_model_3d):
+        p = AcousticPropagator(small_model_3d, boundary_width=8)
+        assert set(p.fields) == {"p", "qz", "qx", "qy"}
+
+    def test_kappa_is_rho_vp2(self, small_model_2d):
+        p = AcousticPropagator(small_model_2d, boundary_width=8)
+        rho = small_model_2d.density().astype(np.float64)
+        vp = small_model_2d.vp.astype(np.float64)
+        np.testing.assert_allclose(p.kappa, rho * vp**2, rtol=1e-5)
+
+    def test_buoyancy_inverse_density(self, small_model_2d):
+        p = AcousticPropagator(small_model_2d, boundary_width=8)
+        rho = float(small_model_2d.density()[0, 0])
+        np.testing.assert_allclose(p.buoyancy[0][8:-8, 8:-8], 1.0 / rho, rtol=1e-4)
+
+
+class TestDynamics:
+    def test_pressure_pulse_radiates_flow(self):
+        """A pressure source must generate non-zero particle flow."""
+        m = constant_model((80, 80), spacing=10.0, vp=2000.0)
+        p = AcousticPropagator(m, boundary_width=8)
+        w = integrated_ricker(40, p.dt, 20.0)
+        p.run(30, source=PointSource.at_center(m.grid, w))
+        assert float(np.abs(p.q[0]).max()) > 0
+        assert float(np.abs(p.q[1]).max()) > 0
+
+    def test_flow_antisymmetric_about_source(self):
+        """qx must be antisymmetric across the source column (flow points
+        away from the source on both sides)."""
+        m = constant_model((81, 81), spacing=10.0, vp=2000.0)
+        p = AcousticPropagator(m, boundary_width=8)
+        w = integrated_ricker(60, p.dt, 15.0)
+        p.run(50, source=PointSource.at_center(m.grid, w))
+        qx = p.q[1]
+        # with same-shape half-point storage, sample i holds location i+1/2:
+        # mirror of column 40+k is column 39-k
+        left = qx[:, 30:40]
+        right = qx[:, 49:39:-1]
+        peak = float(np.abs(qx).max())
+        np.testing.assert_allclose(left, -right, atol=0.15 * peak)
+
+    def test_variable_density_changes_field(self):
+        m1 = constant_model((80, 80), spacing=10.0, vp=2000.0)
+        m2 = constant_model((80, 80), spacing=10.0, vp=2000.0)
+        m2.rho = (m2.rho * 2.0).astype(np.float32)
+        p1 = AcousticPropagator(m1, boundary_width=8)
+        p2 = AcousticPropagator(m2, dt=p1.dt, boundary_width=8)
+        w = integrated_ricker(40, p1.dt, 20.0)
+        for p in (p1, p2):
+            p.run(35, source=PointSource.at_center(p.grid, w))
+        assert not np.allclose(p1.snapshot_field(), p2.snapshot_field())
+
+    def test_reflection_from_layer(self):
+        """A density/velocity interface must send energy back up."""
+        m = layered_model(
+            (160, 120), spacing=10.0, interfaces=[600.0], velocities=[1500.0, 3000.0]
+        )
+        p = AcousticPropagator(m, boundary_width=16)
+        w = integrated_ricker(500, p.dt, 12.0)
+        src = PointSource.at_coords(m.grid, (250.0, 600.0), w)
+        # run long enough for the reflection to travel back above the source
+        # (350 m down + 350 m up at 1500 m/s, plus the wavelet onset delay)
+        p.run(440, source=src)
+        above = float(np.abs(p.snapshot_field()[18:22, :]).max())
+        assert above > 0.0
+        # compare with homogeneous medium: reflection means more energy up top
+        mh = constant_model((160, 120), spacing=10.0, vp=1500.0)
+        ph = AcousticPropagator(mh, dt=p.dt, boundary_width=16)
+        ph.run(440, source=src)
+        above_h = float(np.abs(ph.snapshot_field()[18:22, :]).max())
+        assert above > 2 * above_h
+
+
+class TestAgainstIsotropic:
+    def test_matches_isotropic_in_constant_medium(self):
+        """In a homogeneous constant-density medium the acoustic system is
+        the first-order form of the isotropic equation: the wavefronts must
+        coincide (same arrival radius)."""
+        m_a = constant_model((161, 161), spacing=10.0, vp=2000.0)
+        m_a.rho = np.full_like(m_a.rho, 1000.0)
+        m_i = constant_model((161, 161), spacing=10.0, vp=2000.0, with_density=False)
+        pa = AcousticPropagator(m_a, boundary_width=16)
+        pi = IsotropicPropagator(m_i, dt=pa.dt, boundary_width=16)
+        nsteps = 110
+        from repro.source import ricker
+
+        pa.run(nsteps, source=PointSource.at_center(m_a.grid, integrated_ricker(nsteps + 5, pa.dt, 12.0)))
+        pi.run(nsteps, source=PointSource.at_center(m_i.grid, ricker(nsteps + 5, pi.dt, 12.0)))
+        ra = np.argmax(np.abs(pa.snapshot_field()[80, 80:]))
+        ri = np.argmax(np.abs(pi.snapshot_field()[80, 80:]))
+        assert abs(int(ra) - int(ri)) <= 3

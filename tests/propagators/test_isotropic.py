@@ -1,0 +1,116 @@
+import numpy as np
+import pytest
+
+from repro.model import constant_model
+from repro.propagators import IsotropicPropagator
+from repro.propagators.isotropic import boundary_slabs
+from repro.source import PointSource, ricker
+from repro.utils.errors import ConfigurationError
+
+
+class TestBoundarySlabs:
+    def test_nonoverlapping_cover(self):
+        shape = (40, 50)
+        w = 6
+        cover = np.zeros(shape, dtype=int)
+        for sl in boundary_slabs(shape, w):
+            cover[sl] += 1
+        assert np.all(cover <= 1)
+        # interior untouched, frame covered exactly once
+        assert np.all(cover[w:-w, w:-w] == 0)
+        assert np.all(cover[:w, :] == 1)
+        assert np.all(cover[:, :w][w:-w] == 1)
+
+    def test_3d_cover(self):
+        shape = (20, 22, 24)
+        w = 4
+        cover = np.zeros(shape, dtype=int)
+        for sl in boundary_slabs(shape, w):
+            cover[sl] += 1
+        assert np.all(cover <= 1)
+        assert np.all(cover[w:-w, w:-w, w:-w] == 0)
+        total_frame = np.prod(shape) - np.prod([n - 2 * w for n in shape])
+        assert cover.sum() == total_frame
+
+    def test_zero_width_empty(self):
+        assert boundary_slabs((10, 10), 0) == []
+
+
+class TestVariantEquivalence:
+    """The paper's three PML code variants must be numerically identical —
+    they differ only in GPU mapping."""
+
+    @pytest.mark.parametrize("variant", ["restructured", "everywhere"])
+    def test_matches_branchy(self, variant):
+        m = constant_model((80, 80), spacing=10.0, vp=2000.0, with_density=False)
+        props = {
+            v: IsotropicPropagator(m, boundary_width=12, pml_variant=v)
+            for v in ("branchy", variant)
+        }
+        w = ricker(60, props["branchy"].dt, 15.0)
+        src = PointSource.at_center(m.grid, w)
+        for p in props.values():
+            p.run(50, source=src)
+        a = props["branchy"].snapshot_field()
+        b = props[variant].snapshot_field()
+        peak = float(np.abs(a).max())
+        np.testing.assert_allclose(a, b, atol=1e-5 * peak)
+
+    def test_unknown_variant_rejected(self):
+        m = constant_model((40, 40), with_density=False)
+        with pytest.raises(ConfigurationError):
+            IsotropicPropagator(m, boundary_width=8, pml_variant="fancy")
+
+
+class TestWorkloadVariants:
+    def test_branchy_single_kernel_with_branches(self):
+        m = constant_model((64, 64), with_density=False)
+        p = IsotropicPropagator(m, boundary_width=8, pml_variant="branchy")
+        (k,) = p.kernel_workloads()
+        assert k.has_branches
+
+    def test_everywhere_single_branchless_kernel(self):
+        m = constant_model((64, 64), with_density=False)
+        p = IsotropicPropagator(m, boundary_width=8, pml_variant="everywhere")
+        (k,) = p.kernel_workloads()
+        assert not k.has_branches
+        assert k.points == 64 * 64
+
+    def test_restructured_many_kernels(self):
+        m = constant_model((64, 64), with_density=False)
+        p = IsotropicPropagator(m, boundary_width=8, pml_variant="restructured")
+        ks = p.kernel_workloads()
+        assert len(ks) == 1 + 4  # interior + 2 slabs per axis
+        assert sum(k.points for k in ks) == 64 * 64
+        assert not any(k.has_branches for k in ks)
+
+    def test_gather_axes_marked(self):
+        m = constant_model((24, 24, 24), with_density=False)
+        p = IsotropicPropagator(m, boundary_width=8, pml_variant="everywhere")
+        (k,) = p.kernel_workloads()
+        assert k.gather_axes == 3
+
+
+class TestTimeStepping:
+    def test_leapfrog_swap(self):
+        m = constant_model((48, 48), with_density=False)
+        p = IsotropicPropagator(m, boundary_width=8)
+        u_before = p.u
+        p.step([(p.grid.center_index(), 1.0)])
+        assert p.u_prev is u_before  # arrays swapped, not copied
+
+    def test_source_amplitude_scales_field(self):
+        m = constant_model((48, 48), with_density=False)
+        a = IsotropicPropagator(m, boundary_width=8)
+        b = IsotropicPropagator(m, boundary_width=8)
+        a.step([(a.grid.center_index(), 1.0)])
+        b.step([(b.grid.center_index(), 2.0)])
+        np.testing.assert_allclose(
+            2 * a.snapshot_field(), b.snapshot_field(), rtol=1e-5
+        )
+
+    def test_zero_source_stays_zero(self):
+        m = constant_model((48, 48), with_density=False)
+        p = IsotropicPropagator(m, boundary_width=8)
+        p.run(20)
+        assert float(np.abs(p.snapshot_field()).max()) == 0.0

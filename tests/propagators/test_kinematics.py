@@ -1,0 +1,110 @@
+"""Physics validation: wavefront kinematics against the analytic wave speed.
+
+For a homogeneous medium the dominant energy of a Ricker-sourced wavefield
+sits at radius ``v * (t - t_peak)`` from the source; every propagator must
+honour that within a few percent (numerical dispersion + peak-lag tolerance).
+"""
+
+import numpy as np
+import pytest
+
+from repro.model import constant_model
+from repro.propagators import make_propagator
+from repro.source import PointSource, integrated_ricker, ricker
+
+VP = 2000.0
+H = 10.0
+F = 12.0
+NSTEPS = 160
+
+
+def _wavefront_ratio(physics, ndim, **model_kwargs):
+    # 3-D runs use a higher peak frequency (shorter onset delay) so the
+    # dominant lobe fits well inside the smaller grid
+    shape = (201, 201) if ndim == 2 else (81, 81, 81)
+    nsteps = NSTEPS if ndim == 2 else 110
+    freq = F if ndim == 2 else 16.0
+    m = constant_model(shape, spacing=H, vp=VP, **model_kwargs)
+    p = make_propagator(physics, m, boundary_width=16)
+    wave = integrated_ricker if physics == "acoustic" else ricker
+    w = wave(nsteps + 10, p.dt, freq)
+    src = PointSource.at_center(m.grid, w)
+    p.run(nsteps, source=src)
+    u = p.snapshot_field()
+    center = m.grid.center_index()
+    if ndim == 2:
+        line = np.abs(u[center[0], center[1]:])
+    else:
+        line = np.abs(u[center[0], center[1]:, center[2]])
+    r_meas = float(np.argmax(line))
+    t = nsteps * p.dt - 1.5 / freq
+    r_expected = VP * t / H
+    return r_meas / r_expected
+
+
+class TestWavefrontSpeed2D:
+    def test_isotropic(self):
+        assert _wavefront_ratio("isotropic", 2, with_density=False) == pytest.approx(1.0, abs=0.08)
+
+    def test_acoustic(self):
+        assert _wavefront_ratio("acoustic", 2) == pytest.approx(1.0, abs=0.08)
+
+    def test_elastic_p_wave(self):
+        assert _wavefront_ratio("elastic", 2, vs_ratio=0.55) == pytest.approx(1.0, abs=0.08)
+
+
+class TestWavefrontSpeed3D:
+    def test_isotropic(self):
+        assert _wavefront_ratio("isotropic", 3, with_density=False) == pytest.approx(1.0, abs=0.12)
+
+    def test_acoustic(self):
+        assert _wavefront_ratio("acoustic", 3) == pytest.approx(1.0, abs=0.12)
+
+    def test_elastic_p_wave(self):
+        # wider tolerance: the pressure-like observable of the elastic field
+        # mixes near-field terms that lag the pure P-front slightly
+        assert _wavefront_ratio("elastic", 3, vs_ratio=0.55) == pytest.approx(1.0, abs=0.2)
+
+
+class TestVelocityScaling:
+    def test_faster_medium_moves_wavefront_further(self):
+        """Same step count and dt, doubled vp: the dominant-lobe distance
+        past the onset must scale ~2x. Uses the energy centroid of the
+        radial profile (robust to single-cell argmax quantization)."""
+        m_fast = constant_model((201, 201), spacing=H, vp=2 * VP)
+        p_fast = make_propagator("acoustic", m_fast, boundary_width=16)
+        dt = p_fast.dt
+        m_slow = constant_model((201, 201), spacing=H, vp=VP)
+        p_slow = make_propagator("acoustic", m_slow, dt=dt, boundary_width=16)
+        nsteps = 160
+        w = integrated_ricker(nsteps + 10, dt, 20.0)
+        for p in (p_fast, p_slow):
+            p.run(nsteps, source=PointSource.at_center(p.grid, w))
+
+        def centroid(p):
+            line = np.abs(p.snapshot_field()[100, 100:]).astype(np.float64)
+            r = np.arange(line.size)
+            return float(np.sum(r * line) / np.sum(line))
+
+        t = nsteps * dt - 1.5 / 20.0
+        assert t > 0
+        ratio = centroid(p_fast) / centroid(p_slow)
+        assert ratio == pytest.approx(2.0, abs=0.4)
+
+
+class TestSymmetry:
+    @pytest.mark.parametrize("physics,kwargs", [
+        ("isotropic", {"with_density": False}),
+        ("acoustic", {}),
+        ("elastic", {"vs_ratio": 0.5}),
+    ])
+    def test_centered_source_gives_symmetric_field(self, physics, kwargs):
+        """Homogeneous medium + centre source: the snapshot must be
+        mirror-symmetric in x."""
+        m = constant_model((121, 121), spacing=H, vp=VP, **kwargs)
+        p = make_propagator(physics, m, boundary_width=16)
+        wave = integrated_ricker if physics == "acoustic" else ricker
+        src = PointSource.at_center(m.grid, wave(100, p.dt, F))
+        p.run(90, source=src)
+        u = p.snapshot_field()
+        np.testing.assert_allclose(u, u[:, ::-1], atol=2e-5 * max(1e-30, np.abs(u).max()))

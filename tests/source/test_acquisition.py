@@ -1,0 +1,96 @@
+import numpy as np
+import pytest
+
+from repro.grid import Grid
+from repro.source import (
+    PointSource,
+    Receivers,
+    Shot,
+    grid_receivers,
+    line_receivers,
+    ricker,
+)
+from repro.utils.errors import ConfigurationError
+
+
+class TestReceivers:
+    def test_count_ndim(self):
+        r = Receivers(np.array([[1, 2], [3, 4]]))
+        assert r.count == 2
+        assert r.ndim == 2
+
+    def test_empty_rejected(self):
+        with pytest.raises(Exception):
+            Receivers(np.zeros((0, 2), dtype=int))
+
+    def test_record(self):
+        f = np.arange(16, dtype=np.float32).reshape(4, 4)
+        r = Receivers(np.array([[0, 0], [1, 1]]))
+        np.testing.assert_array_equal(r.record(f), [0.0, 5.0])
+
+    def test_inject_traces(self):
+        f = np.zeros((4, 4), dtype=np.float32)
+        r = Receivers(np.array([[0, 0], [1, 1]]))
+        r.inject_traces(f, np.array([1.0, 2.0]), scale=2.0)
+        assert f[0, 0] == 2.0 and f[1, 1] == 4.0
+
+    def test_inject_traces_shape_mismatch(self):
+        f = np.zeros((4, 4), dtype=np.float32)
+        r = Receivers(np.array([[0, 0]]))
+        with pytest.raises(ConfigurationError):
+            r.inject_traces(f, np.array([1.0, 2.0]))
+
+
+class TestLineReceivers:
+    def test_2d_line(self):
+        g = Grid((50, 100))
+        r = line_receivers(g, depth_index=5, stride=2, margin=10)
+        assert r.ndim == 2
+        assert np.all(r.indices[:, 0] == 5)
+        assert r.indices[0, 1] == 10
+        assert np.all(np.diff(r.indices[:, 1]) == 2)
+
+    def test_3d_line_constant_y(self):
+        g = Grid((20, 40, 30))
+        r = line_receivers(g, depth_index=3)
+        assert r.ndim == 3
+        assert np.all(r.indices[:, 2] == 15)
+
+    def test_depth_out_of_range(self):
+        with pytest.raises(ConfigurationError):
+            line_receivers(Grid((10, 10)), depth_index=20)
+
+    def test_margin_too_large(self):
+        with pytest.raises(ConfigurationError):
+            line_receivers(Grid((10, 10)), 2, margin=6)
+
+
+class TestGridReceivers:
+    def test_areal_spread(self):
+        g = Grid((20, 32, 32))
+        r = grid_receivers(g, depth_index=2, stride=8)
+        assert r.count == 16
+        assert np.all(r.indices[:, 0] == 2)
+
+    def test_2d_rejected(self):
+        with pytest.raises(ConfigurationError):
+            grid_receivers(Grid((10, 10)), 2)
+
+
+class TestShot:
+    def test_record_flow(self):
+        g = Grid((16, 16))
+        src = PointSource.at_center(g, ricker(10, 0.001, 25.0))
+        shot = Shot(src, line_receivers(g, 2, stride=4))
+        data = shot.allocate_data(5)
+        assert data.shape == (5, shot.receivers.count)
+        f = np.ones(g.shape, dtype=np.float32)
+        shot.record_step(0, f)
+        np.testing.assert_array_equal(shot.data[0], 1.0)
+
+    def test_record_before_allocate_rejected(self):
+        g = Grid((16, 16))
+        src = PointSource.at_center(g, ricker(10, 0.001, 25.0))
+        shot = Shot(src, line_receivers(g, 2))
+        with pytest.raises(ConfigurationError):
+            shot.record_step(0, np.zeros(g.shape, dtype=np.float32))

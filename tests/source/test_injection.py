@@ -1,0 +1,95 @@
+import numpy as np
+import pytest
+
+from repro.grid import Grid
+from repro.source import PointSource, extract, inject, ricker
+from repro.utils.errors import ConfigurationError
+
+
+class TestPointSource:
+    def test_at_coords_snaps(self):
+        g = Grid((20, 20), spacing=10.0)
+        src = PointSource.at_coords(g, (52.0, 101.0), np.zeros(4))
+        assert src.index == (5, 10)
+
+    def test_at_center(self):
+        g = Grid((21, 21))
+        src = PointSource.at_center(g, np.zeros(4))
+        assert src.index == (10, 10)
+
+    def test_at_center_with_depth(self):
+        g = Grid((21, 21))
+        src = PointSource.at_center(g, np.zeros(4), depth_index=3)
+        assert src.index == (3, 10)
+
+    def test_depth_out_of_range(self):
+        g = Grid((21, 21))
+        with pytest.raises(ConfigurationError):
+            PointSource.at_center(g, np.zeros(4), depth_index=30)
+
+    def test_amplitude_within_and_beyond_wavelet(self):
+        src = PointSource((0, 0), np.array([1.0, 2.0, 3.0]))
+        assert src.amplitude(1) == 2.0
+        assert src.amplitude(3) == 0.0
+        assert src.amplitude(-1) == 0.0
+
+
+class TestInject:
+    def test_single_point(self):
+        f = np.zeros((8, 8), dtype=np.float32)
+        inject(f, np.array([[2, 3]]), 5.0)
+        assert f[2, 3] == 5.0
+        assert np.count_nonzero(f) == 1
+
+    def test_scale(self):
+        f = np.zeros((8, 8), dtype=np.float32)
+        inject(f, np.array([[1, 1]]), 2.0, scale=3.0)
+        assert f[1, 1] == 6.0
+
+    def test_accumulates_into_existing(self):
+        f = np.ones((4, 4), dtype=np.float32)
+        inject(f, np.array([[0, 0]]), 1.5)
+        assert f[0, 0] == 2.5
+
+    def test_duplicate_indices_superpose(self):
+        """np.add.at semantics: collocated receivers add."""
+        f = np.zeros((4, 4), dtype=np.float32)
+        inject(f, np.array([[1, 1], [1, 1]]), np.array([2.0, 3.0]))
+        assert f[1, 1] == 5.0
+
+    def test_vector_amplitudes(self):
+        f = np.zeros((4, 4), dtype=np.float32)
+        inject(f, np.array([[0, 1], [2, 3]]), np.array([1.0, 2.0]))
+        assert f[0, 1] == 1.0 and f[2, 3] == 2.0
+
+    def test_1d_index_promoted(self):
+        f = np.zeros((4, 4), dtype=np.float32)
+        inject(f, np.array([1, 2]), 7.0)
+        assert f[1, 2] == 7.0
+
+    def test_dim_mismatch_rejected(self):
+        f = np.zeros((4, 4), dtype=np.float32)
+        with pytest.raises(ConfigurationError):
+            inject(f, np.array([[1, 2, 3]]), 1.0)
+
+    def test_3d(self):
+        f = np.zeros((4, 4, 4), dtype=np.float32)
+        inject(f, np.array([[1, 2, 3]]), 9.0)
+        assert f[1, 2, 3] == 9.0
+
+
+class TestExtract:
+    def test_samples(self):
+        f = np.arange(16, dtype=np.float32).reshape(4, 4)
+        vals = extract(f, np.array([[0, 1], [3, 3]]))
+        np.testing.assert_array_equal(vals, [1.0, 15.0])
+
+    def test_inject_extract_roundtrip(self):
+        f = np.zeros((6, 6), dtype=np.float32)
+        idx = np.array([[2, 2], [4, 1]])
+        inject(f, idx, np.array([3.0, 4.0]))
+        np.testing.assert_array_equal(extract(f, idx), [3.0, 4.0])
+
+    def test_dim_mismatch_rejected(self):
+        with pytest.raises(ConfigurationError):
+            extract(np.zeros((4, 4), dtype=np.float32), np.array([[1, 2, 3]]))

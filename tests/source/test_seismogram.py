@@ -1,0 +1,128 @@
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.source import (
+    agc,
+    first_breaks,
+    mute_direct_arrival,
+    normalize_traces,
+    resample,
+    trace_energy,
+)
+from repro.utils.errors import ConfigurationError
+
+
+def synth_record(nt=200, ntr=8, arrival_rows=None, seed=0):
+    rng = np.random.default_rng(seed)
+    s = np.zeros((nt, ntr), dtype=np.float32)
+    arrivals = arrival_rows or [20 + 5 * j for j in range(ntr)]
+    for j, a in enumerate(arrivals):
+        s[a : a + 10, j] = rng.standard_normal(10).astype(np.float32) + 2.0
+        s[a + 80 : a + 85, j] = 0.05  # weak late event
+    return s, arrivals
+
+
+class TestAGC:
+    def test_boosts_weak_late_events(self):
+        s, _ = synth_record()
+        g = agc(s, window=21)
+        raw_ratio = np.abs(s[100:110, 0]).max() / np.abs(s[20:30, 0]).max()
+        agc_ratio = np.abs(g[100:110, 0]).max() / np.abs(g[20:30, 0]).max()
+        assert agc_ratio > 3 * raw_ratio
+
+    def test_window_bounds(self):
+        s, _ = synth_record()
+        with pytest.raises(ConfigurationError):
+            agc(s, window=0)
+        with pytest.raises(ConfigurationError):
+            agc(s, window=1000)
+
+    def test_preserves_shape_dtype(self):
+        s, _ = synth_record()
+        g = agc(s, 11)
+        assert g.shape == s.shape and g.dtype == np.float32
+
+
+class TestNormalizeTraces:
+    def test_unit_peaks(self):
+        s, _ = synth_record()
+        n = normalize_traces(s)
+        peaks = np.abs(n).max(axis=0)
+        np.testing.assert_allclose(peaks, 1.0, rtol=1e-5)
+
+    def test_dead_trace_stays_zero(self):
+        s, _ = synth_record()
+        s[:, 3] = 0.0
+        n = normalize_traces(s)
+        assert np.all(n[:, 3] == 0.0)
+
+    def test_1d_rejected(self):
+        with pytest.raises(ConfigurationError):
+            normalize_traces(np.zeros(10))
+
+
+class TestMute:
+    def test_zeroes_before_direct(self):
+        s = np.ones((100, 4), dtype=np.float32)
+        offsets = np.array([0.0, 100.0, 200.0, 400.0])
+        out = mute_direct_arrival(s, dt=0.002, offsets_m=offsets,
+                                  velocity=2000.0, pad_s=0.0)
+        # offset 400 m at 2000 m/s -> 0.2 s -> 100 samples: whole trace muted
+        assert np.all(out[:, 3] == 0.0)
+        # offset 100 m -> 25 samples
+        assert np.all(out[:25, 1] == 0.0)
+        assert np.all(out[25:, 1] == 1.0)
+
+    def test_offset_count_mismatch(self):
+        s = np.ones((10, 3), dtype=np.float32)
+        with pytest.raises(ConfigurationError):
+            mute_direct_arrival(s, 0.001, np.zeros(2), 1500.0)
+
+
+class TestFirstBreaks:
+    def test_picks_match_arrivals(self):
+        s, arrivals = synth_record()
+        picks = first_breaks(s, threshold=0.2)
+        for p, a in zip(picks, arrivals):
+            assert abs(int(p) - a) <= 2
+
+    def test_dead_trace_minus_one(self):
+        s, _ = synth_record()
+        s[:, 0] = 0.0
+        assert first_breaks(s)[0] == -1
+
+    def test_threshold_validated(self):
+        s, _ = synth_record()
+        with pytest.raises(ConfigurationError):
+            first_breaks(s, threshold=2.0)
+
+
+class TestResample:
+    def test_factor_one_identity(self):
+        s, _ = synth_record()
+        np.testing.assert_allclose(resample(s, 1), s, rtol=1e-6)
+
+    def test_length_divides(self):
+        s, _ = synth_record(nt=205)
+        out = resample(s, 4)
+        assert out.shape == (51, s.shape[1])
+
+    def test_preserves_dc(self):
+        s = np.full((64, 2), 3.0, dtype=np.float32)
+        np.testing.assert_allclose(resample(s, 8), 3.0, rtol=1e-6)
+
+    @settings(max_examples=15, deadline=None)
+    @given(st.integers(min_value=1, max_value=8))
+    def test_energy_never_increases(self, factor):
+        s, _ = synth_record()
+        out = resample(s, factor)
+        # box averaging is a contraction in per-sample amplitude
+        assert np.abs(out).max() <= np.abs(s).max() + 1e-6
+
+
+class TestTraceEnergy:
+    def test_energy_values(self):
+        s = np.zeros((10, 2), dtype=np.float32)
+        s[:, 1] = 2.0
+        np.testing.assert_allclose(trace_energy(s), [0.0, 40.0])

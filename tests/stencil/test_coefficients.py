@@ -1,0 +1,105 @@
+import math
+
+import numpy as np
+import pytest
+
+from repro.stencil import (
+    centered_coefficients,
+    second_derivative_coefficients,
+    staggered_coefficients,
+)
+from repro.utils.errors import ConfigurationError
+
+
+class TestCenteredSecondDerivative:
+    def test_order2_classic(self):
+        w = centered_coefficients(2, 2)
+        np.testing.assert_allclose(w, [1.0, -2.0, 1.0], atol=1e-14)
+
+    def test_order4_classic(self):
+        w = centered_coefficients(4, 2)
+        np.testing.assert_allclose(
+            w, [-1 / 12, 4 / 3, -5 / 2, 4 / 3, -1 / 12], atol=1e-13
+        )
+
+    def test_order8_center(self):
+        c0, side = second_derivative_coefficients(8)
+        assert c0 == pytest.approx(-205 / 72, rel=1e-12)
+        np.testing.assert_allclose(
+            side, [8 / 5, -1 / 5, 8 / 315, -1 / 560], rtol=1e-12
+        )
+
+    def test_weights_sum_to_zero(self):
+        """A derivative annihilates constants."""
+        for order in (2, 4, 6, 8, 12):
+            assert sum(centered_coefficients(order, 2)) == pytest.approx(0.0, abs=1e-10)
+
+    def test_second_moment_is_two(self):
+        """d2/dx2 of x^2/2 = 1: sum w_k k^2 = 2."""
+        for order in (2, 4, 8):
+            w = centered_coefficients(order, 2)
+            m = order // 2
+            ks = np.arange(-m, m + 1)
+            assert float(np.sum(w * ks**2)) == pytest.approx(2.0, rel=1e-10)
+
+    def test_odd_order_rejected(self):
+        with pytest.raises(ConfigurationError):
+            centered_coefficients(3, 2)
+
+    def test_zero_order_rejected(self):
+        with pytest.raises(ConfigurationError):
+            centered_coefficients(0, 2)
+
+    def test_high_derivative_rejected(self):
+        with pytest.raises(ConfigurationError):
+            centered_coefficients(4, 3)
+
+
+class TestCenteredFirstDerivative:
+    def test_order2_classic(self):
+        w = centered_coefficients(2, 1)
+        np.testing.assert_allclose(w, [-0.5, 0.0, 0.5], atol=1e-14)
+
+    def test_antisymmetry(self):
+        w = centered_coefficients(8, 1)
+        m = len(w) // 2
+        for k in range(1, m + 1):
+            assert w[m + k] == pytest.approx(-w[m - k], abs=1e-13)
+
+    def test_first_moment_is_one(self):
+        w = centered_coefficients(8, 1)
+        m = len(w) // 2
+        ks = np.arange(-m, m + 1)
+        assert float(np.sum(w * ks)) == pytest.approx(1.0, rel=1e-12)
+
+
+class TestStaggered:
+    def test_order2_classic(self):
+        assert staggered_coefficients(2) == pytest.approx((1.0,))
+
+    def test_order4_classic(self):
+        np.testing.assert_allclose(
+            staggered_coefficients(4), (9 / 8, -1 / 24), rtol=1e-12
+        )
+
+    def test_order8_levander(self):
+        """The paper's width-8 operators: classic Levander weights."""
+        np.testing.assert_allclose(
+            staggered_coefficients(8),
+            (1225 / 1024, -245 / 3072, 49 / 5120, -5 / 7168),
+            rtol=1e-12,
+        )
+
+    def test_consistency_moment(self):
+        """sum_m c_m * (2m-1) == 1 gives an exact first derivative of x."""
+        for order in (2, 4, 6, 8):
+            c = staggered_coefficients(order)
+            total = sum(cm * (2 * m - 1) for m, cm in enumerate(c, start=1))
+            assert total == pytest.approx(1.0, rel=1e-12)
+
+    def test_odd_order_rejected(self):
+        with pytest.raises(ConfigurationError):
+            staggered_coefficients(5)
+
+    def test_cached(self):
+        assert staggered_coefficients(8) is staggered_coefficients(8)

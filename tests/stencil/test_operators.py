@@ -1,0 +1,192 @@
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.stencil import (
+    laplacian,
+    laplacian_flops_per_point,
+    laplacian_reads_per_point,
+    second_derivative,
+    staggered_diff_backward,
+    staggered_diff_forward,
+    stencil_radius,
+)
+from repro.utils.errors import ConfigurationError
+
+
+def _sine_2d(n=64, axis=0):
+    h = 2 * np.pi / (n - 1)
+    x = np.arange(n) * h
+    field = np.sin(x)
+    if axis == 0:
+        a = np.ascontiguousarray(np.repeat(field[:, None], 20, axis=1))
+    else:
+        a = np.ascontiguousarray(np.repeat(field[None, :], 20, axis=0))
+    return a.astype(np.float32), h, x
+
+
+class TestStencilRadius:
+    def test_order8(self):
+        assert stencil_radius(8) == 4
+
+    def test_rejects_odd(self):
+        with pytest.raises(ConfigurationError):
+            stencil_radius(5)
+
+
+class TestSecondDerivative:
+    def test_sine_accuracy(self):
+        a, h, x = _sine_2d()
+        d2 = second_derivative(a, 0, h)
+        interior = d2[4:-4, :]
+        expected = -np.sin(x[4:-4])[:, None]
+        assert np.max(np.abs(interior - expected)) < 5e-4
+
+    def test_quadratic_exact(self):
+        """x^2 has an exact FD second derivative (= 2) at any order."""
+        n = 32
+        x = np.arange(n, dtype=np.float64)
+        a = np.ascontiguousarray((x[:, None] ** 2) * np.ones((1, 8))).astype(np.float32)
+        d2 = second_derivative(a, 0, 1.0)
+        np.testing.assert_allclose(d2[4:-4, :], 2.0, rtol=1e-4)
+
+    def test_constant_gives_zero(self):
+        a = np.full((32, 32), 3.0, dtype=np.float32)
+        d2 = second_derivative(a, 0, 1.0)
+        np.testing.assert_allclose(d2[4:-4, :], 0.0, atol=1e-4)
+
+    def test_axis1(self):
+        a, h, x = _sine_2d(axis=1)
+        d2 = second_derivative(a, 1, h)
+        expected = -np.sin(x[4:-4])[None, :]
+        assert np.max(np.abs(d2[:, 4:-4] - expected)) < 5e-4
+
+    def test_border_untouched(self):
+        a = np.ones((32, 32), dtype=np.float32)
+        out = np.full_like(a, 99.0)
+        second_derivative(a, 0, 1.0, out=out)
+        assert np.all(out[:4, :] == 99.0)
+        assert np.all(out[-4:, :] == 99.0)
+
+    def test_too_small_axis_rejected(self):
+        with pytest.raises(ConfigurationError):
+            second_derivative(np.zeros((6, 20), dtype=np.float32), 0, 1.0)
+
+    def test_accumulate(self):
+        a, h, _ = _sine_2d()
+        out = np.zeros_like(a)
+        second_derivative(a, 0, h, out=out)
+        once = out.copy()
+        second_derivative(a, 0, h, out=out, accumulate=True)
+        np.testing.assert_allclose(out[4:-4, 4:-4], 2 * once[4:-4, 4:-4], rtol=1e-5)
+
+    def test_convergence_order(self):
+        """Error should fall dramatically with resolution for a smooth
+        field (8th-order scheme; float32 floors the tail)."""
+        errs = []
+        for n in (24, 48):
+            h = 2 * np.pi / (n - 1)
+            x = np.arange(n) * h
+            a = np.ascontiguousarray(
+                np.repeat(np.sin(x)[:, None], 8, axis=1)
+            ).astype(np.float64)
+            d2 = second_derivative(a, 0, h)
+            errs.append(np.max(np.abs(d2[4:-4, :] + np.sin(x[4:-4])[:, None])))
+        assert errs[1] < errs[0] / 30
+
+
+class TestLaplacian:
+    def test_isotropy_2d(self):
+        """lap of sin(x)+sin(z) == -(sin(x)+sin(z))."""
+        n = 64
+        h = 2 * np.pi / (n - 1)
+        x = np.arange(n) * h
+        a = (np.sin(x)[:, None] + np.sin(x)[None, :]).astype(np.float32)
+        lap = laplacian(a, (h, h))
+        expected = -(np.sin(x)[4:-4, None] + np.sin(x)[None, 4:-4])
+        assert np.max(np.abs(lap[4:-4, 4:-4] - expected)) < 1e-3
+
+    def test_3d_matches_sum_of_axes(self, rng):
+        a = rng.standard_normal((20, 20, 20)).astype(np.float32)
+        lap = laplacian(a, (1.0, 2.0, 0.5))
+        manual = np.zeros_like(a)
+        for ax, h in enumerate((1.0, 2.0, 0.5)):
+            manual = manual + second_derivative(a, ax, h)
+        np.testing.assert_allclose(
+            lap[4:-4, 4:-4, 4:-4], manual[4:-4, 4:-4, 4:-4], rtol=2e-4, atol=1e-4
+        )
+
+    def test_out_reuse_resets(self, rng):
+        a = rng.standard_normal((24, 24)).astype(np.float32)
+        out = np.full_like(a, 7.0)
+        lap1 = laplacian(a, (1.0, 1.0), out=out)
+        lap2 = laplacian(a, (1.0, 1.0))
+        np.testing.assert_array_equal(lap1, lap2)
+
+    def test_spacing_mismatch_rejected(self):
+        with pytest.raises(ConfigurationError):
+            laplacian(np.zeros((16, 16), dtype=np.float32), (1.0, 1.0, 1.0))
+
+    def test_reads_per_point_25_in_3d(self):
+        """The paper's 25-point stencil."""
+        assert laplacian_reads_per_point(3, 8) == 25
+        assert laplacian_reads_per_point(2, 8) == 17
+
+    def test_flops_positive(self):
+        assert laplacian_flops_per_point(3, 8) > laplacian_flops_per_point(2, 8) > 0
+
+
+class TestStaggeredOperators:
+    def test_forward_half_point_accuracy(self):
+        a, h, x = _sine_2d(n=80)
+        d = staggered_diff_forward(a, 0, h)
+        expected = np.cos(x[4:-5] + h / 2)[:, None]
+        assert np.max(np.abs(d[4:-5, :] - expected)) < 5e-5
+
+    def test_backward_half_point_accuracy(self):
+        n = 80
+        h = 2 * np.pi / (n - 1)
+        x = np.arange(n) * h
+        half_samples = np.sin(x + h / 2)
+        a = np.ascontiguousarray(np.repeat(half_samples[:, None], 12, axis=1)).astype(np.float32)
+        d = staggered_diff_backward(a, 0, h)
+        expected = np.cos(x[4:-4])[:, None]
+        assert np.max(np.abs(d[4:-4, :] - expected)) < 5e-5
+
+    def test_forward_backward_adjoint_roundtrip(self):
+        """D-(D+ x) approximates the second derivative."""
+        n = 96
+        h = 2 * np.pi / (n - 1)
+        x = np.arange(n) * h
+        a = np.ascontiguousarray(np.repeat(np.sin(x)[:, None], 8, axis=1)).astype(np.float32)
+        d1 = staggered_diff_forward(a, 0, h)
+        d2 = staggered_diff_backward(d1, 0, h)
+        expected = -np.sin(x[8:-8])[:, None]
+        assert np.max(np.abs(d2[8:-8, :] - expected)) < 5e-4
+
+    def test_linear_exact(self):
+        """D+ of a linear ramp is exactly 1 (consistency)."""
+        n = 32
+        a = np.ascontiguousarray(
+            np.repeat(np.arange(n, dtype=np.float32)[:, None], 6, axis=1)
+        )
+        d = staggered_diff_forward(a, 0, 1.0)
+        np.testing.assert_allclose(d[4:-4, :], 1.0, rtol=1e-5)
+
+    def test_constant_zero(self):
+        a = np.full((32, 8), 5.0, dtype=np.float32)
+        d = staggered_diff_backward(a, 0, 1.0)
+        np.testing.assert_allclose(d[4:-4, :], 0.0, atol=1e-5)
+
+    @settings(max_examples=10, deadline=None)
+    @given(st.integers(min_value=0, max_value=1))
+    def test_linearity(self, axis):
+        rng = np.random.default_rng(7)
+        a = rng.standard_normal((32, 32)).astype(np.float32)
+        b = rng.standard_normal((32, 32)).astype(np.float32)
+        dab = staggered_diff_forward((a + b), axis, 1.0)
+        da = staggered_diff_forward(a, axis, 1.0)
+        db = staggered_diff_forward(b, axis, 1.0)
+        np.testing.assert_allclose(
+            dab[4:-4, 4:-4], (da + db)[4:-4, 4:-4], atol=2e-4
+        )

@@ -1,0 +1,50 @@
+"""The ``python -m repro`` command-line interface."""
+
+import json
+
+import pytest
+
+from repro.__main__ import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["migrate-everything"])
+
+
+class TestCommands:
+    def test_plan(self, capsys):
+        assert main(["plan", "acoustic", "512", "512", "512"]) == 0
+        out = capsys.readouterr().out
+        assert "Tesla M2090" in out and "Tesla K40" in out
+        assert "swap" in out  # the Fermi acoustic-3D verdict
+
+    def test_plan_vti(self, capsys):
+        assert main(["plan", "vti", "256", "256"]) == 0
+        assert "resident" in capsys.readouterr().out
+
+    def test_figures_single(self, capsys):
+        assert main(["figures", "fig12"]) == 0
+        out = capsys.readouterr().out
+        assert "fission" in out
+        assert "M2090" in out
+
+    def test_figures_fig10(self, capsys):
+        assert main(["figures", "fig10"]) == 0
+        assert "registers" in capsys.readouterr().out
+
+    def test_sweep(self, capsys):
+        assert main(["sweep", "--nt", "20"]) == 0
+        assert "speedup" in capsys.readouterr().out
+
+    def test_json_export(self, tmp_path, capsys):
+        path = tmp_path / "results.json"
+        assert main(["json", str(path)]) == 0
+        data = json.loads(path.read_text())
+        assert "table3_modeling" in data
+        assert data["fig10_best_maxregcount"] == 64

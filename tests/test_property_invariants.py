@@ -1,0 +1,171 @@
+"""Cross-cutting property-based tests (hypothesis) on the package's core
+invariants: physics linearity, data-directive bookkeeping, message
+delivery, and cost-model monotonicity."""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.acc import PGI_14_6, Runtime
+from repro.gpusim import Device, K40, LaunchConfig, estimate_kernel_time
+from repro.model import constant_model
+from repro.mpisim import SimMPI
+from repro.propagators import AcousticPropagator
+from repro.propagators.base import KernelWorkload
+from repro.source import PointSource, integrated_ricker
+from repro.utils.errors import DeviceOutOfMemoryError, PresentTableError
+from repro.utils.units import MB
+
+
+class TestPhysicsLinearity:
+    @settings(max_examples=8, deadline=None)
+    @given(st.floats(min_value=0.1, max_value=50.0))
+    def test_acoustic_linear_in_source_amplitude(self, scale):
+        """The acoustic system is linear: scaling the source scales the
+        wavefield (up to float32 rounding)."""
+        m = constant_model((64, 64), spacing=10.0, vp=2000.0)
+        p1 = AcousticPropagator(m, boundary_width=8)
+        p2 = AcousticPropagator(m, dt=p1.dt, boundary_width=8)
+        w = integrated_ricker(40, p1.dt, 20.0)
+        src = PointSource.at_center(m.grid, w)
+        src2 = PointSource.at_center(m.grid, w * np.float32(scale))
+        p1.run(35, source=src)
+        p2.run(35, source=src2)
+        a = p1.snapshot_field().astype(np.float64) * scale
+        b = p2.snapshot_field().astype(np.float64)
+        peak = np.abs(b).max() or 1.0
+        assert np.max(np.abs(a - b)) < 1e-4 * peak
+
+    @settings(max_examples=6, deadline=None)
+    @given(st.integers(min_value=1, max_value=30))
+    def test_time_reversibility_without_boundaries(self, nsteps):
+        """Leapfrog with no absorption is time-reversible: stepping forward
+        then 'backward' (swapped fields) returns near the start state."""
+        m = constant_model((48, 48), spacing=10.0, vp=2000.0, with_density=False)
+        from repro.propagators import IsotropicPropagator
+
+        p = IsotropicPropagator(m, boundary_width=0, check_health_every=0)
+        rng = np.random.default_rng(5)
+        blob = np.zeros(m.grid.shape, dtype=np.float32)
+        blob[20:28, 20:28] = rng.standard_normal((8, 8)).astype(np.float32)
+        p.u[...] = blob
+        p.u_prev[...] = blob  # symmetric start (zero velocity)
+        for _ in range(nsteps):
+            p.step()
+        # reverse: swap u and u_prev, march the same number of steps
+        p.u, p.u_prev = p.u_prev, p.u
+        for _ in range(nsteps):
+            p.step()
+        err = np.abs(p.u.astype(np.float64) - blob)
+        assert err.max() < 1e-3 * (np.abs(blob).max() or 1.0)
+
+
+class TestPresentTableFuzz:
+    @settings(max_examples=30, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    @given(st.lists(
+        st.tuples(st.sampled_from(["enter", "exit", "update"]),
+                  st.sampled_from(["a", "b", "c"])),
+        min_size=1, max_size=30,
+    ))
+    def test_random_directive_sequences_stay_consistent(self, ops):
+        """Whatever the sequence, the present table and the device memory
+        must agree, refcounts stay positive, and failed ops change nothing."""
+        rt = Runtime(Device(K40), compiler=PGI_14_6)
+        refcounts: dict[str, int] = {}
+        for op, name in ops:
+            if op == "enter":
+                rt.enter_data(copyin={name: MB})
+                refcounts[name] = refcounts.get(name, 0) + 1
+            elif op == "exit":
+                if refcounts.get(name, 0) > 0:
+                    rt.exit_data(delete=[name])
+                    refcounts[name] -= 1
+                    if refcounts[name] == 0:
+                        del refcounts[name]
+                else:
+                    with pytest.raises(PresentTableError):
+                        rt.exit_data(delete=[name])
+            else:
+                if refcounts.get(name, 0) > 0:
+                    rt.update_host(name)
+                else:
+                    with pytest.raises(PresentTableError):
+                        rt.update_host(name)
+            # invariant: table membership == positive refcount == device alloc
+            for n in ("a", "b", "c"):
+                assert rt.is_present(n) == (refcounts.get(n, 0) > 0)
+                assert rt.device.memory.holds(n) == (refcounts.get(n, 0) > 0)
+
+
+class TestMessageDeliveryFuzz:
+    @settings(max_examples=30, deadline=None)
+    @given(st.lists(
+        st.tuples(st.integers(0, 3), st.integers(0, 3), st.integers(0, 4),
+                  st.integers(1, 16)),
+        min_size=1, max_size=25,
+    ))
+    def test_every_message_delivered_exactly_once(self, msgs):
+        """Random (src, dst, tag, size) traffic: each posted message is
+        received exactly once with its exact payload."""
+        mpi = SimMPI(4)
+        sent = []
+        for k, (src, dst, tag, size) in enumerate(msgs):
+            if src == dst:
+                continue
+            payload = np.full(size, float(k), dtype=np.float32)
+            mpi.comm(src).isend(payload, dest=dst, tag=tag)
+            sent.append((src, dst, tag, size, float(k)))
+        for src, dst, tag, size, val in sent:  # FIFO per (src,dst,tag)
+            buf = np.zeros(size, dtype=np.float32)
+            mpi.comm(dst).irecv(buf, source=src, tag=tag).wait()
+            np.testing.assert_array_equal(buf, val)
+        assert mpi.pending_messages() == 0
+
+
+class TestCostModelMonotonicity:
+    @settings(max_examples=30, deadline=None)
+    @given(
+        st.integers(min_value=1_000, max_value=10**7),
+        st.integers(min_value=2, max_value=14),
+        st.sampled_from([32, 64, 128, 256]),
+    )
+    def test_more_points_never_faster(self, points, streams, tpb):
+        w1 = KernelWorkload("k", points, 30.0, 12, 2, (points,), address_streams=streams)
+        w2 = KernelWorkload("k", 2 * points, 30.0, 12, 2, (2 * points,), address_streams=streams)
+        cfg = LaunchConfig(threads_per_block=tpb, maxregcount=64)
+        assert (
+            estimate_kernel_time(K40, w2, cfg).seconds
+            >= estimate_kernel_time(K40, w1, cfg).seconds
+        )
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.integers(min_value=2, max_value=14))
+    def test_uncoalesced_never_faster(self, streams):
+        base = KernelWorkload("k", 10**6, 30.0, 12, 2, (1000, 1000), address_streams=streams)
+        unco = KernelWorkload("k", 10**6, 30.0, 12, 2, (1000, 1000),
+                              address_streams=streams, inner_contiguous=False)
+        assert (
+            estimate_kernel_time(K40, unco).seconds
+            >= estimate_kernel_time(K40, base).seconds
+        )
+
+
+class TestAllocatorFuzz:
+    @settings(max_examples=20, deadline=None)
+    @given(st.lists(st.integers(min_value=1, max_value=400 * MB),
+                    min_size=1, max_size=30))
+    def test_oom_is_a_clean_boundary(self, sizes):
+        """Allocations either fit entirely or raise OOM without partial
+        state; after releasing everything, the device is empty."""
+        dev = Device(K40)
+        live = []
+        for i, size in enumerate(sizes):
+            try:
+                dev.allocate(f"x{i}", size)
+                live.append(f"x{i}")
+            except DeviceOutOfMemoryError:
+                assert not dev.memory.holds(f"x{i}")
+        for name in live:
+            dev.release(name)
+        assert dev.memory.used == 0

@@ -1,0 +1,62 @@
+import pytest
+
+from repro.utils.timer import SimClock, WallTimer
+
+
+class TestWallTimer:
+    def test_measures_elapsed(self):
+        with WallTimer() as t:
+            sum(range(1000))
+        assert t.elapsed >= 0.0
+
+    def test_elapsed_zero_before_use(self):
+        assert WallTimer().elapsed == 0.0
+
+
+class TestSimClock:
+    def test_starts_at_zero(self):
+        assert SimClock().now == 0.0
+
+    def test_advance(self):
+        c = SimClock()
+        assert c.advance(1.5) == 1.5
+        assert c.advance(0.5) == 2.0
+
+    def test_advance_negative_rejected(self):
+        with pytest.raises(ValueError):
+            SimClock().advance(-1.0)
+
+    def test_advance_categorised(self):
+        c = SimClock()
+        c.advance(1.0, "kernel")
+        c.advance(2.0, "kernel")
+        c.advance(0.5, "h2d")
+        assert c.categories["kernel"] == pytest.approx(3.0)
+        assert c.categories["h2d"] == pytest.approx(0.5)
+
+    def test_advance_to_future(self):
+        c = SimClock()
+        c.advance_to(5.0)
+        assert c.now == 5.0
+
+    def test_advance_to_past_is_noop(self):
+        c = SimClock(now=10.0)
+        c.advance_to(5.0)
+        assert c.now == 10.0
+
+    def test_charge_does_not_move_clock(self):
+        c = SimClock()
+        c.charge(2.0, "overlapped")
+        assert c.now == 0.0
+        assert c.categories["overlapped"] == 2.0
+
+    def test_charge_negative_rejected(self):
+        with pytest.raises(ValueError):
+            SimClock().charge(-0.1, "x")
+
+    def test_reset(self):
+        c = SimClock()
+        c.advance(3.0, "kernel")
+        c.reset()
+        assert c.now == 0.0
+        assert c.categories == {}

@@ -1,0 +1,57 @@
+import pytest
+
+from repro.utils.units import (
+    GB,
+    GiB,
+    KiB,
+    MiB,
+    bytes_to_human,
+    seconds_to_human,
+)
+
+
+class TestConstants:
+    def test_binary_multiples(self):
+        assert KiB == 1024
+        assert MiB == 1024**2
+        assert GiB == 1024**3
+
+    def test_decimal_vs_binary(self):
+        assert GB < GiB
+
+
+class TestBytesToHuman:
+    def test_bytes(self):
+        assert bytes_to_human(512) == "512 B"
+
+    def test_kib(self):
+        assert bytes_to_human(2048) == "2.00 KiB"
+
+    def test_gib(self):
+        assert bytes_to_human(6 * GiB) == "6.00 GiB"
+
+    def test_fractional(self):
+        assert bytes_to_human(1536) == "1.50 KiB"
+
+    def test_negative(self):
+        assert bytes_to_human(-2048) == "-2.00 KiB"
+
+    def test_zero(self):
+        assert bytes_to_human(0) == "0 B"
+
+
+class TestSecondsToHuman:
+    def test_seconds(self):
+        assert seconds_to_human(1.5) == "1.500 s"
+
+    def test_milliseconds(self):
+        assert seconds_to_human(0.0123) == "12.300 ms"
+
+    def test_microseconds(self):
+        assert seconds_to_human(5e-6) == "5.000 us"
+
+    def test_nanoseconds(self):
+        assert seconds_to_human(3e-9) == "3.0 ns"
+
+    def test_negative(self):
+        assert seconds_to_human(-0.5).startswith("-")
