@@ -50,6 +50,7 @@ from repro import optim
 from repro import propagators
 from repro import source
 from repro import stencil
+from repro import trace
 from repro import utils
 
 __all__ = [
@@ -66,5 +67,6 @@ __all__ = [
     "propagators",
     "source",
     "stencil",
+    "trace",
     "utils",
 ]

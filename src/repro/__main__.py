@@ -14,6 +14,11 @@ Commands
     Write the full EXPERIMENTS.md report.
 ``json [PATH]``
     Write machine-readable harness results.
+``trace CASE``
+    Run one case fully instrumented and write a Perfetto ``trace.json``.
+
+``tables``/``figures``/``sweep`` also accept ``--trace PATH`` to record a
+harness-level (wall-clock) trace of the run.
 """
 
 from __future__ import annotations
@@ -22,12 +27,33 @@ import argparse
 import sys
 
 
+def _harness_tracer(args):
+    """Wall-clock tracer for ``--trace PATH`` on the harness commands (the
+    dedicated ``trace`` command uses the device's simulated clock instead)."""
+    from repro.trace import NULL_TRACER, Tracer
+
+    return Tracer() if getattr(args, "trace", None) else NULL_TRACER
+
+
+def _write_harness_trace(args, tracer) -> None:
+    if getattr(args, "trace", None):
+        from repro.trace import write_perfetto
+
+        write_perfetto(tracer, args.trace)
+        print(f"wrote {args.trace}")
+
+
 def _cmd_tables(args) -> int:
     from repro.bench import format_table3, format_table4
 
-    print(format_table3())
-    print()
-    print(format_table4())
+    tracer = _harness_tracer(args)
+    with tracer.span("tables", track="cli", cat="harness"):
+        with tracer.span("table3", track="cli", cat="harness"):
+            print(format_table3())
+        print()
+        with tracer.span("table4", track="cli", cat="harness"):
+            print(format_table4())
+    _write_harness_trace(args, tracer)
     return 0
 
 
@@ -36,35 +62,45 @@ def _cmd_figures(args) -> int:
     from repro.bench.report import format_series
 
     wanted = args.name
+    tracer = _harness_tracer(args)
+
     def want(tag):
         return wanted is None or wanted == tag
 
     if want("fig6") or want("fig7"):
-        for comp, series in figures.fig6_fig7_iso_variants().items():
-            print(format_series(f"Figs 6/7 — ISO 3D variants ({comp})", series))
+        with tracer.span("fig6_fig7", track="cli", cat="harness"):
+            for comp, series in figures.fig6_fig7_iso_variants().items():
+                print(format_series(f"Figs 6/7 — ISO 3D variants ({comp})", series))
     if want("fig8") or want("fig9"):
-        for dim, series in figures.fig8_fig9_acoustic_constructs().items():
-            print(format_series(f"Figs 8/9 — acoustic {dim} on CRAY", series))
+        with tracer.span("fig8_fig9", track="cli", cat="harness"):
+            for dim, series in figures.fig8_fig9_acoustic_constructs().items():
+                print(format_series(f"Figs 8/9 — acoustic {dim} on CRAY", series))
     if want("fig10"):
-        pts = figures.fig10_register_sweep()
-        print(format_series(
-            "Fig 10 — elastic 3D registers/thread (K40)",
-            {str(p.maxregcount): p.seconds for p in pts},
-        ))
+        with tracer.span("fig10", track="cli", cat="harness"):
+            pts = figures.fig10_register_sweep()
+            print(format_series(
+                "Fig 10 — elastic 3D registers/thread (K40)",
+                {str(p.maxregcount): p.seconds for p in pts},
+            ))
     if want("fig11"):
-        print(format_series("Fig 11 — async improvement fraction",
-                            figures.fig11_async(), unit=""))
+        with tracer.span("fig11", track="cli", cat="harness"):
+            print(format_series("Fig 11 — async improvement fraction",
+                                figures.fig11_async(), unit=""))
     if want("fig12"):
-        for card, s in figures.fig12_fission().items():
-            print(format_series(f"Fig 12 — acoustic 3D fission ({card})", s))
+        with tracer.span("fig12", track="cli", cat="harness"):
+            for card, s in figures.fig12_fission().items():
+                print(format_series(f"Fig 12 — acoustic 3D fission ({card})", s))
     if want("fig13"):
-        for card, s in figures.fig13_coalescing().items():
-            print(format_series(f"Fig 13 — coalescing fix ({card})", s))
+        with tracer.span("fig13", track="cli", cat="harness"):
+            for card, s in figures.fig13_coalescing().items():
+                print(format_series(f"Fig 13 — coalescing fix ({card})", s))
     if want("fig14") or want("fig15"):
-        for label, rep in figures.fig14_fig15_profiles().items():
-            print(f"Figs 14/15 — profile ({label})")
-            print(rep.to_text())
-            print()
+        with tracer.span("fig14_fig15", track="cli", cat="harness"):
+            for label, rep in figures.fig14_fig15_profiles().items():
+                print(f"Figs 14/15 — profile ({label})")
+                print(rep.to_text())
+                print()
+    _write_harness_trace(args, tracer)
     return 0
 
 
@@ -82,9 +118,14 @@ def _cmd_plan(args) -> int:
 def _cmd_sweep(args) -> int:
     from repro.bench import grid_size_sweep
 
-    for p in grid_size_sweep(nt=args.nt):
-        print(f"  {int(p.x):>5}^2 : speedup {p.speedup:5.2f} "
-              f"(GPU {p.gpu_total:.2f} s, CPU {p.cpu_total:.2f} s)")
+    tracer = _harness_tracer(args)
+    with tracer.span("sweep", track="cli", cat="harness", nt=args.nt):
+        for p in grid_size_sweep(nt=args.nt):
+            tracer.instant(f"point:{int(p.x)}", track="cli", cat="harness",
+                           speedup=p.speedup)
+            print(f"  {int(p.x):>5}^2 : speedup {p.speedup:5.2f} "
+                  f"(GPU {p.gpu_total:.2f} s, CPU {p.cpu_total:.2f} s)")
+    _write_harness_trace(args, tracer)
     return 0
 
 
@@ -104,6 +145,12 @@ def _cmd_json(args) -> int:
     return 0
 
 
+def _cmd_trace(args) -> int:
+    from repro.trace.cli import run_trace_command
+
+    return run_trace_command(args)
+
+
 def build_parser() -> argparse.ArgumentParser:
     ap = argparse.ArgumentParser(
         prog="repro",
@@ -112,10 +159,13 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sub = ap.add_subparsers(dest="command", required=True)
 
-    sub.add_parser("tables", help="regenerate Tables 3 and 4").set_defaults(fn=_cmd_tables)
+    t = sub.add_parser("tables", help="regenerate Tables 3 and 4")
+    t.add_argument("--trace", metavar="PATH", help="write a harness trace")
+    t.set_defaults(fn=_cmd_tables)
 
     f = sub.add_parser("figures", help="regenerate the Figure 6-15 studies")
     f.add_argument("name", nargs="?", help="one figure, e.g. fig12")
+    f.add_argument("--trace", metavar="PATH", help="write a harness trace")
     f.set_defaults(fn=_cmd_figures)
 
     p = sub.add_parser("plan", help="offload residency plan for one case")
@@ -125,6 +175,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     s = sub.add_parser("sweep", help="grid-size speedup sweep")
     s.add_argument("--nt", type=int, default=100)
+    s.add_argument("--trace", metavar="PATH", help="write a harness trace")
     s.set_defaults(fn=_cmd_sweep)
 
     e = sub.add_parser("experiments", help="write EXPERIMENTS.md")
@@ -134,6 +185,19 @@ def build_parser() -> argparse.ArgumentParser:
     j = sub.add_parser("json", help="write machine-readable results")
     j.add_argument("path", nargs="?", default="experiments.json")
     j.set_defaults(fn=_cmd_json)
+
+    tr = sub.add_parser(
+        "trace",
+        help="run one case instrumented; write a Perfetto trace.json",
+    )
+    tr.add_argument("case", help="e.g. iso2d, acoustic3d, el2d")
+    tr.add_argument("--mode", choices=["modeling", "rtm"], default="rtm")
+    tr.add_argument("--nt", type=int, default=60, help="time steps")
+    tr.add_argument("--ranks", type=int, default=1,
+                    help="simulated MPI ranks for a halo-exchange superstep")
+    tr.add_argument("--out", default="trace.json", help="Perfetto JSON path")
+    tr.add_argument("--jsonl", metavar="PATH", help="also write flat JSONL")
+    tr.set_defaults(fn=_cmd_trace)
     return ap
 
 

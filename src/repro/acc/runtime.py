@@ -33,6 +33,7 @@ from repro.acc.compiler import CompilerPersona, PGI_14_6
 from repro.gpusim.device import Device
 from repro.gpusim.kernelmodel import KernelEstimate
 from repro.propagators.base import KernelWorkload
+from repro.trace.tracer import NULL_TRACER, Tracer
 from repro.utils.errors import PresentTableError
 
 
@@ -60,6 +61,13 @@ class Runtime:
         was explicitly configured.
     flags:
         Compile-line options (``maxregcount``, ``pin``, auto-async).
+    tracer:
+        Optional :class:`~repro.trace.tracer.Tracer`. When given, the
+        runtime emits spans for data regions, updates and compute
+        constructs, attaches the tracer to the device (kernel/copy events
+        re-emitted on per-queue tracks) and — unless the tracer was built
+        with an explicit clock — rebinds its clock to the device's
+        simulated clock so all spans share the modelled timeline.
     """
 
     def __init__(
@@ -67,10 +75,15 @@ class Runtime:
         device: Device,
         compiler: CompilerPersona = PGI_14_6,
         flags: CompileFlags | None = None,
+        tracer: Tracer | None = None,
     ):
         self.device = device
         self.compiler = compiler
         self.flags = flags if flags is not None else CompileFlags()
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        if tracer is not None:
+            tracer.bind_default_clock(lambda: device.clock.now)
+            device.attach_tracer(tracer)
         device.toolkit = compiler.default_toolkit
         device.pinned_host = self.flags.pin
         self._table: dict[str, PresentEntry] = {}
@@ -134,10 +147,14 @@ class Runtime:
         create: Mapping[str, np.ndarray | int] | None = None,
     ) -> None:
         """``acc enter data copyin(...) create(...)`` — dynamic attach."""
-        for name, data in (copyin or {}).items():
-            self._attach(name, data, transfer=True, copyout=False)
-        for name, data in (create or {}).items():
-            self._attach(name, data, transfer=False, copyout=False)
+        with self.tracer.span(
+            "acc.enter_data", track="acc", cat="acc",
+            copyin=sorted(copyin or ()), create=sorted(create or ()),
+        ):
+            for name, data in (copyin or {}).items():
+                self._attach(name, data, transfer=True, copyout=False)
+            for name, data in (create or {}).items():
+                self._attach(name, data, transfer=False, copyout=False)
 
     def exit_data(
         self,
@@ -145,10 +162,14 @@ class Runtime:
         copyout: Iterable[str] = (),
     ) -> None:
         """``acc exit data delete(...) copyout(...)`` — dynamic detach."""
-        for name in copyout:
-            self._detach(name, force_copyout=True)
-        for name in delete:
-            self._detach(name, force_copyout=False)
+        with self.tracer.span(
+            "acc.exit_data", track="acc", cat="acc",
+            delete=sorted(delete), copyout=sorted(copyout),
+        ):
+            for name in copyout:
+                self._detach(name, force_copyout=True)
+            for name in delete:
+                self._detach(name, force_copyout=False)
 
     @contextmanager
     def data(
@@ -163,23 +184,28 @@ class Runtime:
         for name in present:
             self.present_entry(name)
         attached: list[str] = []
-        try:
-            for name, d in (copyin or {}).items():
-                self._attach(name, d, transfer=True, copyout=False)
-                attached.append(name)
-            for name, d in (copy or {}).items():
-                self._attach(name, d, transfer=True, copyout=True)
-                attached.append(name)
-            for name, d in (copyout or {}).items():
-                self._attach(name, d, transfer=False, copyout=True)
-                attached.append(name)
-            for name, d in (create or {}).items():
-                self._attach(name, d, transfer=False, copyout=False)
-                attached.append(name)
-            yield self
-        finally:
-            for name in reversed(attached):
-                self._detach(name)
+        with self.tracer.span(
+            "acc.data", track="acc", cat="acc",
+            copyin=sorted(copyin or ()), copyout=sorted(copyout or ()),
+            copy=sorted(copy or ()), create=sorted(create or ()),
+        ):
+            try:
+                for name, d in (copyin or {}).items():
+                    self._attach(name, d, transfer=True, copyout=False)
+                    attached.append(name)
+                for name, d in (copy or {}).items():
+                    self._attach(name, d, transfer=True, copyout=True)
+                    attached.append(name)
+                for name, d in (copyout or {}).items():
+                    self._attach(name, d, transfer=False, copyout=True)
+                    attached.append(name)
+                for name, d in (create or {}).items():
+                    self._attach(name, d, transfer=False, copyout=False)
+                    attached.append(name)
+                yield self
+            finally:
+                for name in reversed(attached):
+                    self._detach(name)
 
     def update_device(
         self,
@@ -197,7 +223,13 @@ class Runtime:
             raise PresentTableError(
                 f"update device of {n} bytes exceeds '{name}' extent {entry.nbytes}"
             )
-        return self.device.h2d(n, name=f"update_device:{name}", chunks=chunks, queue=queue)
+        with self.tracer.span(
+            "acc.update_device", track="acc", cat="acc",
+            var=name, bytes=n, chunks=chunks, queue=queue,
+        ):
+            return self.device.h2d(
+                n, name=f"update_device:{name}", chunks=chunks, queue=queue
+            )
 
     def update_host(
         self,
@@ -213,7 +245,13 @@ class Runtime:
             raise PresentTableError(
                 f"update host of {n} bytes exceeds '{name}' extent {entry.nbytes}"
             )
-        return self.device.d2h(n, name=f"update_host:{name}", chunks=chunks, queue=queue)
+        with self.tracer.span(
+            "acc.update_host", track="acc", cat="acc",
+            var=name, bytes=n, chunks=chunks, queue=queue,
+        ):
+            return self.device.d2h(
+                n, name=f"update_host:{name}", chunks=chunks, queue=queue
+            )
 
     # ------------------------------------------------------------------
     # compute constructs
@@ -248,13 +286,17 @@ class Runtime:
         launch = self.compiler.lower(
             construct, workload, schedule, self.flags, async_queue=queue
         )
-        if fn is not None:
-            fn()  # the real NumPy computation (host arrays are truth)
-        return self.device.launch(
-            workload,
-            launch,
-            enqueue_cost_factor=self.compiler.async_enqueue_factor,
-        )
+        with self.tracer.span(
+            f"acc.{construct}", track="acc", cat="acc",
+            kernel=workload.name, queue=queue,
+        ):
+            if fn is not None:
+                fn()  # the real NumPy computation (host arrays are truth)
+            return self.device.launch(
+                workload,
+                launch,
+                enqueue_cost_factor=self.compiler.async_enqueue_factor,
+            )
 
     def kernels(
         self,
@@ -298,7 +340,8 @@ class Runtime:
 
     def wait(self, queue: int | None = None) -> float:
         """``acc wait`` directive."""
-        return self.device.wait(queue)
+        with self.tracer.span("acc.wait", track="acc", cat="acc", queue=queue):
+            return self.device.wait(queue)
 
     def cache(self, *names: str) -> None:
         """The ``acc cache`` directive: request shared-memory staging of the

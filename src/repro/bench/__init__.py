@@ -13,7 +13,12 @@
 from repro.bench.workloads import CaseSpec, modeling_case, ALL_CASES, case_name
 from repro.bench.table3 import table3_rows, format_table3
 from repro.bench.table4 import table4_rows, format_table4
-from repro.bench.report import Cell, Row, format_speedup_table
+from repro.bench.report import (
+    Cell,
+    Row,
+    format_gpu_times,
+    format_speedup_table,
+)
 from repro.bench.sweeps import (
     SweepPoint,
     grid_size_sweep,
@@ -34,6 +39,7 @@ __all__ = [
     "format_table4",
     "Cell",
     "Row",
+    "format_gpu_times",
     "format_speedup_table",
     "SweepPoint",
     "grid_size_sweep",

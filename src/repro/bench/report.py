@@ -3,6 +3,10 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (core imports bench)
+    from repro.core.config import GpuTimes
 
 
 @dataclass
@@ -82,6 +86,36 @@ def format_speedup_table(title: str, rows: list[Row]) -> str:
                 r.ibm_pgi.fmt(r.ibm_pgi.kernel_speedup),
             )
         )
+    return "\n".join(lines)
+
+
+def format_gpu_times(title: str, gpu: "GpuTimes") -> str:
+    """Render one run's per-category GPU time breakdown.
+
+    Surfaces the :class:`~repro.core.config.GpuTimes` category ledger (the
+    device SimClock's cumulative kernel / h2d / d2h / alloc seconds) that
+    the drivers collect — the textual twin of the profiler timelines the
+    paper reads utilization off.
+    """
+    lines = [title, "-" * len(title)]
+    if not gpu.success:
+        lines.append(f"  FAILED ({gpu.failure})")
+        return "\n".join(lines)
+    cats = dict(gpu.categories)
+    if not cats:  # older callers that only filled the flat fields
+        cats = {"kernel": gpu.kernel, "h2d": gpu.h2d, "d2h": gpu.d2h,
+                "alloc": gpu.alloc}
+    cats = {k: v for k, v in cats.items() if v > 0.0}
+    other = gpu.other
+    if other > 0.0:
+        cats["other"] = other
+    width = max((len(k) for k in cats), default=5)
+    total = gpu.total if gpu.total > 0 else sum(cats.values())
+    for name in sorted(cats, key=cats.get, reverse=True):
+        share = 100.0 * cats[name] / total if total > 0 else 0.0
+        lines.append(f"  {name:<{width}} : {cats[name]:>10.4f} s  ({share:5.1f}%)")
+    lines.append(f"  {'total':<{width}} : {total:>10.4f} s  "
+                 f"({gpu.launches} kernel launches)")
     return "\n".join(lines)
 
 

@@ -98,14 +98,25 @@ class GpuTimes:
     kernel: float = 0.0
     h2d: float = 0.0
     d2h: float = 0.0
+    alloc: float = 0.0
     launches: int = 0
     success: bool = True
     failure: str | None = None  # 'oom' | 'compiler' | None
     profile: ProfileReport | None = None
+    #: per-category cumulative seconds from the device's SimClock (kernel /
+    #: h2d / d2h / alloc, plus anything instrumentation charged); unlike the
+    #: flat fields above this carries every category the clock saw
+    categories: dict[str, float] = field(default_factory=dict)
 
     @property
     def transfer(self) -> float:
         return self.h2d + self.d2h
+
+    @property
+    def other(self) -> float:
+        """Wall time not attributed to any category (launch gaps, driver
+        overheads, host-side admin)."""
+        return max(0.0, self.total - self.kernel - self.transfer - self.alloc)
 
 
 @dataclass

@@ -21,6 +21,7 @@ from repro.propagators.factory import make_propagator
 from repro.source.acquisition import Receivers, line_receivers
 from repro.source.injection import PointSource
 from repro.source.wavelets import integrated_ricker, ricker
+from repro.trace.tracer import Tracer
 from repro.utils.errors import ConfigurationError
 
 
@@ -55,20 +56,25 @@ def _default_receivers(config: ModelingConfig) -> Receivers:
     return line_receivers(grid, depth, stride=4, margin=config.boundary_width)
 
 
-def _build_runtime(options: GPUOptions, platform: Platform) -> Runtime:
+def _build_runtime(
+    options: GPUOptions, platform: Platform, tracer: Tracer | None = None
+) -> Runtime:
     device = Device(
         platform.gpu,
         pcie=platform.pcie,
         toolkit=options.compiler.default_toolkit,
         pinned_host=options.flags.pin,
     )
-    return Runtime(device, compiler=options.compiler, flags=options.flags)
+    return Runtime(
+        device, compiler=options.compiler, flags=options.flags, tracer=tracer
+    )
 
 
 def run_modeling(
     config: ModelingConfig,
     gpu_options: GPUOptions | None = None,
     platform: Platform = CRAY_K40,
+    tracer: Tracer | None = None,
 ) -> ModelingResult:
     """Run seismic modeling; returns the seismogram, the snapshot movie and
     (when ``gpu_options`` is given) the modelled GPU timing."""
@@ -99,7 +105,7 @@ def run_modeling(
 
     pipeline: OffloadPipeline | None = None
     if gpu_options is not None:
-        rt = _build_runtime(gpu_options, platform)
+        rt = _build_runtime(gpu_options, platform, tracer)
         pipeline = OffloadPipeline(
             rt,
             physics,
@@ -160,10 +166,11 @@ def estimate_modeling(
     boundary_width: int = 16,
     pml_variant: str = "branchy",
     snapshot_decimate: int = 4,
+    tracer: Tracer | None = None,
 ) -> GpuTimes:
     """Timing-only modeling run at arbitrary (paper-scale) grid sizes."""
     options = options if options is not None else GPUOptions()
-    rt = _build_runtime(options, platform)
+    rt = _build_runtime(options, platform, tracer)
     pipeline = OffloadPipeline(
         rt,
         physics,

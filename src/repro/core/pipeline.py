@@ -117,6 +117,11 @@ class OffloadPipeline:
         self._present_names: list[str] = []
         self._phase = "idle"
 
+    @property
+    def tracer(self):
+        """The runtime's tracer (NULL_TRACER when tracing is off)."""
+        return self.rt.tracer
+
     # ------------------------------------------------------------------
     def _launch(self, workload, present=(), async_=None):
         """Launch under the configured construct (persona-preferred by
@@ -137,7 +142,11 @@ class OffloadPipeline:
         """``enter data copyin`` of the full forward inventory."""
         if self._phase != "idle":
             raise ConfigurationError(f"allocate_forward in phase '{self._phase}'")
-        self.rt.enter_data(copyin=dict(self.inventory))
+        with self.tracer.span(
+            "allocate_forward", track="pipeline", cat="phase",
+            fields=len(self.inventory),
+        ):
+            self.rt.enter_data(copyin=dict(self.inventory))
         self._present_names = list(self.inventory)
         self._phase = "forward"
 
@@ -149,17 +158,24 @@ class OffloadPipeline:
         if self._phase != "forward":
             raise ConfigurationError(f"forward_step in phase '{self._phase}'")
         async_ = self.options.async_kernels
-        for w in self.forward_workloads:
-            self._launch(w, present=[self.primary], async_=async_)
-        if inject_source:
-            self._launch(self.source_workload, present=[self.primary], async_=async_)
-        if async_ or (async_ is None and self.rt.compiler.auto_async_kernels):
-            self.rt.wait()
+        with self.tracer.span("forward_step", track="pipeline", cat="phase",
+                              phase="forward"):
+            for w in self.forward_workloads:
+                self._launch(w, present=[self.primary], async_=async_)
+            if inject_source:
+                self._launch(self.source_workload, present=[self.primary],
+                             async_=async_)
+            if async_ or (async_ is None and self.rt.compiler.auto_async_kernels):
+                self.rt.wait()
 
     def snapshot_to_host(self, decimate: int = 1) -> None:
         """``update host`` of the wavefield for the snapshot store."""
         nbytes = self.field_bytes // (decimate**self.ndim)
-        self.rt.update_host(self.primary, nbytes=nbytes)
+        with self.tracer.span("snapshot_to_host", track="pipeline", cat="phase",
+                              bytes=nbytes, decimate=decimate):
+            self.rt.update_host(self.primary, nbytes=nbytes)
+        self.tracer.metrics.counter("pipeline.snapshot_bytes").add(nbytes)
+        self.tracer.metrics.counter("pipeline.snapshots").add()
 
     # ------------------------------------------------------------------
     # step 3: offload forward, upload backward
@@ -169,6 +185,10 @@ class OffloadPipeline:
         backward wavefields and the image."""
         if self._phase != "forward":
             raise ConfigurationError(f"swap_to_backward in phase '{self._phase}'")
+        with self.tracer.span("swap_to_backward", track="pipeline", cat="phase"):
+            self._swap_to_backward()
+
+    def _swap_to_backward(self) -> None:
         self.rt.wait()
         drop = [
             n
@@ -193,23 +213,33 @@ class OffloadPipeline:
     # ------------------------------------------------------------------
     def load_forward_snapshot(self) -> None:
         """``update device`` of the stored forward wavefield (per snap)."""
-        self.rt.update_device(self.primary)
+        with self.tracer.span("load_forward_snapshot", track="pipeline",
+                              cat="phase", bytes=self.field_bytes):
+            self.rt.update_device(self.primary)
+        self.tracer.metrics.counter("pipeline.snapshot_bytes").add(self.field_bytes)
 
     def imaging_step(self) -> None:
         """Apply the imaging condition (per snap): on the GPU as the two
         even/odd kernels, or on the host after pulling both wavefields."""
-        if self.options.image_on_gpu:
-            for w in self.imaging_workloads:
-                self._launch(w, present=["img:image"])
-        else:
-            self.rt.update_host(self.primary)
-            self.rt.update_host("bwd:" + self.primary.split(":", 1)[1])
+        with self.tracer.span("imaging_step", track="pipeline", cat="phase",
+                              on_gpu=self.options.image_on_gpu):
+            if self.options.image_on_gpu:
+                for w in self.imaging_workloads:
+                    self._launch(w, present=["img:image"])
+            else:
+                self.rt.update_host(self.primary)
+                self.rt.update_host("bwd:" + self.primary.split(":", 1)[1])
 
     def backward_step(self, inject_receivers: bool = True) -> None:
         """One backward time step's launches."""
         if self._phase != "backward":
             raise ConfigurationError(f"backward_step in phase '{self._phase}'")
         async_ = self.options.async_kernels
+        with self.tracer.span("backward_step", track="pipeline", cat="phase",
+                              phase="backward"):
+            self._backward_step(inject_receivers, async_)
+
+    def _backward_step(self, inject_receivers, async_) -> None:
         if self.physics == "isotropic":
             # "the isotropic case requires many host-GPU updates within the
             # (enter data/exit data) region to keep the variables consistent
@@ -231,10 +261,12 @@ class OffloadPipeline:
     # ------------------------------------------------------------------
     def finalize(self, with_image: bool) -> None:
         """``update host`` the image, then drop everything from the card."""
-        self.rt.wait()
-        if with_image and "img:image" in self._present_names:
-            self.rt.update_host("img:image")
-        self.rt.exit_data(delete=list(self._present_names))
+        with self.tracer.span("finalize", track="pipeline", cat="phase",
+                              with_image=with_image):
+            self.rt.wait()
+            if with_image and "img:image" in self._present_names:
+                self.rt.update_host("img:image")
+            self.rt.exit_data(delete=list(self._present_names))
         self._present_names = []
         self._phase = "idle"
 
@@ -247,9 +279,11 @@ class OffloadPipeline:
             kernel=dev.times.kernel,
             h2d=dev.times.h2d,
             d2h=dev.times.d2h,
+            alloc=dev.times.alloc,
             launches=dev.kernel_launches,
             success=True,
             profile=dev.profiler.report(),
+            categories=dict(dev.clock.categories),
         )
 
 

@@ -31,6 +31,7 @@ from repro.core.pipeline import OffloadPipeline, run_pipeline_rtm
 from repro.core.platform import CRAY_K40, Platform
 from repro.core.snapshots import SnapshotStore, default_snap_period
 from repro.propagators.factory import make_propagator
+from repro.trace.tracer import Tracer
 from repro.utils.errors import ConfigurationError
 
 
@@ -38,6 +39,7 @@ def run_rtm(
     config: RTMConfig,
     gpu_options: GPUOptions | None = None,
     platform: Platform = CRAY_K40,
+    tracer: Tracer | None = None,
 ) -> RTMResult:
     """Run one-shot RTM; returns the migrated image (normalised + muted)
     and, when ``gpu_options`` is given, the modelled GPU timing."""
@@ -76,7 +78,7 @@ def run_rtm(
 
     pipeline: OffloadPipeline | None = None
     if gpu_options is not None:
-        rt = _build_runtime(gpu_options, platform)
+        rt = _build_runtime(gpu_options, platform, tracer)
         pipeline = OffloadPipeline(
             rt,
             physics,
@@ -175,10 +177,11 @@ def estimate_rtm(
     space_order: int = 8,
     boundary_width: int = 16,
     pml_variant: str = "branchy",
+    tracer: Tracer | None = None,
 ) -> GpuTimes:
     """Timing-only RTM run at arbitrary (paper-scale) grid sizes."""
     options = options if options is not None else GPUOptions()
-    rt = _build_runtime(options, platform)
+    rt = _build_runtime(options, platform, tracer)
     pipeline = OffloadPipeline(
         rt,
         physics,

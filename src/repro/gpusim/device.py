@@ -10,6 +10,7 @@ device time here).
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Callable
 
 from repro.gpusim.kernelmodel import (
     KernelEstimate,
@@ -22,6 +23,7 @@ from repro.gpusim.profiler import ProfileEvent, Profiler
 from repro.gpusim.specs import CUDA_5_0, CudaToolkit, GPUSpec
 from repro.gpusim.streams import StreamPool
 from repro.propagators.base import KernelWorkload
+from repro.trace.tracer import Tracer
 from repro.utils.timer import SimClock
 
 
@@ -77,6 +79,51 @@ class Device:
         self.profiler = Profiler()
         self.times = DeviceTimes()
         self.kernel_launches = 0
+        # every timeline event flows through the sink list; the profiler is
+        # simply the first consumer of the trace stream, and an attached
+        # Tracer re-emits the same events on per-queue Perfetto tracks
+        self._sinks: list[Callable[[ProfileEvent], None]] = [self.profiler.record]
+        self._tracer: Tracer | None = None
+        self._trace_process = f"gpu:{spec.name}"
+
+    # ------------------------------------------------------------------
+    # trace stream
+    # ------------------------------------------------------------------
+    def add_sink(self, sink: Callable[[ProfileEvent], None]) -> None:
+        """Subscribe a consumer to the device's timeline event stream."""
+        self._sinks.append(sink)
+
+    def attach_tracer(self, tracer: Tracer, process: str | None = None) -> None:
+        """Re-emit kernel/copy events as tracer spans (one track per async
+        queue, one for the default stream) and feed the device metrics."""
+        if self._tracer is tracer:
+            return
+        self._tracer = tracer
+        if process is not None:
+            self._trace_process = process
+        self.add_sink(self._trace_sink)
+
+    def _trace_sink(self, ev: ProfileEvent) -> None:
+        tracer = self._tracer
+        assert tracer is not None
+        track = "stream:0" if ev.queue is None else f"queue:{ev.queue}"
+        args = {"bytes": ev.nbytes} if ev.nbytes else {}
+        tracer.emit(
+            ev.name, ev.start, ev.end,
+            process=self._trace_process, track=track, cat=ev.kind, **args,
+        )
+        m = tracer.metrics
+        if ev.kind == "kernel":
+            m.counter("gpu.kernel_launches").add()
+            m.histogram("gpu.kernel_seconds").observe(ev.duration)
+        elif ev.kind == "h2d":
+            m.counter("gpu.h2d_bytes").add(ev.nbytes)
+        elif ev.kind == "d2h":
+            m.counter("gpu.d2h_bytes").add(ev.nbytes)
+
+    def _emit(self, ev: ProfileEvent) -> None:
+        for sink in self._sinks:
+            sink(ev)
 
     # ------------------------------------------------------------------
     # memory management
@@ -86,11 +133,23 @@ class Device:
         self.memory.allocate(name, nbytes)
         self.clock.advance(self.ALLOC_COST_S, "alloc")
         self.times.alloc += self.ALLOC_COST_S
+        if self._tracer is not None:
+            self._tracer.instant(
+                f"cudaMalloc:{name}", process=self._trace_process,
+                track="stream:0", cat="alloc", bytes=int(nbytes),
+            )
+            self._tracer.metrics.gauge("gpu.resident_bytes").set(self.memory.used)
 
     def release(self, name: str) -> None:
         self.memory.release(name)
         self.clock.advance(self.ALLOC_COST_S * 0.5, "alloc")
         self.times.alloc += self.ALLOC_COST_S * 0.5
+        if self._tracer is not None:
+            self._tracer.instant(
+                f"cudaFree:{name}", process=self._trace_process,
+                track="stream:0", cat="alloc",
+            )
+            self._tracer.metrics.gauge("gpu.resident_bytes").set(self.memory.used)
 
     # ------------------------------------------------------------------
     # transfers
@@ -104,8 +163,8 @@ class Device:
         else:
             start, end = self.streams.run_copy_async(queue, t)
         self.times.h2d += t
-        self.clock.charge(0.0, "h2d")
-        self.profiler.record(ProfileEvent("h2d", name, start, end, int(nbytes), queue))
+        self.clock.charge(t, "h2d")
+        self._emit(ProfileEvent("h2d", name, start, end, int(nbytes), queue))
         return t
 
     def d2h(self, nbytes: int, name: str = "d2h", chunks: int = 1, queue: int | None = None) -> float:
@@ -116,7 +175,8 @@ class Device:
         else:
             start, end = self.streams.run_copy_async(queue, t)
         self.times.d2h += t
-        self.profiler.record(ProfileEvent("d2h", name, start, end, int(nbytes), queue))
+        self.clock.charge(t, "d2h")
+        self._emit(ProfileEvent("d2h", name, start, end, int(nbytes), queue))
         return t
 
     # ------------------------------------------------------------------
@@ -149,10 +209,11 @@ class Device:
                 (ASYNC_ENQUEUE_COST + host_admin) * enqueue_cost_factor,
             )
         self.times.kernel += est.seconds
+        self.clock.charge(est.seconds, "kernel")
         self.kernel_launches += 1
-        self.profiler.record(
-            ProfileEvent("kernel", workload.name, start, end, 0, queue)
-        )
+        self._emit(ProfileEvent("kernel", workload.name, start, end, 0, queue))
+        if self._tracer is not None:
+            self._tracer.metrics.histogram("gpu.occupancy").observe(est.occupancy)
         return est
 
     def wait(self, queue: int | None = None) -> float:

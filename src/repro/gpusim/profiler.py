@@ -59,9 +59,12 @@ class ProfileReport:
     def to_text(self) -> str:
         """Render in the style of the paper's profiler figures."""
         lines = ["Compute:"]
-        for k in self.kernels:
+        if not self.kernels:
+            lines.append("  (no kernels launched)")
+        for k in sorted(self.kernels, key=lambda k: k.share, reverse=True):
+            share = 100 * k.share if self.compute_seconds > 0 else 0.0
             lines.append(
-                f"  {100 * k.share:5.1f}% [{k.count}] {k.name}"
+                f"  {share:5.1f}% [{k.count}] {k.name}"
             )
         lines.append(
             f"MemCpy (HtoD): {seconds_to_human(self.memcpy_h2d_seconds)} "
@@ -73,6 +76,26 @@ class ProfileReport:
         )
         lines.append(f"Total span: {seconds_to_human(self.span_seconds)}")
         return "\n".join(lines)
+
+    def to_json(self) -> dict:
+        """Machine-readable report (the ``python -m repro json`` path)."""
+        return {
+            "kernels": [
+                {
+                    "name": k.name,
+                    "count": k.count,
+                    "total_seconds": k.total_seconds,
+                    "share": k.share,
+                }
+                for k in sorted(self.kernels, key=lambda k: k.share, reverse=True)
+            ],
+            "memcpy_h2d_seconds": self.memcpy_h2d_seconds,
+            "memcpy_d2h_seconds": self.memcpy_d2h_seconds,
+            "memcpy_h2d_bytes": self.memcpy_h2d_bytes,
+            "memcpy_d2h_bytes": self.memcpy_d2h_bytes,
+            "compute_seconds": self.compute_seconds,
+            "span_seconds": self.span_seconds,
+        }
 
 
 @dataclass

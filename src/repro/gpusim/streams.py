@@ -33,6 +33,10 @@ class StreamPool:
     max_queues: int = 16
     compute_free: float = 0.0
     copy_free: float = 0.0
+    #: cumulative engine-busy seconds (observability: the utilization the
+    #: paper reads off the profiler timelines — ~70 % in 2-D, ~90 % in 3-D)
+    compute_busy: float = 0.0
+    copy_busy: float = 0.0
     _queue_end: dict[int, float] = field(default_factory=dict)
 
     def _check_queue(self, queue: int) -> None:
@@ -49,6 +53,7 @@ class StreamPool:
         start = max(submit, self.compute_free)
         end = start + duration
         self.compute_free = end
+        self.compute_busy += duration
         self.clock.advance_to(end)
         return start, end
 
@@ -62,6 +67,7 @@ class StreamPool:
         start = max(self.clock.now, self.compute_free, self._queue_end.get(queue, 0.0))
         end = start + duration
         self.compute_free = end
+        self.compute_busy += duration
         self._queue_end[queue] = end
         return start, end
 
@@ -71,6 +77,7 @@ class StreamPool:
         start = max(submit, self.copy_free)
         end = start + duration
         self.copy_free = end
+        self.copy_busy += duration
         self.clock.advance_to(end)
         return start, end
 
@@ -84,6 +91,7 @@ class StreamPool:
         start = max(self.clock.now, self.copy_free, self._queue_end.get(queue, 0.0))
         end = start + duration
         self.copy_free = end
+        self.copy_busy += duration
         self._queue_end[queue] = end
         return start, end
 
@@ -100,6 +108,16 @@ class StreamPool:
             self._check_queue(queue)
             t = self._queue_end.get(queue, self.clock.now)
         return self.clock.advance_to(t)
+
+    def utilization(self) -> dict[str, float]:
+        """Busy fraction of each engine over the elapsed timeline (0..1)."""
+        span = max(self.clock.now, self.compute_free, self.copy_free)
+        if span <= 0:
+            return {"compute": 0.0, "copy": 0.0}
+        return {
+            "compute": min(1.0, self.compute_busy / span),
+            "copy": min(1.0, self.copy_busy / span),
+        }
 
     def idle(self) -> bool:
         """Whether all queued work has retired relative to the host clock."""

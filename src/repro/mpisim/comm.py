@@ -19,6 +19,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.trace.tracer import Tracer
 from repro.utils.errors import CommunicationError
 
 
@@ -100,6 +101,9 @@ class SimMPI:
     nranks: int
     _mailbox: dict[tuple[int, int, int], deque] = field(default_factory=dict)
     stats: MessageStats = field(default_factory=MessageStats)
+    #: optional trace sink; when set, every send also bumps the
+    #: ``mpi.messages`` / ``mpi.bytes`` metrics of the attached registry
+    tracer: Tracer | None = None
 
     def __post_init__(self):
         if self.nranks < 1:
@@ -140,6 +144,10 @@ class RankComm:
         key = (self.rank, dest, int(tag))
         self._mpi._mailbox.setdefault(key, deque()).append(np.array(data, copy=True))
         self._mpi.stats.record(data.nbytes)
+        if self._mpi.tracer is not None:
+            m = self._mpi.tracer.metrics
+            m.counter("mpi.messages").add()
+            m.counter("mpi.bytes").add(int(data.nbytes))
         return Request(self._mpi, "send", self.rank, dest, int(tag))
 
     def irecv(self, buf: np.ndarray, source: int, tag: int = 0) -> Request:

@@ -12,8 +12,11 @@ from __future__ import annotations
 import numpy as np
 
 from repro.grid.decomposition import CartesianDecomposition
+from repro.mpisim.cluster import SHM_BANDWIDTH, SHM_LATENCY
 from repro.mpisim.comm import RankComm, Request, SimMPI
+from repro.trace.tracer import Tracer
 from repro.utils.errors import CommunicationError
+from repro.utils.timer import SimClock
 
 
 def _face_tag(axis: int, side: str, field_id: int) -> int:
@@ -32,9 +35,29 @@ class HaloExchanger:
         The Cartesian decomposition (geometry + neighbour map).
     mpi:
         The message-passing world; must have ``decomp.nranks`` ranks.
+    tracer:
+        Optional trace sink. When given, each completed face receive is
+        emitted as a span on the ``rank:<r>`` track of the ``mpi`` process
+        (modelled duration: link latency + bytes/bandwidth) and the
+        ``halo.bytes`` / ``halo.messages`` counters accumulate.
+    clock:
+        Timeline the modelled exchange durations advance; pass the device's
+        :class:`~repro.utils.timer.SimClock` to place halo spans on the same
+        time axis as the kernels. A private clock is used when omitted.
+    latency / bandwidth:
+        Link cost model; defaults to the intra-node (shared-memory MPI)
+        figures of :mod:`repro.mpisim.cluster`.
     """
 
-    def __init__(self, decomp: CartesianDecomposition, mpi: SimMPI):
+    def __init__(
+        self,
+        decomp: CartesianDecomposition,
+        mpi: SimMPI,
+        tracer: Tracer | None = None,
+        clock: SimClock | None = None,
+        latency: float = SHM_LATENCY,
+        bandwidth: float = SHM_BANDWIDTH,
+    ):
         if mpi.nranks != decomp.nranks:
             raise CommunicationError(
                 f"world has {mpi.nranks} ranks but decomposition needs {decomp.nranks}"
@@ -42,6 +65,12 @@ class HaloExchanger:
         self.decomp = decomp
         self.mpi = mpi
         self.comms: list[RankComm] = mpi.comms()
+        self.tracer = tracer
+        self.clock = clock if clock is not None else SimClock()
+        self.latency = latency
+        self.bandwidth = bandwidth
+        if tracer is not None and mpi.tracer is None:
+            mpi.tracer = tracer
 
     # ------------------------------------------------------------------
     def exchange(self, local_fields: list[dict[str, np.ndarray]]) -> None:
@@ -74,11 +103,15 @@ class HaloExchanger:
                         peer = self.decomp.neighbour(rank, axis, side)
                         assert peer is not None
                         sl = self.decomp.send_slices(axis, side, arr.shape)
-                        comm.isend(
-                            np.ascontiguousarray(arr[sl]),
-                            dest=peer,
-                            tag=_face_tag(axis, side, fid),
-                        )
+                        face = np.ascontiguousarray(arr[sl])
+                        comm.isend(face, dest=peer, tag=_face_tag(axis, side, fid))
+                        if self.tracer is not None:
+                            self.tracer.instant(
+                                f"isend:{name}", process="mpi",
+                                track=f"rank:{rank}", cat="halo",
+                                axis=axis, side=side, dest=peer,
+                                bytes=int(face.nbytes),
+                            )
             for rank, fields in enumerate(local_fields):
                 sub = self.decomp.subdomain(rank)
                 comm = self.comms[rank]
@@ -105,6 +138,24 @@ class HaloExchanger:
                     idx = remaining.pop(i)
                     arr, sl, buf = targets[idx]
                     arr[sl] = buf
+                    self._trace_recv(rank, axis, pending[idx], buf.nbytes)
+
+    # ------------------------------------------------------------------
+    def _trace_recv(self, rank: int, axis: int, req: Request, nbytes: int) -> None:
+        """Account one completed face receive on the trace timeline."""
+        if self.tracer is None:
+            return
+        duration = self.latency + nbytes / self.bandwidth
+        start = self.clock.now
+        self.clock.advance(duration, "halo")
+        self.tracer.emit(
+            "halo.recv", start, start + duration,
+            process="mpi", track=f"rank:{rank}", cat="halo",
+            axis=axis, source=req.peer, bytes=int(nbytes),
+        )
+        m = self.tracer.metrics
+        m.counter("halo.messages").add()
+        m.counter("halo.bytes").add(int(nbytes))
 
     # ------------------------------------------------------------------
     def bytes_per_exchange(self, nfields: int, itemsize: int = 4) -> int:

@@ -1,0 +1,145 @@
+"""Driver behind ``python -m repro trace CASE``.
+
+Runs one seismic case end-to-end with every layer instrumented — the acc
+runtime's data/compute constructs, the simulated device's kernel and copy
+engines (one Perfetto track per async queue), the pipeline phases, and
+(when ``--ranks`` > 1) a halo-exchange superstep over the simulated MPI
+world — then writes a Chrome/Perfetto ``trace.json`` plus a text summary
+in the style of the paper's profiler figures.
+
+All span timestamps are *simulated* seconds from the device's
+:class:`~repro.utils.timer.SimClock`, so the timeline you open in the
+Perfetto UI is the modelled GPU timeline, not this process's wall clock.
+"""
+
+from __future__ import annotations
+
+from repro.trace.export import summary_text, write_jsonl, write_perfetto
+from repro.trace.tracer import Tracer
+from repro.utils.errors import ConfigurationError
+
+#: physics aliases accepted in case names (``iso2d``, ``acoustic3d``, ...)
+_PHYSICS = {
+    "iso": "isotropic",
+    "isotropic": "isotropic",
+    "ac": "acoustic",
+    "acoustic": "acoustic",
+    "el": "elastic",
+    "elastic": "elastic",
+}
+
+#: instrumented-run grid sizes — small enough that the NumPy reference
+#: kernels finish in seconds, big enough that every pipeline phase fires
+_SHAPES = {2: (96, 96), 3: (48, 48, 48)}
+
+
+def parse_case(text: str) -> tuple[str, int]:
+    """``'iso2d'`` -> ``('isotropic', 2)``; accepts short or full physics
+    names with a ``2d``/``3d`` suffix."""
+    t = text.strip().lower().replace("-", "").replace("_", "")
+    ndim = None
+    for suffix, n in (("2d", 2), ("3d", 3)):
+        if t.endswith(suffix):
+            t, ndim = t[: -len(suffix)], n
+            break
+    if ndim is None or t not in _PHYSICS:
+        known = ", ".join(f"{p}{{2d,3d}}" for p in ("iso", "ac", "el"))
+        raise ConfigurationError(f"unknown case '{text}' (expected one of: {known})")
+    return _PHYSICS[t], ndim
+
+
+def trace_case(
+    case: str,
+    mode: str = "rtm",
+    nt: int = 60,
+    ranks: int = 1,
+    tracer: Tracer | None = None,
+):
+    """Run ``case`` under full instrumentation; returns ``(tracer, result)``.
+
+    ``mode`` selects modeling (forward only) or RTM (both phases — the
+    richer trace). ``ranks`` > 1 appends an instrumented halo-exchange
+    superstep of the final wavefield over a simulated MPI world.
+    """
+    from repro.core import GPUOptions, ModelingConfig, RTMConfig
+    from repro.core.modeling import run_modeling
+    from repro.core.rtm import run_rtm
+    from repro.model import layered_model
+
+    physics, ndim = parse_case(case)
+    if mode not in ("modeling", "rtm"):
+        raise ConfigurationError(f"mode must be 'modeling' or 'rtm', not '{mode}'")
+    if nt < 1:
+        raise ConfigurationError("nt must be >= 1")
+    if ranks < 1:
+        raise ConfigurationError("ranks must be >= 1")
+
+    tracer = tracer if tracer is not None else Tracer()
+    shape = _SHAPES[ndim]
+    depth = shape[0] * 10.0 / 2
+    model = layered_model(
+        shape, spacing=10.0, interfaces=[depth],
+        velocities=[1500.0, 2600.0], vs_ratio=0.5,
+    )
+    cfg_kw = dict(
+        physics=physics, model=model, nt=nt, peak_freq=12.0,
+        space_order=4 if ndim == 3 else 8,
+        boundary_width=8, snap_period=4,
+    )
+    options = GPUOptions()
+    if mode == "rtm":
+        result = run_rtm(RTMConfig(**cfg_kw), gpu_options=options,
+                         tracer=tracer)
+    else:
+        result = run_modeling(ModelingConfig(**cfg_kw),
+                              gpu_options=options, tracer=tracer)
+    if ranks > 1:
+        field = result.image if mode == "rtm" else result.final_wavefield
+        _trace_halo_superstep(tracer, model, field, ranks)
+    # the whole-run umbrella span, emitted post hoc: its clock is only
+    # rebound to the device's simulated timeline once the Runtime exists
+    tracer.emit(f"trace.{mode}", 0.0, tracer.now(), track="run", cat="phase",
+                case=case, physics=physics, ndim=ndim, nt=nt)
+    return tracer, result
+
+
+def _trace_halo_superstep(tracer: Tracer, model, field, ranks: int) -> None:
+    """One instrumented halo swap of the final wavefield over ``ranks``
+    simulated MPI ranks (the multi-GPU decomposition the paper targets)."""
+    from repro.grid.decomposition import CartesianDecomposition
+    from repro.mpisim.comm import SimMPI
+    from repro.mpisim.halo import HaloExchanger
+    from repro.utils.timer import SimClock
+
+    decomp = CartesianDecomposition(model.grid, ranks, halo=4)
+    mpi = SimMPI(ranks)
+    # the exchange timeline continues where the device timeline stopped
+    clock = SimClock()
+    clock.advance_to(tracer.now())
+    ex = HaloExchanger(decomp, mpi, tracer=tracer, clock=clock)
+    locals_ = [decomp.subdomain(r).scatter(field) for r in range(ranks)]
+    with tracer.span("halo.exchange", process="mpi", track="superstep",
+                     cat="halo", ranks=ranks):
+        ex.exchange([{"wavefield": a} for a in locals_])
+
+
+def run_trace_command(args) -> int:
+    """``python -m repro trace`` entry point (argparse namespace in)."""
+    from repro.bench.report import format_gpu_times
+
+    tracer, result = trace_case(
+        args.case, mode=args.mode, nt=args.nt, ranks=args.ranks
+    )
+    trace = write_perfetto(tracer, args.out)
+    if args.jsonl:
+        write_jsonl(tracer, args.jsonl)
+    print(summary_text(tracer, title=f"Trace summary — {args.case} ({args.mode})"))
+    print()
+    if result.gpu is not None:
+        print(format_gpu_times("GPU time by category", result.gpu))
+        print()
+    print(f"wrote {args.out} ({len(trace['traceEvents'])} events; "
+          "open in https://ui.perfetto.dev)")
+    if args.jsonl:
+        print(f"wrote {args.jsonl}")
+    return 0

@@ -1,0 +1,232 @@
+"""Trace exporters: Chrome/Perfetto ``trace_event`` JSON, flat JSONL, and a
+text summary in the style of the paper's Visual Profiler figures.
+
+The Perfetto export maps each :class:`~repro.trace.tracer.TraceEvent`
+``process`` to a trace-event *pid* and each ``track`` to a *tid*, emits
+``B``/``E`` duration pairs for spans and ``i`` events for instant markers,
+and carries the final metrics snapshot under a ``metrics`` top-level key
+(ignored by viewers, consumed by tooling). Load the file at
+https://ui.perfetto.dev or ``chrome://tracing``.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Iterable
+
+from repro.trace.tracer import INSTANT, SPAN, Tracer, TraceEvent
+from repro.utils.units import seconds_to_human
+
+
+def _ts_us(seconds: float) -> float:
+    """Microsecond timestamp with nanosecond resolution."""
+    return round(seconds * 1e6, 3)
+
+
+def _track_ids(
+    events: Iterable[TraceEvent],
+) -> tuple[dict[str, int], dict[tuple[str, str], int]]:
+    """Stable pid per process and tid per (process, track)."""
+    processes = sorted({e.process for e in events})
+    pids = {p: i + 1 for i, p in enumerate(processes)}
+    tids: dict[tuple[str, str], int] = {}
+    for proc in processes:
+        tracks = sorted({e.track for e in events if e.process == proc})
+        for i, track in enumerate(tracks):
+            tids[(proc, track)] = i + 1
+    return pids, tids
+
+
+def _span_pairs(spans: list[TraceEvent], t0: float, pid: int, tid: int) -> list[dict]:
+    """``B``/``E`` pairs for one track's spans, in nondecreasing ``ts`` order.
+
+    Spans on a track are expected to be properly nested (with-statement
+    scoping and engine serialization guarantee it); a partially overlapping
+    span is clipped to its enclosing span so the output always forms a valid
+    stack.
+    """
+    ordered = sorted(
+        enumerate(spans), key=lambda p: (p[1].start, -(p[1].duration), p[0])
+    )
+    out: list[dict] = []
+    stack: list[float] = []  # open-span end times
+
+    def close_until(t: float) -> None:
+        while stack and stack[-1] <= t:
+            out.append({"ph": "E", "ts": _ts_us(stack.pop() - t0), "pid": pid, "tid": tid})
+
+    for _, ev in ordered:
+        close_until(ev.start)
+        end = min(ev.end, stack[-1]) if stack else ev.end
+        entry = {
+            "name": ev.name,
+            "cat": ev.cat,
+            "ph": "B",
+            "ts": _ts_us(ev.start - t0),
+            "pid": pid,
+            "tid": tid,
+        }
+        if ev.args:
+            entry["args"] = dict(ev.args)
+        out.append(entry)
+        stack.append(end)
+    close_until(float("inf"))
+    return out
+
+
+def to_perfetto(tracer: Tracer) -> dict:
+    """Render the tracer's events as a ``trace_event`` JSON object."""
+    events = tracer.events
+    pids, tids = _track_ids(events)
+    t0 = min((e.start for e in events), default=0.0)
+
+    trace_events: list[dict] = []
+    for proc, pid in pids.items():
+        trace_events.append(
+            {"ph": "M", "name": "process_name", "pid": pid, "args": {"name": proc}}
+        )
+    for (proc, track), tid in tids.items():
+        trace_events.append(
+            {
+                "ph": "M",
+                "name": "thread_name",
+                "pid": pids[proc],
+                "tid": tid,
+                "args": {"name": track},
+            }
+        )
+
+    timed: list[tuple[float, int, int, dict]] = []  # (ts, track key, seq, payload)
+    for key, tid in tids.items():
+        proc, track = key
+        pid = pids[proc]
+        track_events = [e for e in events if e.process == proc and e.track == track]
+        spans = [e for e in track_events if e.kind == SPAN]
+        seq = 0
+        for entry in _span_pairs(spans, t0, pid, tid):
+            timed.append((entry["ts"], pid * 10_000 + tid, seq, entry))
+            seq += 1
+        for ev in (e for e in track_events if e.kind == INSTANT):
+            entry = {
+                "name": ev.name,
+                "cat": ev.cat,
+                "ph": "i",
+                "s": "t",
+                "ts": _ts_us(ev.start - t0),
+                "pid": pid,
+                "tid": tid,
+            }
+            if ev.args:
+                entry["args"] = dict(ev.args)
+            timed.append((entry["ts"], pid * 10_000 + tid, seq, entry))
+            seq += 1
+    timed.sort(key=lambda item: (item[0], item[1], item[2]))
+    trace_events.extend(entry for _, _, _, entry in timed)
+
+    return {
+        "traceEvents": trace_events,
+        "displayTimeUnit": "ms",
+        "metrics": tracer.metrics.snapshot(),
+    }
+
+
+def validate_perfetto(trace: dict) -> None:
+    """Raise ``ValueError`` unless ``trace`` is schema-valid: timestamps
+    sorted nondecreasing, and every ``B`` matched by an ``E`` per track."""
+    events = trace.get("traceEvents")
+    if not isinstance(events, list):
+        raise ValueError("trace has no traceEvents list")
+    last_ts = float("-inf")
+    stacks: dict[tuple[int, int], list[str]] = {}
+    for ev in events:
+        ph = ev.get("ph")
+        if ph == "M":
+            continue
+        ts = ev.get("ts")
+        if not isinstance(ts, (int, float)):
+            raise ValueError(f"event without numeric ts: {ev}")
+        if ts < last_ts:
+            raise ValueError(f"timestamps not sorted at ts={ts} (< {last_ts})")
+        last_ts = ts
+        key = (ev.get("pid"), ev.get("tid"))
+        if ph == "B":
+            stacks.setdefault(key, []).append(ev.get("name", ""))
+        elif ph == "E":
+            stack = stacks.get(key)
+            if not stack:
+                raise ValueError(f"E without matching B on pid/tid {key} at ts={ts}")
+            stack.pop()
+        elif ph not in ("i", "C", "X"):
+            raise ValueError(f"unexpected phase '{ph}' in {ev}")
+    for key, stack in stacks.items():
+        if stack:
+            raise ValueError(f"unclosed spans {stack} on pid/tid {key}")
+
+
+def write_perfetto(tracer: Tracer, path: str) -> dict:
+    """Export, self-validate and write ``path``; returns the trace object."""
+    trace = to_perfetto(tracer)
+    validate_perfetto(trace)
+    with open(path, "w") as f:
+        json.dump(trace, f)
+    return trace
+
+
+# ----------------------------------------------------------------------
+# JSONL
+# ----------------------------------------------------------------------
+def to_jsonl(tracer: Tracer) -> str:
+    """Flat event log: one JSON object per line (metrics snapshot last)."""
+    lines = []
+    for ev in sorted(tracer.events, key=lambda e: (e.start, e.end)):
+        lines.append(
+            json.dumps(
+                {
+                    "name": ev.name,
+                    "cat": ev.cat,
+                    "process": ev.process,
+                    "track": ev.track,
+                    "kind": ev.kind,
+                    "start_s": ev.start,
+                    "dur_s": ev.duration,
+                    "args": dict(ev.args),
+                }
+            )
+        )
+    lines.append(json.dumps({"kind": "metrics", **tracer.metrics.snapshot()}))
+    return "\n".join(lines) + "\n"
+
+
+def write_jsonl(tracer: Tracer, path: str) -> None:
+    with open(path, "w") as f:
+        f.write(to_jsonl(tracer))
+
+
+# ----------------------------------------------------------------------
+# text summary
+# ----------------------------------------------------------------------
+def summary_text(tracer: Tracer, title: str = "Trace summary") -> str:
+    """Per-category time-share tables in the paper's profiler-figure style
+    (``73.4% [8502] kernel_2d_139_gpu``), followed by the metrics table."""
+    events = [e for e in tracer.events if e.kind == SPAN]
+    lines = [title, "=" * len(title)]
+    by_cat: dict[str, dict[str, tuple[int, float]]] = {}
+    for ev in events:
+        per_name = by_cat.setdefault(ev.cat, {})
+        count, total = per_name.get(ev.name, (0, 0.0))
+        per_name[ev.name] = (count + 1, total + ev.duration)
+    for cat in sorted(by_cat):
+        per_name = by_cat[cat]
+        cat_total = sum(t for _, t in per_name.values())
+        lines.append(f"{cat} ({seconds_to_human(cat_total)}):")
+        ranked = sorted(per_name.items(), key=lambda kv: kv[1][1], reverse=True)
+        for name, (count, total) in ranked:
+            share = (total / cat_total) if cat_total > 0 else 0.0
+            lines.append(
+                f"  {100 * share:5.1f}% [{count}] {name} "
+                f"({seconds_to_human(total)})"
+            )
+    if len(lines) == 2:
+        lines.append("(no spans recorded)")
+    lines.append(tracer.metrics.to_text())
+    return "\n".join(lines)

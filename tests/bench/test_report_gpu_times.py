@@ -1,0 +1,25 @@
+"""format_gpu_times: the per-category GPU time breakdown."""
+
+from repro.bench.report import format_gpu_times
+from repro.core.config import GpuTimes
+
+
+class TestFormatGpuTimes:
+    def test_categories_rendered_sorted(self):
+        gpu = GpuTimes(total=1.0, kernel=0.6, h2d=0.2, d2h=0.1, alloc=0.05,
+                       launches=42,
+                       categories={"kernel": 0.6, "h2d": 0.2, "d2h": 0.1,
+                                   "alloc": 0.05})
+        text = format_gpu_times("Breakdown", gpu)
+        assert text.index("kernel") < text.index("h2d") < text.index("d2h")
+        assert "42 kernel launches" in text
+        assert "other" in text  # 0.05 s unattributed remainder
+
+    def test_flat_field_fallback(self):
+        gpu = GpuTimes(total=1.0, kernel=0.5, h2d=0.3, d2h=0.2, launches=1)
+        text = format_gpu_times("Breakdown", gpu)
+        assert "kernel" in text and "h2d" in text
+
+    def test_failure_rendered(self):
+        gpu = GpuTimes(success=False, failure="oom")
+        assert "FAILED (oom)" in format_gpu_times("Breakdown", gpu)

@@ -1,0 +1,50 @@
+"""ProfileReport rendering: sorted shares, zero-compute guard, JSON view."""
+
+import json
+
+from repro.gpusim.profiler import KernelLine, ProfileReport
+
+
+def _report(kernels, compute=1.0):
+    return ProfileReport(
+        kernels=kernels,
+        memcpy_h2d_seconds=0.25,
+        memcpy_d2h_seconds=0.125,
+        memcpy_h2d_bytes=1 << 20,
+        memcpy_d2h_bytes=1 << 19,
+        compute_seconds=compute,
+        span_seconds=2.0,
+    )
+
+
+class TestToText:
+    def test_lines_sorted_by_share_descending(self):
+        rep = _report([
+            KernelLine("small", 5, 0.1, 0.1),
+            KernelLine("big", 2, 0.9, 0.9),
+        ])
+        text = rep.to_text()
+        assert text.index("big") < text.index("small")
+        assert "90.0%" in text
+
+    def test_zero_compute_guard(self):
+        rep = _report([KernelLine("k", 1, 0.0, 0.0)], compute=0.0)
+        text = rep.to_text()
+        assert "0.0%" in text  # no ZeroDivisionError, share shown as zero
+
+    def test_no_kernels_guard(self):
+        text = _report([]).to_text()
+        assert "(no kernels launched)" in text
+
+
+class TestToJson:
+    def test_roundtrips_and_sorted(self):
+        rep = _report([
+            KernelLine("small", 5, 0.1, 0.1),
+            KernelLine("big", 2, 0.9, 0.9),
+        ])
+        data = json.loads(json.dumps(rep.to_json()))
+        assert [k["name"] for k in data["kernels"]] == ["big", "small"]
+        assert data["memcpy_h2d_bytes"] == 1 << 20
+        assert data["compute_seconds"] == 1.0
+        assert data["span_seconds"] == 2.0

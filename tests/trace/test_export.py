@@ -1,0 +1,118 @@
+"""Perfetto / JSONL exporters."""
+
+import json
+
+import pytest
+
+from repro.trace import (
+    Tracer,
+    summary_text,
+    to_jsonl,
+    to_perfetto,
+    validate_perfetto,
+    write_perfetto,
+)
+
+
+class FakeClock:
+    def __init__(self):
+        self.t = 0.0
+
+    def __call__(self):
+        return self.t
+
+
+def _sample_tracer():
+    clk = FakeClock()
+    tr = Tracer(clock=clk)
+    with tr.span("outer", track="pipeline"):
+        clk.t = 1e-3
+        with tr.span("inner", track="pipeline"):
+            clk.t = 2e-3
+        tr.instant("marker", track="pipeline")
+        clk.t = 3e-3
+    tr.emit("kernel_a", 0.5e-3, 1.5e-3, process="gpu", track="queue:1",
+            cat="kernel")
+    tr.emit("zero", 2e-3, 2e-3, process="gpu", track="queue:1", cat="kernel")
+    tr.metrics.counter("gpu.h2d_bytes").add(2048)
+    return tr
+
+
+class TestPerfetto:
+    def test_roundtrip_validates(self, tmp_path):
+        tr = _sample_tracer()
+        trace = write_perfetto(tr, tmp_path / "t.json")
+        validate_perfetto(trace)
+        on_disk = json.loads((tmp_path / "t.json").read_text())
+        validate_perfetto(on_disk)
+
+    def test_timestamps_sorted(self):
+        trace = to_perfetto(_sample_tracer())
+        ts = [e["ts"] for e in trace["traceEvents"] if "ts" in e]
+        assert ts == sorted(ts)
+
+    def test_b_e_pairs_match_per_track(self):
+        trace = to_perfetto(_sample_tracer())
+        depth = {}
+        for e in trace["traceEvents"]:
+            key = (e.get("pid"), e.get("tid"))
+            if e["ph"] == "B":
+                depth[key] = depth.get(key, 0) + 1
+            elif e["ph"] == "E":
+                depth[key] = depth.get(key, 0) - 1
+                assert depth[key] >= 0
+        assert all(v == 0 for v in depth.values())
+
+    def test_nesting_encoded_as_enclosing_b_e(self):
+        trace = to_perfetto(_sample_tracer())
+        begins = [e["name"] for e in trace["traceEvents"] if e["ph"] == "B"
+                  and e.get("name") in ("outer", "inner")]
+        assert begins == ["outer", "inner"]  # parent opens before child
+        ends = [e["ts"] for e in trace["traceEvents"] if e["ph"] == "E"]
+        assert ends == sorted(ends)  # children close before parents
+
+    def test_metadata_names_processes_and_tracks(self):
+        trace = to_perfetto(_sample_tracer())
+        meta = [e for e in trace["traceEvents"] if e["ph"] == "M"]
+        procs = {e["args"]["name"] for e in meta if e["name"] == "process_name"}
+        tracks = {e["args"]["name"] for e in meta if e["name"] == "thread_name"}
+        assert {"host", "gpu"} <= procs
+        assert {"pipeline", "queue:1"} <= tracks
+
+    def test_metrics_embedded(self):
+        trace = to_perfetto(_sample_tracer())
+        assert trace["metrics"]["counters"]["gpu.h2d_bytes"] == 2048
+
+    def test_validator_rejects_unsorted(self):
+        trace = to_perfetto(_sample_tracer())
+        bad = [e for e in trace["traceEvents"] if "ts" in e]
+        bad[0], bad[-1] = bad[-1], bad[0]
+        with pytest.raises(ValueError):
+            validate_perfetto({"traceEvents": bad})
+
+    def test_validator_rejects_unmatched_begin(self):
+        with pytest.raises(ValueError):
+            validate_perfetto({"traceEvents": [
+                {"ph": "B", "ts": 0, "pid": 1, "tid": 1, "name": "x"},
+            ]})
+
+    def test_empty_tracer_exports(self):
+        trace = to_perfetto(Tracer(clock=FakeClock()))
+        validate_perfetto(trace)
+
+
+class TestJsonl:
+    def test_every_line_parses(self):
+        lines = to_jsonl(_sample_tracer()).strip().splitlines()
+        records = [json.loads(line) for line in lines]
+        assert records[-1]["kind"] == "metrics"
+        names = {r.get("name") for r in records[:-1]}
+        assert {"outer", "inner", "kernel_a"} <= names
+
+
+class TestSummary:
+    def test_shares_and_metrics_rendered(self):
+        text = summary_text(_sample_tracer())
+        assert "kernel" in text
+        assert "%" in text
+        assert "gpu.h2d_bytes" in text
