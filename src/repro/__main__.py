@@ -16,6 +16,11 @@ Commands
     Write machine-readable harness results.
 ``trace CASE``
     Run one case fully instrumented and write a Perfetto ``trace.json``.
+``lint CASE | all | --script FILE``
+    Static analysis of a case's recorded directive schedule (or of an
+    ``!$acc`` script) — present-table lifetimes, async races, schedule
+    smells, transfer efficiency. ``--fail-on SEVERITY`` gates the exit
+    code.
 
 ``tables``/``figures``/``sweep`` also accept ``--trace PATH`` to record a
 harness-level (wall-clock) trace of the run.
@@ -151,6 +156,12 @@ def _cmd_trace(args) -> int:
     return run_trace_command(args)
 
 
+def _cmd_lint(args) -> int:
+    from repro.analyze.cli import run_lint_command
+
+    return run_lint_command(args)
+
+
 def build_parser() -> argparse.ArgumentParser:
     ap = argparse.ArgumentParser(
         prog="repro",
@@ -198,6 +209,30 @@ def build_parser() -> argparse.ArgumentParser:
     tr.add_argument("--out", default="trace.json", help="Perfetto JSON path")
     tr.add_argument("--jsonl", metavar="PATH", help="also write flat JSONL")
     tr.set_defaults(fn=_cmd_trace)
+
+    li = sub.add_parser(
+        "lint",
+        help="static analysis of directive schedules (recorded or scripted)",
+    )
+    li.add_argument(
+        "case", nargs="?",
+        help="e.g. iso2d, acoustic3d, el2d — or 'all' for the full inventory",
+    )
+    li.add_argument("--script", metavar="FILE",
+                    help="lint an !$acc directive script instead of a case")
+    li.add_argument("--mode", choices=["modeling", "rtm", "both"],
+                    default="rtm")
+    li.add_argument("--nt", type=int, default=24,
+                    help="recorded time steps (pattern repeats; keep small)")
+    li.add_argument("--compiler", metavar="NAME",
+                    help="compiler persona, e.g. pgi-14.6, cray-8.2.6")
+    li.add_argument("--json", action="store_true",
+                    help="machine-readable report")
+    li.add_argument("--fail-on", default="error",
+                    metavar="SEVERITY",
+                    help="exit non-zero at/above this severity "
+                    "(info|warning|error|none; default error)")
+    li.set_defaults(fn=_cmd_lint)
     return ap
 
 

@@ -141,8 +141,11 @@ def parse_directive(text: str) -> Directive:
             raise ConfigurationError(
                 f"unsupported clause '{clause}' in {text!r}"
             )
-    if construct in ("kernels", "parallel", "loop") and sched_kw:
-        d.schedule = LoopSchedule(**sched_kw)
+    if construct in ("kernels", "parallel", "loop"):
+        # a compute construct always carries a schedule: explicit clauses
+        # when given, otherwise the compiler-decides marker — downstream
+        # code can rely on `d.schedule` being populated
+        d.schedule = LoopSchedule(**sched_kw) if sched_kw else LoopSchedule.auto()
     if construct == "wait" and not d.wait_on:
         # bare 'wait' or 'wait(1,2)' parsed above; also allow wait async(n)
         pass
@@ -211,5 +214,6 @@ def apply_directive(rt, text: str, data: dict | None = None, workload=None, fn=N
             schedule=d.schedule,
             async_=d.async_,
             fn=fn,
+            wait_on=d.wait_on,
         )
     raise ConfigurationError(f"cannot apply construct '{d.construct}'")

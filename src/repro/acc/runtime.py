@@ -90,6 +90,29 @@ class Runtime:
         auto = self.flags.auto_async
         self._auto_async = compiler.auto_async_kernels if auto is None else auto
         self._next_queue = 1
+        self._recorders: list = []
+
+    # ------------------------------------------------------------------
+    # recording hook (repro.analyze)
+    # ------------------------------------------------------------------
+    def attach_recorder(self, recorder) -> None:
+        """Attach a :class:`~repro.analyze.recorder.ProgramRecorder`: every
+        directive this runtime executes is re-emitted as an IR event, so a
+        live run produces a lintable DirectiveProgram."""
+        recorder.bind_runtime(self)
+        self._recorders.append(recorder)
+
+    def _record(self, kind: str, sizes=None, **fields) -> None:
+        for rec in self._recorders:
+            rec.record(kind, sizes=sizes, **fields)
+
+    def note_host_write(self, *names: str) -> None:
+        """Mark the *host* copies of ``names`` as changed outside directives
+        (snapshot restore, host-side physics). A no-op for execution; the
+        analyzer uses it to tell legitimate full refreshes from redundant
+        re-transfers."""
+        if self._recorders and names:
+            self._record("host_write", writes=tuple(names))
 
     # ------------------------------------------------------------------
     # present-table helpers
@@ -104,10 +127,23 @@ class Runtime:
     def present_entry(self, name: str) -> PresentEntry:
         entry = self._table.get(name)
         if entry is None:
-            raise PresentTableError(
-                f"'{name}' is not present on the device (missing data clause?)"
-            )
+            raise PresentTableError(self._absent_message(name))
         return entry
+
+    def _absent_message(self, name: str) -> str:
+        """Diagnostic for a present-table miss: what *is* present, plus the
+        nearest present name when the miss looks like a typo."""
+        import difflib
+
+        msg = f"'{name}' is not present on the device (missing data clause?)"
+        if not self._table:
+            return msg + "; present table is empty"
+        present = sorted(self._table)
+        msg += "; currently present: " + ", ".join(present)
+        close = difflib.get_close_matches(name, present, n=1, cutoff=0.6)
+        if close:
+            msg += f" — did you mean '{close[0]}'?"
+        return msg
 
     def present_bytes(self) -> int:
         """Bytes currently attached through the present table."""
@@ -155,6 +191,18 @@ class Runtime:
                 self._attach(name, data, transfer=True, copyout=False)
             for name, data in (create or {}).items():
                 self._attach(name, data, transfer=False, copyout=False)
+            if self._recorders:
+                sizes = {
+                    name: self._nbytes(data)
+                    for src in (copyin, create) if src
+                    for name, data in src.items()
+                }
+                self._record(
+                    "enter",
+                    sizes=sizes,
+                    copyin=tuple(copyin or ()),
+                    create=tuple(create or ()),
+                )
 
     def exit_data(
         self,
@@ -162,10 +210,13 @@ class Runtime:
         copyout: Iterable[str] = (),
     ) -> None:
         """``acc exit data delete(...) copyout(...)`` — dynamic detach."""
+        delete = tuple(delete)
+        copyout = tuple(copyout)
         with self.tracer.span(
             "acc.exit_data", track="acc", cat="acc",
             delete=sorted(delete), copyout=sorted(copyout),
         ):
+            self._record("exit", delete=delete, copyout=copyout)
             for name in copyout:
                 self._detach(name, force_copyout=True)
             for name in delete:
@@ -202,8 +253,27 @@ class Runtime:
                 for name, d in (create or {}).items():
                     self._attach(name, d, transfer=False, copyout=False)
                     attached.append(name)
+                if self._recorders:
+                    sizes = {
+                        name: self._nbytes(d)
+                        for src in (copyin, copy, copyout, create) if src
+                        for name, d in src.items()
+                    }
+                    self._record(
+                        "enter",
+                        sizes=sizes,
+                        structured=True,
+                        copyin=tuple(copyin or ()) + tuple(copy or ()),
+                        create=tuple(copyout or ()) + tuple(create or ()),
+                    )
                 yield self
             finally:
+                self._record(
+                    "exit",
+                    structured=True,
+                    copyout=tuple(copy or ()) + tuple(copyout or ()),
+                    delete=tuple(copyin or ()) + tuple(create or ()),
+                )
                 for name in reversed(attached):
                     self._detach(name)
 
@@ -227,6 +297,10 @@ class Runtime:
             "acc.update_device", track="acc", cat="acc",
             var=name, bytes=n, chunks=chunks, queue=queue,
         ):
+            self._record(
+                "update", direction="device", var=name,
+                nbytes=None if nbytes is None else n, chunks=chunks, queue=queue,
+            )
             return self.device.h2d(
                 n, name=f"update_device:{name}", chunks=chunks, queue=queue
             )
@@ -249,6 +323,10 @@ class Runtime:
             "acc.update_host", track="acc", cat="acc",
             var=name, bytes=n, chunks=chunks, queue=queue,
         ):
+            self._record(
+                "update", direction="host", var=name,
+                nbytes=None if nbytes is None else n, chunks=chunks, queue=queue,
+            )
             return self.device.d2h(
                 n, name=f"update_host:{name}", chunks=chunks, queue=queue
             )
@@ -279,9 +357,15 @@ class Runtime:
         schedule: LoopSchedule | None,
         async_: int | bool | None,
         fn: Callable[[], None] | None,
+        wait_on: Sequence[int] = (),
     ) -> KernelEstimate:
+        present = tuple(present)
         for name in present:
             self.present_entry(name)
+        for q in wait_on:
+            # the OpenACC wait *clause*: the construct does not start until
+            # the listed queues drain (modelled as a host-side wait)
+            self.device.wait(int(q))
         queue = self._queue_for(async_)
         launch = self.compiler.lower(
             construct, workload, schedule, self.flags, async_queue=queue
@@ -290,6 +374,23 @@ class Runtime:
             f"acc.{construct}", track="acc", cat="acc",
             kernel=workload.name, queue=queue,
         ):
+            if self._recorders:
+                from repro.gpusim.kernelmodel import estimate_register_demand
+
+                self._record(
+                    "compute",
+                    construct=construct,
+                    kernel=workload.name,
+                    queue=queue,
+                    reads=present,
+                    writes_known=False,
+                    schedule=schedule,
+                    loop_dims=tuple(workload.loop_dims),
+                    inner_contiguous=workload.inner_contiguous,
+                    loop_carried=workload.loop_carried,
+                    regs_demand=estimate_register_demand(workload),
+                    wait_on=tuple(int(q) for q in wait_on),
+                )
             if fn is not None:
                 fn()  # the real NumPy computation (host arrays are truth)
             return self.device.launch(
@@ -305,9 +406,13 @@ class Runtime:
         schedule: LoopSchedule | None = None,
         async_: int | bool | None = None,
         fn: Callable[[], None] | None = None,
+        wait_on: Sequence[int] = (),
     ) -> KernelEstimate:
-        """``acc kernels`` construct around one loop nest."""
-        return self._run_construct("kernels", workload, present, schedule, async_, fn)
+        """``acc kernels`` construct around one loop nest. ``wait_on``
+        models the ``wait(...)`` clause: queues drained before launch."""
+        return self._run_construct(
+            "kernels", workload, present, schedule, async_, fn, wait_on
+        )
 
     def parallel(
         self,
@@ -316,9 +421,12 @@ class Runtime:
         schedule: LoopSchedule | None = None,
         async_: int | bool | None = None,
         fn: Callable[[], None] | None = None,
+        wait_on: Sequence[int] = (),
     ) -> KernelEstimate:
         """``acc parallel`` construct."""
-        return self._run_construct("parallel", workload, present, schedule, async_, fn)
+        return self._run_construct(
+            "parallel", workload, present, schedule, async_, fn, wait_on
+        )
 
     def compute(
         self,
@@ -326,6 +434,7 @@ class Runtime:
         present: Iterable[str] = (),
         async_: int | bool | None = None,
         fn: Callable[[], None] | None = None,
+        wait_on: Sequence[int] = (),
     ) -> KernelEstimate:
         """Launch with this compiler's preferred construct and schedule —
         what the paper's tuned code paths use."""
@@ -336,11 +445,15 @@ class Runtime:
             self.compiler.preferred_schedule(),
             async_,
             fn,
+            wait_on,
         )
 
     def wait(self, queue: int | None = None) -> float:
         """``acc wait`` directive."""
         with self.tracer.span("acc.wait", track="acc", cat="acc", queue=queue):
+            self._record(
+                "wait", wait_on=() if queue is None else (int(queue),)
+            )
             return self.device.wait(queue)
 
     def cache(self, *names: str) -> None:

@@ -1,0 +1,139 @@
+"""Async-queue race pass.
+
+Builds a happens-before relation over the event sequence and flags
+conflicting, unordered accesses to the same device array — the paper's
+Section 6 hazard of async queues racing on shared wavefields.
+
+Ordering model (vector clocks, one component per queue plus the host):
+
+* the host issues every directive in program order; a synchronous event
+  (``queue is None``) joins the host timeline;
+* an async event is ordered after earlier work on *its own* queue and
+  after everything the host had observed when it was enqueued — but not
+  after pending work on other queues;
+* ``wait`` (all queues) and ``wait(q)`` join the named queues back into
+  the host timeline; a ``wait(...)`` *clause* on a compute construct adds
+  the same edges to that one launch.
+
+Conflicts: write-write races are errors; read-write races are warnings
+(kernels and copies both count — an ``update`` is a device-side read or
+write like any kernel).
+
+For recorded pipeline programs most events are synchronous and every step
+ends in a full ``wait``; accesses separated by a full wait are ordered by
+construction, so the pairwise check only runs within wait-delimited
+segments.
+"""
+
+from __future__ import annotations
+
+from repro.analyze.framework import Diagnostic, LintPass, Severity
+from repro.analyze.program import DirectiveProgram
+
+_HOST = "host"
+
+
+class AsyncRacePass(LintPass):
+    name = "async-race"
+
+    def run(self, program: DirectiveProgram) -> list[Diagnostic]:
+        host: dict = {_HOST: 0}
+        queues: dict[int, dict] = {}
+        #: per access: (event_index, owner_key, own_tick, clock, var, mode,
+        #: kernel, segment)
+        accesses: list[tuple] = []
+        segment = 0
+
+        def merge(dst: dict, src: dict) -> None:
+            for k, v in src.items():
+                if dst.get(k, 0) < v:
+                    dst[k] = v
+
+        for e in program.events:
+            if e.kind == "wait":
+                if e.wait_on:
+                    for q in e.wait_on:
+                        merge(host, queues.get(q, {}))
+                else:
+                    for qc in queues.values():
+                        merge(host, qc)
+                    segment += 1  # full barrier: later accesses cannot race
+                host[_HOST] += 1
+                continue
+            if e.kind == "host_write":
+                host[_HOST] += 1
+                continue
+            if e.queue is None:
+                owner: int | str = _HOST
+                host[_HOST] += 1
+                clock = dict(host)
+                tick = host[_HOST]
+            else:
+                owner = e.queue
+                qc = queues.setdefault(owner, {owner: 0})
+                clock = dict(host)
+                merge(clock, qc)
+                for q in e.wait_on:
+                    merge(clock, queues.get(q, {}))
+                clock[owner] = qc.get(owner, 0) + 1
+                queues[owner] = clock
+                tick = clock[owner]
+            for var, mode in e.accesses():
+                accesses.append(
+                    (e.index, owner, tick, clock, var, mode, e.kernel, segment)
+                )
+
+        return self._find_races(program, accesses)
+
+    # ------------------------------------------------------------------
+    def _find_races(self, program, accesses) -> list[Diagnostic]:
+        out: list[Diagnostic] = []
+        reported: set[tuple] = set()
+        by_var: dict[str, list[tuple]] = {}
+        for acc in accesses:
+            by_var.setdefault(acc[4], []).append(acc)
+        for var, accs in by_var.items():
+            if all(a[1] == _HOST for a in accs):
+                continue  # host-serial: fully ordered by program order
+            for j in range(len(accs)):
+                for i in range(j):
+                    a, b = accs[i], accs[j]
+                    if a[7] != b[7]:
+                        continue  # a full wait separates them
+                    if a[5] == "r" and b[5] == "r":
+                        continue
+                    if self._ordered(a, b) or self._ordered(b, a):
+                        continue
+                    kind = "ww-race" if (a[5] == "w" and b[5] == "w") else "rw-race"
+                    key = (var, a[1], b[1], kind)
+                    if key in reported:
+                        continue
+                    reported.add(key)
+                    sev = Severity.ERROR if kind == "ww-race" else Severity.WARNING
+                    what = (
+                        "two unordered writes"
+                        if kind == "ww-race"
+                        else "an unordered read and write"
+                    )
+                    out.append(self.diag(
+                        kind, sev,
+                        f"{what} to '{var}' across queues "
+                        f"{self._qname(a[1])} and {self._qname(b[1])} "
+                        f"(events {a[0]} and {b[0]}) — add a wait or a "
+                        "wait(...) clause to order them",
+                        b[0], var=var, kernel=b[6] or a[6],
+                    ))
+        return out
+
+    @staticmethod
+    def _ordered(a, b) -> bool:
+        """Whether access ``a`` happens-before ``b``: b's clock has seen
+        a's tick on a's own timeline."""
+        return b[3].get(a[1], 0) >= a[2]
+
+    @staticmethod
+    def _qname(owner) -> str:
+        return "host" if owner == _HOST else f"async({owner})"
+
+
+__all__ = ["AsyncRacePass"]

@@ -1,0 +1,118 @@
+"""Driver behind ``python -m repro lint``.
+
+Three targets:
+
+* ``lint CASE`` — record one seed case's offload schedule (estimate mode,
+  reduced grid) and lint it; ``--mode`` picks modeling/rtm/both;
+* ``lint all`` — the 12 seed-case programs (6 cases x both modes);
+* ``lint --script FILE`` — lint a ``!$acc`` directive script without
+  running anything.
+
+``--fail-on SEVERITY`` exits non-zero when any finding reaches the gate
+(default ``error``; ``none`` always exits 0); ``--json`` emits the
+machine-readable report.
+"""
+
+from __future__ import annotations
+
+from repro.analyze.framework import LintResult, lint_program, parse_severity
+from repro.analyze.frontend import program_from_script
+from repro.utils.errors import ConfigurationError
+
+#: reduced lint-recording grids (the directive sequence does not depend on
+#: the grid size; estimate mode makes even these instant)
+_SHAPES = {2: (96, 96), 3: (48, 48, 48)}
+
+#: the seed inventory: 3 physics x 2 dimensions (x both modes = 12 programs)
+_INVENTORY = (
+    ("isotropic", 2),
+    ("acoustic", 2),
+    ("elastic", 2),
+    ("isotropic", 3),
+    ("acoustic", 3),
+    ("elastic", 3),
+)
+
+
+def lint_case(
+    physics: str,
+    ndim: int,
+    mode: str,
+    nt: int = 24,
+    compiler: str | None = None,
+) -> LintResult:
+    """Record one seed case at a reduced grid and lint it."""
+    from repro.acc.compiler import COMPILERS
+    from repro.analyze.drivers import lint_pipeline
+    from repro.core.config import GPUOptions
+
+    options = GPUOptions()
+    if compiler is not None:
+        try:
+            options.compiler = COMPILERS[compiler]
+        except KeyError:
+            known = ", ".join(sorted(COMPILERS))
+            raise ConfigurationError(
+                f"unknown compiler '{compiler}' (expected one of: {known})"
+            ) from None
+    shape = _SHAPES[ndim]
+    return lint_pipeline(
+        physics,
+        shape,
+        mode,
+        nt=nt,
+        snap_period=4,
+        options=options,
+        space_order=4 if ndim == 3 else 8,
+        boundary_width=8,
+        name=f"{physics.upper()} {ndim}D ({mode})",
+    )
+
+
+def lint_targets(args) -> list[LintResult]:
+    """Resolve the CLI namespace into one or more lint results."""
+    if getattr(args, "script", None):
+        with open(args.script, encoding="utf-8") as fh:
+            program = program_from_script(fh.read())
+        program.meta = type(program.meta)(
+            source="script", name=args.script,
+        )
+        return [lint_program(program)]
+    case = getattr(args, "case", None)
+    if case is None:
+        raise ConfigurationError("lint needs a CASE (or 'all', or --script FILE)")
+    modes = ("modeling", "rtm") if args.mode == "both" else (args.mode,)
+    if case.lower() == "all":
+        return [
+            lint_case(physics, ndim, mode, nt=args.nt, compiler=args.compiler)
+            for physics, ndim in _INVENTORY
+            for mode in ("modeling", "rtm")
+        ]
+    from repro.trace.cli import parse_case
+
+    physics, ndim = parse_case(case)
+    return [
+        lint_case(physics, ndim, mode, nt=args.nt, compiler=args.compiler)
+        for mode in modes
+    ]
+
+
+def run_lint_command(args) -> int:
+    """``python -m repro lint`` entry point (argparse namespace in)."""
+    from repro.analyze.report import format_json, format_text
+
+    results = lint_targets(args)
+    if args.json:
+        print(format_json(results))
+    else:
+        for i, result in enumerate(results):
+            if i:
+                print()
+            print(format_text(result))
+    if args.fail_on.lower() == "none":
+        return 0
+    threshold = parse_severity(args.fail_on)
+    return 1 if any(r.fails(threshold) for r in results) else 0
+
+
+__all__ = ["run_lint_command", "lint_targets", "lint_case"]

@@ -1,0 +1,143 @@
+"""Record-and-lint drivers: run a pipeline schedule, lint its program.
+
+``record_pipeline_program`` drives the Figure-4 offload pipeline in
+estimate mode (no physics) with a :class:`ProgramRecorder` attached, so a
+case's full directive sequence — data allocation, forward steps, the
+offload/upload swap, backward steps, finalize — becomes a lintable
+:class:`~repro.analyze.program.DirectiveProgram`.
+
+``check_schedule`` is the pipeline's opt-in strict mode
+(``GPUOptions.strict_lint``): it records a short dry run of the same
+configuration and raises :class:`~repro.utils.errors.AnalysisError` if the
+analyzer reports findings at or above the gate severity, *before* the real
+run starts.
+"""
+
+from __future__ import annotations
+
+from repro.analyze.framework import (
+    LintResult,
+    Severity,
+    lint_program,
+)
+from repro.analyze.program import DirectiveProgram
+from repro.analyze.recorder import ProgramRecorder
+from repro.utils.errors import AnalysisError
+
+#: step/snapshot caps of the strict-mode dry run — the directive pattern is
+#: periodic, so a short run exhibits every per-step bug class
+STRICT_NT = 16
+STRICT_SNAP = 4
+
+
+def record_pipeline_program(
+    physics: str,
+    shape: tuple[int, ...],
+    mode: str = "rtm",
+    nt: int = 24,
+    snap_period: int = 4,
+    options=None,
+    platform=None,
+    nreceivers: int = 16,
+    space_order: int = 8,
+    boundary_width: int = 8,
+    pml_variant: str = "restructured",
+    snapshot_decimate: int = 4,
+    name: str | None = None,
+) -> DirectiveProgram:
+    """Run one case's offload schedule in estimate mode and return the
+    recorded DirectiveProgram."""
+    from repro.core.config import GPUOptions
+    from repro.core.modeling import _build_runtime
+    from repro.core.pipeline import (
+        OffloadPipeline,
+        run_pipeline_modeling,
+        run_pipeline_rtm,
+    )
+    from repro.core.platform import CRAY_K40
+
+    options = options if options is not None else GPUOptions()
+    platform = platform if platform is not None else CRAY_K40
+    rt = _build_runtime(options, platform)
+    recorder = ProgramRecorder(
+        name=name or f"{physics}-{len(shape)}d-{mode}"
+    )
+    rt.attach_recorder(recorder)
+    pipeline = OffloadPipeline(
+        rt,
+        physics,
+        shape,
+        nreceivers=nreceivers,
+        space_order=space_order,
+        boundary_width=boundary_width,
+        options=options,
+        pml_variant=pml_variant,
+    )
+    if mode == "rtm":
+        run_pipeline_rtm(pipeline, nt, snap_period)
+    else:
+        run_pipeline_modeling(
+            pipeline, nt, snap_period, snapshot_decimate=snapshot_decimate
+        )
+    return recorder.program
+
+
+def lint_pipeline(
+    physics: str,
+    shape: tuple[int, ...],
+    mode: str = "rtm",
+    **kwargs,
+) -> LintResult:
+    """Record one case's schedule and run all passes over it."""
+    return lint_program(record_pipeline_program(physics, shape, mode, **kwargs))
+
+
+def check_schedule(
+    physics: str,
+    shape: tuple[int, ...],
+    mode: str,
+    options,
+    platform,
+    nreceivers: int = 16,
+    space_order: int = 8,
+    boundary_width: int = 8,
+    pml_variant: str = "branchy",
+    fail_on: Severity = Severity.ERROR,
+) -> LintResult:
+    """Strict-mode gate: lint a short dry run of this configuration and
+    raise :class:`AnalysisError` on findings at/above ``fail_on``."""
+    result = lint_pipeline(
+        physics,
+        shape,
+        mode,
+        nt=STRICT_NT,
+        snap_period=STRICT_SNAP,
+        options=options,
+        platform=platform,
+        nreceivers=nreceivers,
+        space_order=space_order,
+        boundary_width=boundary_width,
+        pml_variant=pml_variant,
+        name=f"{physics}-{len(shape)}d-{mode} (strict dry run)",
+    )
+    if result.fails(fail_on):
+        worst = [d for d in result.diagnostics if d.severity >= fail_on]
+        head = "; ".join(
+            f"{d.rule}: {d.message}" for d in worst[:3]
+        )
+        more = f" (+{len(worst) - 3} more)" if len(worst) > 3 else ""
+        raise AnalysisError(
+            f"strict lint refused the {physics}-{len(shape)}d {mode} "
+            f"schedule: {len(worst)} finding(s) at or above "
+            f"{str(fail_on)} — {head}{more}"
+        )
+    return result
+
+
+__all__ = [
+    "record_pipeline_program",
+    "lint_pipeline",
+    "check_schedule",
+    "STRICT_NT",
+    "STRICT_SNAP",
+]

@@ -1,0 +1,71 @@
+"""Lint reporters: human-readable text and machine-readable JSON."""
+
+from __future__ import annotations
+
+import json
+
+from repro.analyze.framework import LintResult, Severity
+
+
+def format_text(result: LintResult, title: str | None = None) -> str:
+    """One lint run as an aligned text report."""
+    program = result.program
+    meta = program.meta
+    lines: list[str] = []
+    head = title if title is not None else f"repro lint — {meta.name}"
+    context = ", ".join(
+        part for part in (
+            meta.source,
+            meta.compiler,
+            meta.device and f"on {meta.device}",
+        ) if part
+    )
+    lines.append(f"{head} [{context}]" if context else head)
+    counts = program.summary()
+    lines.append(
+        "  program: "
+        + ", ".join(f"{counts.get(k, 0)} {k}" for k in
+                    ("enter", "exit", "update", "compute", "wait"))
+    )
+    for d in result.diagnostics:
+        subject = d.kernel or d.var or "-"
+        lines.append(
+            f"  {str(d.severity):<7} {d.pass_name:<19} {d.rule:<28} "
+            f"{subject:<16} {d.message}  [{d.location(program)}]"
+        )
+    if not result.diagnostics:
+        lines.append("  clean: no findings")
+    lines.append(
+        "  "
+        + ", ".join(
+            f"{result.count(s)} {str(s)}{'s' if result.count(s) != 1 else ''}"
+            for s in (Severity.ERROR, Severity.WARNING, Severity.INFO)
+        )
+    )
+    return "\n".join(lines)
+
+
+def to_json_dict(result: LintResult) -> dict:
+    """One lint run as a JSON-serialisable dict."""
+    meta = result.program.meta
+    return {
+        "name": meta.name,
+        "source": meta.source,
+        "device": meta.device,
+        "compiler": meta.compiler,
+        "events": len(result.program),
+        "event_counts": result.program.summary(),
+        "diagnostics": [d.to_dict() for d in result.diagnostics],
+        "counts": {
+            str(s): result.count(s)
+            for s in (Severity.ERROR, Severity.WARNING, Severity.INFO)
+        },
+        "worst": str(result.worst()) if result.worst() is not None else None,
+    }
+
+
+def format_json(results: list[LintResult]) -> str:
+    return json.dumps([to_json_dict(r) for r in results], indent=2)
+
+
+__all__ = ["format_text", "format_json", "to_json_dict"]

@@ -1,0 +1,143 @@
+"""Loop-schedule lint pass.
+
+Checks each compute construct's scheduling clauses against the loop-nest
+metadata and the modelled device limits — the paper's compiler findings,
+caught before a run instead of measured after one:
+
+* ``false-independent`` — ``independent`` asserted on a kernel whose body
+  carries loop-carried writes (the original backward-phase kernels): the
+  assertion silences the compiler's own dependence check, so this is an
+  error;
+* ``collapse-exceeds-depth`` — ``collapse(n)`` deeper than the nest;
+* ``vector-length-not-warp-multiple`` — partial warps waste lanes;
+* ``vector-length-exceeds-block-limit`` — the device cannot launch it;
+* ``cray-kernels-vectorization`` — bare ``kernels`` under the CRAY persona
+  lets the compiler pick the vectorized loop, and for stencil bodies it
+  tends to pick a non-contiguous one (paper Figures 8-9): prefer
+  ``parallel`` with explicit gang/worker/vector;
+* ``uncoalesced-inner`` — the innermost parallel loop is not unit-stride
+  (the Figure 13 transposition fix);
+* ``maxregcount-spill`` / ``register-ceiling-spill`` — the occupancy
+  model's register-demand estimate says the clamp (or the architecture)
+  will spill to local memory (Figures 10 and 12).
+"""
+
+from __future__ import annotations
+
+from repro.analyze.framework import Diagnostic, LintPass, Severity
+from repro.analyze.program import AccEvent, DirectiveProgram
+from repro.gpusim.kernelmodel import REMAT_SLACK
+
+
+class ScheduleLintPass(LintPass):
+    name = "schedule-lint"
+
+    def run(self, program: DirectiveProgram) -> list[Diagnostic]:
+        out: list[Diagnostic] = []
+        meta = program.meta
+        seen: set[tuple] = set()
+
+        def once(key: tuple, diag: Diagnostic) -> None:
+            """Kernels launch once per time step; report each rule once per
+            kernel, not once per step."""
+            if key not in seen:
+                seen.add(key)
+                out.append(diag)
+
+        for e in program.events:
+            if e.kind != "compute":
+                continue
+            s = e.schedule
+            if s is not None:
+                if s.independent and e.loop_carried:
+                    once(("indep", e.kernel), self.diag(
+                        "false-independent", Severity.ERROR,
+                        f"kernel '{e.kernel}' declares loop independent but "
+                        "its body has loop-carried writes — the assertion "
+                        "overrides the compiler's dependence check and the "
+                        "generated kernel is unordered", e.index, kernel=e.kernel,
+                    ))
+                if e.loop_dims and s.collapse > len(e.loop_dims):
+                    once(("collapse", e.kernel), self.diag(
+                        "collapse-exceeds-depth", Severity.ERROR,
+                        f"kernel '{e.kernel}' collapses {s.collapse} levels "
+                        f"but the nest is only {len(e.loop_dims)} deep",
+                        e.index, kernel=e.kernel,
+                    ))
+                if s.vector and s.vector_length % meta.warp_size != 0:
+                    once(("warpmul", e.kernel), self.diag(
+                        "vector-length-not-warp-multiple", Severity.WARNING,
+                        f"kernel '{e.kernel}' uses vector_length"
+                        f"({s.vector_length}), not a multiple of the warp "
+                        f"size {meta.warp_size} — partial warps idle lanes",
+                        e.index, kernel=e.kernel,
+                    ))
+                if (
+                    meta.max_threads_per_block is not None
+                    and s.vector and s.vector_length > meta.max_threads_per_block
+                ):
+                    once(("blocklimit", e.kernel), self.diag(
+                        "vector-length-exceeds-block-limit", Severity.ERROR,
+                        f"kernel '{e.kernel}' requests vector_length"
+                        f"({s.vector_length}) above the device block limit "
+                        f"{meta.max_threads_per_block}", e.index, kernel=e.kernel,
+                    ))
+            if (
+                meta.vendor == "cray"
+                and e.construct == "kernels"
+                and (s is None or not s.explicit)
+            ):
+                once(("craykernels", e.kernel), self.diag(
+                    "cray-kernels-vectorization", Severity.WARNING,
+                    f"kernel '{e.kernel}': bare kernels under the CRAY "
+                    "compiler lets the heuristic choose the vectorized loop "
+                    "and stencil bodies often get a non-contiguous one "
+                    "(paper Figs 8-9) — use parallel with explicit "
+                    "gang/worker/vector", e.index, kernel=e.kernel,
+                ))
+            if not e.inner_contiguous:
+                once(("coalesce", e.kernel), self.diag(
+                    "uncoalesced-inner", Severity.WARNING,
+                    f"kernel '{e.kernel}': the innermost parallel loop is "
+                    "not unit-stride, so warp accesses splinter into many "
+                    "memory transactions — transpose or reorder the nest "
+                    "(paper Fig 13)", e.index, kernel=e.kernel,
+                ))
+            out_spill = self._spill_diag(meta, e)
+            if out_spill is not None:
+                once((out_spill.rule, e.kernel), out_spill)
+        return out
+
+    # ------------------------------------------------------------------
+    def _spill_diag(self, meta, e: AccEvent) -> Diagnostic | None:
+        """Register-pressure check against the occupancy model's demand
+        estimate (recorded programs carry it; scripts can annotate
+        ``regs=N``)."""
+        demand = e.regs_demand
+        if demand is None:
+            return None
+        arch_max = meta.max_regs_per_thread
+        if arch_max is not None and demand > arch_max:
+            return self.diag(
+                "register-ceiling-spill", Severity.WARNING,
+                f"kernel '{e.kernel}' demands ~{demand} registers/thread, "
+                f"above the architectural ceiling {arch_max} — unavoidable "
+                "spills to local memory; consider loop fission (paper "
+                "Fig 12)", e.index, kernel=e.kernel,
+            )
+        clamp = meta.maxregcount
+        if clamp is not None and clamp < demand:
+            hard = int((demand - clamp) - REMAT_SLACK * demand)
+            if hard > 0:
+                return self.diag(
+                    "maxregcount-spill", Severity.WARNING,
+                    f"kernel '{e.kernel}': maxregcount:{clamp} is "
+                    f"{demand - clamp} below the ~{demand}-register demand "
+                    f"and rematerialization absorbs only part of it (~{hard} "
+                    "registers spill) — raise maxregcount (paper Fig 10)",
+                    e.index, kernel=e.kernel,
+                )
+        return None
+
+
+__all__ = ["ScheduleLintPass"]

@@ -1,0 +1,122 @@
+"""Transfer-efficiency pass.
+
+Flags PCIe traffic the directive sequence moves but the stencil maths does
+not need — the paper's Section 5.1 partial ghost-node updates:
+
+* ``full-update-in-loop`` — an array is refreshed with a *full-extent*
+  ``update`` repeatedly (per step) while also being consumed by compute
+  kernels each cycle. When a stencil half-width is known (recorded halo
+  metadata or a ``!$lint halo=N`` annotation) only the ghost planes need
+  moving, and the suggested extent is quantified;
+* ``strided-update`` — a partial update issued as many non-contiguous
+  chunks: each chunk pays a DMA setup, so pack the halo planes into a
+  contiguous buffer first (what :mod:`repro.mpisim.halo` does).
+
+Snapshot-style transfers (isolated full updates, or updates preceded by a
+host-side write marker — the RTM wavefield reload) are not flagged: those
+genuinely need the whole field.
+"""
+
+from __future__ import annotations
+
+from repro.analyze.framework import Diagnostic, LintPass, Severity
+from repro.analyze.program import DirectiveProgram
+
+#: full-extent refreshes of one array before the per-step rule fires
+REPEAT_THRESHOLD = 3
+#: chunk count above which a strided update is worth packing
+CHUNK_THRESHOLD = 32
+
+
+class TransferEfficiencyPass(LintPass):
+    name = "transfer-efficiency"
+
+    def run(self, program: DirectiveProgram) -> list[Diagnostic]:
+        out: list[Diagnostic] = []
+        #: (var, direction) -> [(event index, explained-by-host-write)]
+        repeats: dict[tuple[str, str], list[tuple[int, bool]]] = {}
+        host_dirty: set[str] = set()
+        #: stencil half-width per consumed array (from compute halo metadata)
+        halo_of: dict[str, int] = {}
+        dims_of: dict[str, tuple[int, ...]] = {}
+
+        for e in program.events:
+            if e.kind == "host_write":
+                host_dirty.update(e.writes)
+            elif e.kind == "compute":
+                if e.halo:
+                    for name in e.reads + e.writes:
+                        halo_of[name] = max(halo_of.get(name, 0), e.halo)
+                        if e.loop_dims:
+                            dims_of[name] = e.loop_dims
+            elif e.kind == "update":
+                name = e.var or ""
+                if e.chunks > CHUNK_THRESHOLD and not program.full_extent(e):
+                    out.append(self.diag(
+                        "strided-update", Severity.INFO,
+                        f"update {e.direction}({name}) moves {e.chunks} "
+                        "non-contiguous chunks — pack the ghost planes into "
+                        "a contiguous buffer to pay one DMA setup instead",
+                        e.index, var=name,
+                    ))
+                if program.full_extent(e):
+                    explained = e.direction == "device" and name in host_dirty
+                    if explained:
+                        host_dirty.discard(name)
+                    repeats.setdefault((name, e.direction or ""), []).append(
+                        (e.index, explained)
+                    )
+
+        for (name, direction), hits in repeats.items():
+            if len(hits) < REPEAT_THRESHOLD:
+                continue
+            anchor = hits[REPEAT_THRESHOLD - 1][0]
+            if name in halo_of:
+                # whether or not the host wrote, the stencil's half-width
+                # says only the ghost planes needed moving
+                suggestion = self._halo_suggestion(program, name, halo_of, dims_of)
+                out.append(self.diag(
+                    "full-update-in-loop", Severity.WARNING,
+                    f"update {direction}({name}) moves the full extent "
+                    f"{len(hits)} times but the stencil half-width implies "
+                    f"a partial ghost-node extent{suggestion} (paper S5.1)",
+                    anchor, var=name,
+                ))
+            elif sum(1 for _, explained in hits if not explained) >= REPEAT_THRESHOLD:
+                # no stencil metadata: only hint when the host-side writes
+                # don't account for the traffic (snapshot restores do)
+                out.append(self.diag(
+                    "repeated-full-update", Severity.INFO,
+                    f"update {direction}({name}) moves the full extent "
+                    f"{len(hits)} times — if only boundary planes change "
+                    "per step, a partial extent would cut the PCIe traffic",
+                    anchor, var=name,
+                ))
+        return out
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _halo_suggestion(
+        program: DirectiveProgram,
+        name: str,
+        halo_of: dict[str, int],
+        dims_of: dict[str, tuple[int, ...]],
+    ) -> str:
+        halo = halo_of.get(name)
+        if not halo:
+            return ""
+        dims = dims_of.get(name, ())
+        total = program.extents.get(name, 0)
+        if dims and total:
+            outer = dims[0]
+            if outer > 2 * halo:
+                frac = 2 * halo / outer
+                part = int(total * frac)
+                return (
+                    f"; with stencil half-width {halo} a partial extent of "
+                    f"~{part} bytes ({frac:.0%} of the field) suffices"
+                )
+        return f"; with stencil half-width {halo} only 2x{halo} planes need moving"
+
+
+__all__ = ["TransferEfficiencyPass", "REPEAT_THRESHOLD", "CHUNK_THRESHOLD"]

@@ -46,6 +46,9 @@ class GPUOptions:
     construct: str | None = None
     #: explicit loop schedule to pair with a forced construct
     schedule: Any = None
+    #: refuse to run when :mod:`repro.analyze` finds error-level problems in
+    #: a dry-run recording of this configuration's directive schedule
+    strict_lint: bool = False
 
 
 @dataclass

@@ -70,6 +70,36 @@ def _build_runtime(
     )
 
 
+def _strict_check(
+    options: GPUOptions,
+    platform: Platform,
+    physics: str,
+    shape: tuple[int, ...],
+    mode: str,
+    nreceivers: int,
+    space_order: int,
+    boundary_width: int,
+    pml_variant: str,
+) -> None:
+    """Opt-in strict mode: lint a dry-run recording of this configuration's
+    schedule and refuse (raise AnalysisError) on error-level findings."""
+    if not options.strict_lint:
+        return
+    from repro.analyze.drivers import check_schedule
+
+    check_schedule(
+        physics,
+        tuple(shape),
+        mode,
+        options,
+        platform,
+        nreceivers=nreceivers,
+        space_order=space_order,
+        boundary_width=boundary_width,
+        pml_variant=pml_variant,
+    )
+
+
 def run_modeling(
     config: ModelingConfig,
     gpu_options: GPUOptions | None = None,
@@ -105,6 +135,11 @@ def run_modeling(
 
     pipeline: OffloadPipeline | None = None
     if gpu_options is not None:
+        _strict_check(
+            gpu_options, platform, physics, config.model.grid.shape,
+            "modeling", receivers.count, config.space_order,
+            config.boundary_width, config.pml_variant,
+        )
         rt = _build_runtime(gpu_options, platform, tracer)
         pipeline = OffloadPipeline(
             rt,
@@ -170,6 +205,10 @@ def estimate_modeling(
 ) -> GpuTimes:
     """Timing-only modeling run at arbitrary (paper-scale) grid sizes."""
     options = options if options is not None else GPUOptions()
+    _strict_check(
+        options, platform, physics, shape, "modeling",
+        nreceivers, space_order, boundary_width, pml_variant,
+    )
     rt = _build_runtime(options, platform, tracer)
     pipeline = OffloadPipeline(
         rt,

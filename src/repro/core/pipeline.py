@@ -56,6 +56,7 @@ def _mark_uncoalesced(workloads: list[KernelWorkload]) -> list[KernelWorkload]:
                 address_streams=w.address_streams,
                 has_branches=w.has_branches,
                 inner_contiguous=False,
+                loop_carried=True,
             )
         )
     return out
@@ -215,6 +216,9 @@ class OffloadPipeline:
         """``update device`` of the stored forward wavefield (per snap)."""
         with self.tracer.span("load_forward_snapshot", track="pipeline",
                               cat="phase", bytes=self.field_bytes):
+            # the host copy changed (a different snapshot was loaded), so
+            # the full-extent refresh is legitimate — tell the analyzer
+            self.rt.note_host_write(self.primary)
             self.rt.update_device(self.primary)
         self.tracer.metrics.counter("pipeline.snapshot_bytes").add(self.field_bytes)
 
@@ -245,7 +249,9 @@ class OffloadPipeline:
             # (enter data/exit data) region to keep the variables consistent
             # on both host and GPU" (paper Section 6.2)
             self.rt.update_host(self.primary)
-            self.rt.update_device("bwd:" + self.primary.split(":", 1)[1])
+            bwd = "bwd:" + self.primary.split(":", 1)[1]
+            self.rt.note_host_write(bwd)
+            self.rt.update_device(bwd)
         for w in self.backward_transpose:
             self._launch(w, async_=async_)
         for w in self.backward_workloads:

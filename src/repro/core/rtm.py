@@ -26,6 +26,7 @@ from repro.core.modeling import (
     _build_runtime,
     _default_receivers,
     _default_source,
+    _strict_check,
 )
 from repro.core.pipeline import OffloadPipeline, run_pipeline_rtm
 from repro.core.platform import CRAY_K40, Platform
@@ -78,6 +79,11 @@ def run_rtm(
 
     pipeline: OffloadPipeline | None = None
     if gpu_options is not None:
+        _strict_check(
+            gpu_options, platform, physics, shape, "rtm",
+            receivers.count, config.space_order, config.boundary_width,
+            config.pml_variant,
+        )
         rt = _build_runtime(gpu_options, platform, tracer)
         pipeline = OffloadPipeline(
             rt,
@@ -181,6 +187,10 @@ def estimate_rtm(
 ) -> GpuTimes:
     """Timing-only RTM run at arbitrary (paper-scale) grid sizes."""
     options = options if options is not None else GPUOptions()
+    _strict_check(
+        options, platform, physics, shape, "rtm",
+        nreceivers, space_order, boundary_width, pml_variant,
+    )
     rt = _build_runtime(options, platform, tracer)
     pipeline = OffloadPipeline(
         rt,

@@ -62,6 +62,10 @@ class KernelWorkload:
     address_streams: int = 4
     has_branches: bool = False
     inner_contiguous: bool = True
+    #: whether successive iterations of a parallelizable level genuinely
+    #: depend on each other — asserting ``independent`` on such a nest is
+    #: wrong-code territory, which the static analyzer flags
+    loop_carried: bool = False
     #: number of grid axes the body's widest stencil gathers along: the
     #: isotropic Laplacian reads a 25-point cross spanning every axis
     #: (``ndim``), while staggered first-derivative kernels gather along one

@@ -59,3 +59,12 @@ class PresentTableError(DeviceError):
 
 class CommunicationError(ReproError):
     """Malformed or mismatched message-passing operation in :mod:`repro.mpisim`."""
+
+
+class AnalysisError(ReproError):
+    """The static analyzer refused a directive program.
+
+    Raised by strict-mode pipelines (``GPUOptions.strict_lint``) when
+    :mod:`repro.analyze` reports findings at or above the gate severity
+    for the schedule about to run.
+    """

@@ -91,6 +91,25 @@ class TestParsing:
         d = parse_directive("!$acc cache(u, tmp)")
         assert d.cache_vars == ("u", "tmp")
 
+    def test_compute_without_clauses_gets_auto_schedule(self):
+        """A compute construct always carries a schedule: bare directives
+        normalize to the compiler-decides marker instead of None."""
+        from repro.acc.clauses import LoopSchedule
+
+        for text in ("!$acc kernels", "!$acc parallel loop", "!$acc loop"):
+            d = parse_directive(text)
+            assert d.schedule == LoopSchedule.auto()
+            assert not d.schedule.explicit
+
+    def test_data_constructs_have_no_schedule(self):
+        assert parse_directive("!$acc enter data copyin(u)").schedule is None
+        assert parse_directive("!$acc update host(u)").schedule is None
+
+    def test_wait_clause_on_compute(self):
+        d = parse_directive("!$acc parallel loop wait(1, 2) async(3)")
+        assert d.wait_on == (1, 2)
+        assert d.async_ == 3
+
     def test_errors(self):
         with pytest.raises(ConfigurationError):
             parse_directive("not a directive")
@@ -142,6 +161,15 @@ class TestApplication:
         rt = Runtime(Device(K40), compiler=PGI_14_6)
         apply_directive(rt, "!$acc kernels async(2)", workload=wl())
         apply_directive(rt, "!$acc wait(2)")
+        assert rt.device.streams.idle()
+
+    def test_wait_clause_threads_through_to_runtime(self):
+        """Satellite: 'wait(q)' on a compute construct drains queue q
+        before the launch (it used to be parsed and silently dropped)."""
+        rt = Runtime(Device(K40), compiler=PGI_14_6)
+        apply_directive(rt, "!$acc kernels async(1)", workload=wl())
+        assert not rt.device.streams.idle()
+        apply_directive(rt, "!$acc kernels wait(1)", workload=wl())
         assert rt.device.streams.idle()
 
     def test_missing_size_rejected(self):

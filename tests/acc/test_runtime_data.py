@@ -45,6 +45,21 @@ class TestEnterExitData:
         with pytest.raises(PresentTableError):
             rt().exit_data(delete=["ghost"])
 
+    def test_absent_error_lists_present_names(self):
+        """Satellite: the present-table miss names what *is* resident and
+        suggests the nearest match for likely typos."""
+        r = rt()
+        r.enter_data(copyin={"wf:u": MB, "wf:v": MB})
+        with pytest.raises(PresentTableError) as ei:
+            r.update_host("wf:w")
+        msg = str(ei.value)
+        assert "wf:u" in msg and "wf:v" in msg
+        assert "did you mean" in msg
+
+    def test_absent_error_on_empty_table(self):
+        with pytest.raises(PresentTableError, match="present table is empty"):
+            rt().update_device("u")
+
     def test_numpy_array_accepted(self):
         r = rt()
         a = np.zeros((64, 64), dtype=np.float32)

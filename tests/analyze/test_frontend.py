@@ -1,0 +1,107 @@
+"""The script frontend: ``!$acc`` text -> DirectiveProgram IR."""
+
+import pytest
+
+from repro.analyze import program_from_script
+from repro.utils.errors import ConfigurationError
+
+
+class TestScriptFrontend:
+    def test_event_sequence_and_kinds(self):
+        p = program_from_script("""
+            !$acc enter data copyin(u, v) create(tmp)
+            !$acc parallel loop gang vector
+            !$acc update host(u)
+            !$acc wait
+            !$acc exit data delete(u, v, tmp)
+        """)
+        assert [e.kind for e in p.events] == [
+            "enter", "compute", "update", "wait", "exit",
+        ]
+        assert p.events[0].copyin == ("u", "v")
+        assert p.events[0].create == ("tmp",)
+        assert p.events[2].direction == "host"
+        assert p.events[2].var == "u"
+        assert p.events[4].delete == ("u", "v", "tmp")
+
+    def test_structured_data_region_closes(self):
+        p = program_from_script("""
+            !$acc data copy(u)
+            !$acc kernels
+            !$acc end data
+        """)
+        assert p.events[0].structured and p.events[0].copyin == ("u",)
+        assert p.events[2].kind == "exit" and p.events[2].delete == ("u",)
+
+    def test_unclosed_data_region_rejected(self):
+        with pytest.raises(ConfigurationError):
+            program_from_script("!$acc data copyin(u)")
+
+    def test_end_data_without_open_rejected(self):
+        with pytest.raises(ConfigurationError):
+            program_from_script("!$acc end data")
+
+    def test_lint_annotation_attaches_to_next_compute(self):
+        p = program_from_script("""
+            !$acc enter data copyin(u)
+            !$lint name=stencil dims=512x256 reads=u writes=u halo=4 regs=96
+            !$acc parallel loop gang vector present(u)
+            !$acc exit data delete(u)
+        """)
+        k = p.computes()[0]
+        assert k.kernel == "stencil"
+        assert k.loop_dims == (512, 256)
+        assert k.reads == ("u",)
+        assert k.writes == ("u",) and k.writes_known
+        assert k.halo == 4
+        assert k.regs_demand == 96
+
+    def test_annotation_consumed_once(self):
+        p = program_from_script("""
+            !$lint name=first
+            !$acc kernels
+            !$acc kernels
+        """)
+        names = [e.kernel for e in p.computes()]
+        assert names[0] == "first"
+        assert names[1] != "first"
+
+    def test_host_writes_marker(self):
+        p = program_from_script("!$lint host_writes(u, v)")
+        assert p.events[0].kind == "host_write"
+        assert p.events[0].writes == ("u", "v")
+
+    def test_unknown_lint_key_rejected(self):
+        with pytest.raises(ConfigurationError):
+            program_from_script("!$lint flavor=mint")
+
+    def test_async_queue_assignment(self):
+        p = program_from_script("""
+            !$acc kernels async(3)
+            !$acc parallel loop async
+            !$acc parallel loop async
+            !$acc kernels
+        """)
+        queues = [e.queue for e in p.computes()]
+        assert queues[0] == 3
+        assert queues[1] != queues[2]  # bare async round-robins
+        assert queues[3] is None
+
+    def test_wait_clause_recorded_as_edges(self):
+        p = program_from_script("!$acc parallel loop wait(1, 2) async(3)")
+        k = p.computes()[0]
+        assert k.wait_on == (1, 2)
+        assert k.queue == 3
+
+    def test_labels_carry_line_numbers(self):
+        p = program_from_script("!$acc enter data copyin(u)\n!$acc exit data delete(u)")
+        assert p.events[0].label == "line 1"
+        assert p.events[1].label == "line 2"
+
+    def test_plain_comments_skipped(self):
+        p = program_from_script("""
+            ! just a comment
+            # another one
+            !$acc kernels
+        """)
+        assert len(p.events) == 1

@@ -1,0 +1,313 @@
+"""Golden-diagnostic tests: each paper bug class on a hand-written script.
+
+Every script here reproduces one of the mistakes the paper documents
+fighting (Sections 5.1, 5.2, 6), and each test pins the pass, rule and
+severity the analyzer must report for it.
+"""
+
+import pytest
+
+from repro.analyze import (
+    Severity,
+    lint_program,
+    program_from_script,
+)
+from repro.analyze.program import ProgramMeta
+
+
+def lint(text, meta=None):
+    return lint_program(program_from_script(text, meta=meta))
+
+
+def rules(result, pass_name=None):
+    return [
+        (d.rule, d.severity)
+        for d in result.diagnostics
+        if pass_name is None or d.pass_name == pass_name
+    ]
+
+
+class TestPresentLifetime:
+    def test_per_step_data_region_is_hoistable(self):
+        """The paper's S5.1 starting point: data re-entered every step."""
+        step = "!$acc data copy(u, v)\n!$acc kernels\n!$acc end data\n"
+        r = lint(step * 4)
+        assert ("hoistable-data-region", Severity.WARNING) in rules(r)
+
+    def test_use_before_copyin_is_error(self):
+        r = lint("""
+            !$lint reads=u
+            !$acc parallel loop present(u)
+        """)
+        assert ("use-before-copyin", Severity.ERROR) in rules(r)
+        assert r.fails(Severity.ERROR)
+
+    def test_update_of_absent_array_is_error(self):
+        r = lint("!$acc update host(u)")
+        assert ("use-before-copyin", Severity.ERROR) in rules(r)
+
+    def test_double_delete_is_error(self):
+        r = lint("""
+            !$acc enter data copyin(u)
+            !$acc exit data delete(u)
+            !$acc exit data delete(u)
+        """)
+        assert ("double-delete", Severity.ERROR) in rules(r)
+
+    def test_leaked_enter_data(self):
+        r = lint("!$acc enter data copyin(u)")
+        assert ("leaked-enter-data", Severity.WARNING) in rules(r)
+
+    def test_dead_copyout(self):
+        """Copyout of an array nothing ever wrote moves stale bytes."""
+        r = lint("""
+            !$acc enter data copyin(u)
+            !$acc exit data copyout(u)
+        """)
+        assert ("dead-copyout", Severity.WARNING) in rules(r)
+
+    def test_copyout_after_known_write_is_clean(self):
+        r = lint("""
+            !$acc enter data copyin(u)
+            !$lint writes=u
+            !$acc parallel loop present(u)
+            !$acc exit data copyout(u)
+        """)
+        assert rules(r, "present-lifetime") == []
+
+    def test_unknown_write_set_suppresses_dead_copyout(self):
+        """A kernel that merely *touches* u (no annotation) may write it —
+        recorded programs must not false-positive."""
+        r = lint("""
+            !$acc enter data copyin(u)
+            !$acc parallel loop present(u)
+            !$acc exit data copyout(u)
+        """)
+        assert ("dead-copyout", Severity.WARNING) not in rules(r)
+
+    def test_redundant_update_device(self):
+        r = lint("""
+            !$acc enter data copyin(u)
+            !$acc update device(u)
+            !$acc exit data delete(u)
+        """)
+        assert ("redundant-update-device", Severity.WARNING) in rules(r)
+
+    def test_host_write_makes_update_device_legitimate(self):
+        r = lint("""
+            !$acc enter data copyin(u)
+            !$lint host_writes(u)
+            !$acc update device(u)
+            !$acc exit data delete(u)
+        """)
+        assert ("redundant-update-device", Severity.WARNING) not in rules(r)
+
+
+class TestAsyncRace:
+    def test_unordered_writes_are_error(self):
+        """Two async queues writing one wavefield with no wait between."""
+        r = lint("""
+            !$acc enter data copyin(u)
+            !$lint name=k1 writes=u
+            !$acc parallel loop async(1)
+            !$lint name=k2 writes=u
+            !$acc parallel loop async(2)
+            !$acc wait
+            !$acc exit data delete(u)
+        """)
+        assert ("ww-race", Severity.ERROR) in rules(r, "async-race")
+
+    def test_read_write_race_is_warning(self):
+        r = lint("""
+            !$acc enter data copyin(u)
+            !$lint name=writer writes=u
+            !$acc parallel loop async(1)
+            !$lint name=reader reads=u writes=tmp
+            !$acc parallel loop async(2)
+            !$acc wait
+            !$acc exit data delete(u)
+        """)
+        assert ("rw-race", Severity.WARNING) in rules(r, "async-race")
+
+    def test_wait_clause_orders_the_queues(self):
+        """Satellite: the wait(...) clause is a real happens-before edge."""
+        r = lint("""
+            !$acc enter data copyin(u)
+            !$lint name=k1 writes=u
+            !$acc parallel loop async(1)
+            !$lint name=k2 writes=u
+            !$acc parallel loop wait(1) async(2)
+            !$acc wait
+            !$acc exit data delete(u)
+        """)
+        assert rules(r, "async-race") == []
+
+    def test_full_wait_between_steps_is_clean(self):
+        step = """
+            !$lint name=k1 writes=u
+            !$acc parallel loop async(1)
+            !$acc wait
+        """
+        r = lint("!$acc enter data copyin(u)\n" + step * 3
+                 + "!$acc exit data delete(u)")
+        assert rules(r, "async-race") == []
+
+    def test_same_queue_is_ordered(self):
+        r = lint("""
+            !$acc enter data copyin(u)
+            !$lint name=k1 writes=u
+            !$acc parallel loop async(1)
+            !$lint name=k2 writes=u
+            !$acc parallel loop async(1)
+            !$acc wait
+            !$acc exit data delete(u)
+        """)
+        assert rules(r, "async-race") == []
+
+    def test_async_update_races_with_kernel(self):
+        r = lint("""
+            !$acc enter data copyin(u)
+            !$lint host_writes(u)
+            !$acc update device(u) async(1)
+            !$lint name=k reads=u writes=v
+            !$acc parallel loop async(2)
+            !$acc wait
+            !$acc exit data delete(u)
+        """)
+        assert ("rw-race", Severity.WARNING) in rules(r, "async-race")
+
+
+class TestScheduleLint:
+    def test_false_independent_is_error(self):
+        """`independent` on a loop-carried body silences the compiler's
+        dependence check — the original backward kernels' trap."""
+        r = lint("""
+            !$acc enter data copyin(p)
+            !$lint name=recur carried=true reads=p writes=p
+            !$acc kernels loop independent
+            !$acc exit data delete(p)
+        """)
+        assert ("false-independent", Severity.ERROR) in rules(r)
+
+    def test_collapse_exceeding_depth_is_error(self):
+        r = lint("""
+            !$lint dims=512x512
+            !$acc parallel loop collapse(3)
+        """)
+        assert ("collapse-exceeds-depth", Severity.ERROR) in rules(r)
+
+    def test_vector_length_not_warp_multiple(self):
+        r = lint("!$acc parallel loop gang vector vector_length(100)")
+        assert ("vector-length-not-warp-multiple", Severity.WARNING) in rules(r)
+
+    def test_vector_length_above_block_limit_is_error(self):
+        meta = ProgramMeta(max_threads_per_block=1024)
+        r = lint("!$acc parallel loop gang vector vector_length(1024)", meta)
+        assert rules(r, "schedule-lint") == []  # at the limit is fine
+        meta = ProgramMeta(max_threads_per_block=512)
+        r = lint("!$acc parallel loop gang vector vector_length(1024)", meta)
+        assert ("vector-length-exceeds-block-limit", Severity.ERROR) in rules(r)
+
+    def test_cray_bare_kernels_warns(self):
+        """Paper Figs 8-9: CRAY's heuristic picks the vectorized loop."""
+        meta = ProgramMeta(vendor="cray")
+        r = lint("!$acc kernels", meta)
+        assert ("cray-kernels-vectorization", Severity.WARNING) in rules(r)
+        # explicit gang/vector silences it; so does the PGI persona
+        r = lint("!$acc kernels loop gang vector", meta)
+        assert ("cray-kernels-vectorization", Severity.WARNING) not in rules(r)
+        r = lint("!$acc kernels", ProgramMeta(vendor="pgi"))
+        assert ("cray-kernels-vectorization", Severity.WARNING) not in rules(r)
+
+    def test_uncoalesced_inner_loop(self):
+        r = lint("""
+            !$lint name=orig contiguous=false
+            !$acc kernels
+        """)
+        assert ("uncoalesced-inner", Severity.WARNING) in rules(r)
+
+    def test_maxregcount_spill(self):
+        """Paper Fig 10: maxregcount far below demand spills registers."""
+        meta = ProgramMeta(maxregcount=16, max_regs_per_thread=255)
+        r = lint("!$lint name=elastic regs=128\n!$acc kernels", meta)
+        assert ("maxregcount-spill", Severity.WARNING) in rules(r)
+
+    def test_register_ceiling_spill(self):
+        meta = ProgramMeta(max_regs_per_thread=63)
+        r = lint("!$lint name=fused regs=128\n!$acc kernels", meta)
+        assert ("register-ceiling-spill", Severity.WARNING) in rules(r)
+
+    def test_reported_once_per_kernel(self):
+        step = "!$lint name=same contiguous=false\n!$acc kernels\n"
+        r = lint(step * 5)
+        hits = [d for d in r.diagnostics if d.rule == "uncoalesced-inner"]
+        assert len(hits) == 1
+
+
+class TestTransferEfficiency:
+    HALO_LOOP = (
+        "!$acc enter data copyin(u)\n"
+        + (
+            "!$lint name=stencil dims=512x512 reads=u writes=u halo=4\n"
+            "!$acc parallel loop gang vector\n"
+            "!$lint host_writes(u)\n"
+            "!$acc update device(u)\n"
+        ) * 3
+        + "!$acc exit data delete(u)"
+    )
+
+    def test_full_update_in_loop_with_known_halo(self):
+        """Paper S5.1: the stencil half-width implies a partial extent."""
+        r = lint(self.HALO_LOOP)
+        found = [d for d in r.diagnostics if d.rule == "full-update-in-loop"]
+        assert found and found[0].severity == Severity.WARNING
+        assert "half-width" in found[0].message
+
+    def test_no_halo_means_info_only(self):
+        text = self.HALO_LOOP.replace(" halo=4", "").replace(
+            "!$lint host_writes(u)\n", ""
+        )
+        r = lint(text)
+        assert ("repeated-full-update", Severity.INFO) in rules(r)
+        assert ("full-update-in-loop", Severity.WARNING) not in rules(r)
+
+    def test_snapshot_restores_are_not_flagged(self):
+        """Host-write markers with no stencil metadata (the RTM snapshot
+        reload) account for the traffic: no finding."""
+        text = self.HALO_LOOP.replace(
+            "!$lint name=stencil dims=512x512 reads=u writes=u halo=4\n", ""
+        )
+        r = lint(text)
+        assert rules(r, "transfer-efficiency") == []
+
+    def test_single_full_update_is_clean(self):
+        r = lint("""
+            !$acc enter data copyin(u)
+            !$lint host_writes(u)
+            !$acc update device(u)
+            !$acc exit data delete(u)
+        """)
+        assert rules(r, "transfer-efficiency") == []
+
+
+class TestRanking:
+    def test_errors_rank_first(self):
+        r = lint("""
+            !$acc enter data copyin(u)
+            !$acc update device(u)
+            !$acc exit data delete(u)
+            !$acc exit data delete(u)
+        """)
+        sevs = [d.severity for d in r.diagnostics]
+        assert sevs == sorted(sevs, reverse=True)
+        assert r.worst() == Severity.ERROR
+        assert r.count(Severity.ERROR) >= 1
+
+    def test_fails_threshold(self):
+        r = lint("""
+            !$acc enter data copyin(u)
+            !$acc update device(u)
+            !$acc exit data delete(u)
+        """)
+        assert r.fails(Severity.WARNING)
+        assert not r.fails(Severity.ERROR)
