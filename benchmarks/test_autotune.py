@@ -1,0 +1,89 @@
+"""Closed-loop auto-tuning across the full seed-case matrix.
+
+For each of the 12 seed cases (3 physics x 2 dims x {modeling, rtm}) the
+tuner probes the default static schedule and its search candidates, and the
+winning :class:`~repro.optim.autotune.TuningPlan` must never be slower than
+the default on the measured per-step objective. The modelled step times
+(simulated seconds) land in ``BENCH_autotune.json`` next to this file's
+working directory.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from benchmarks.conftest import emit, run_once
+from repro.bench.workloads import ALL_CASES
+from repro.optim.autotune import request_for_case, tune_case
+
+BUDGET = 4
+OUT = "BENCH_autotune.json"
+
+_CASE_NAMES = [
+    f"{case.physics}-{case.ndim}d-{mode}"
+    for case in ALL_CASES
+    for mode in ("modeling", "rtm")
+]
+
+
+def _tune_all() -> dict[str, dict]:
+    out: dict[str, dict] = {}
+    for case in ALL_CASES:
+        for mode in ("modeling", "rtm"):
+            name = f"{case.physics}-{case.ndim}d-{mode}"
+            request = request_for_case(
+                f"{case.physics}{case.ndim}d", mode=mode
+            )
+            plan = tune_case(request, budget=BUDGET)
+            out[name] = {
+                "default_step_seconds": plan.baseline_step_seconds,
+                "tuned_step_seconds": plan.tuned_step_seconds,
+                "improvement": plan.improvement,
+                "maxregcount": plan.maxregcount,
+                "async_kernels": plan.async_kernels,
+                "probes": plan.probes,
+                "mean_abs_model_error": plan.mean_abs_model_error,
+            }
+    return out
+
+
+@pytest.fixture(scope="module")
+def results():
+    return _tune_all()
+
+
+def test_autotune_regenerates(benchmark):
+    results = run_once(benchmark, _tune_all)
+    with open(OUT, "w") as f:
+        json.dump(results, f, indent=2)
+        f.write("\n")
+    lines = [
+        f"  {name:<24} default {r['default_step_seconds'] * 1e3:8.3f} ms/step"
+        f" -> tuned {r['tuned_step_seconds'] * 1e3:8.3f} ms/step"
+        f"  ({100 * r['improvement']:5.1f}% saved)"
+        for name, r in results.items()
+    ]
+    emit(
+        "Auto-tuned vs default schedule (all 12 seed cases)",
+        "\n".join(lines) + f"\n  wrote {OUT}",
+    )
+    assert len(results) == 12
+
+
+class TestShape:
+    @pytest.mark.parametrize("name", _CASE_NAMES)
+    def test_never_slower_than_default(self, results, name):
+        r = results[name]
+        assert r["tuned_step_seconds"] <= r["default_step_seconds"]
+
+    def test_some_case_improves(self, results):
+        """The tuner is not a no-op: at least one case must beat the
+        default static schedule outright."""
+        assert any(r["improvement"] > 0 for r in results.values())
+
+    def test_model_error_recorded(self, results):
+        assert all(
+            r["mean_abs_model_error"] is not None for r in results.values()
+        )

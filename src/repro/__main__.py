@@ -21,9 +21,14 @@ Commands
     ``!$acc`` script) — present-table lifetimes, async races, schedule
     smells, transfer efficiency. ``--fail-on SEVERITY`` gates the exit
     code.
+``tune CASE [--budget N] [--out plan.json]``
+    Closed-loop schedule auto-tuning: probe the case under a tracer,
+    search vector length / registers / construct / async, write a
+    TuningPlan JSON (see ``docs/tuning.md``).
 
 ``tables``/``figures``/``sweep`` also accept ``--trace PATH`` to record a
-harness-level (wall-clock) trace of the run.
+harness-level (wall-clock) trace of the run; ``tables``/``figures`` accept
+``--plan plan.json`` to apply a tuning plan to its matching case.
 """
 
 from __future__ import annotations
@@ -48,16 +53,29 @@ def _write_harness_trace(args, tracer) -> None:
         print(f"wrote {args.trace}")
 
 
+def _load_plan(args):
+    """The ``--plan PATH`` tuning plan, or None."""
+    if not getattr(args, "plan", None):
+        return None
+    from repro.optim.autotune import load_plan
+
+    plan = load_plan(args.plan)
+    print(f"applying tuning plan {args.plan} "
+          f"({plan.case} {plan.mode}, {plan.compiler} on {plan.platform})")
+    return plan
+
+
 def _cmd_tables(args) -> int:
     from repro.bench import format_table3, format_table4
 
+    plan = _load_plan(args)
     tracer = _harness_tracer(args)
     with tracer.span("tables", track="cli", cat="harness"):
         with tracer.span("table3", track="cli", cat="harness"):
-            print(format_table3())
+            print(format_table3(plan=plan))
         print()
         with tracer.span("table4", track="cli", cat="harness"):
-            print(format_table4())
+            print(format_table4(plan=plan))
     _write_harness_trace(args, tracer)
     return 0
 
@@ -67,10 +85,19 @@ def _cmd_figures(args) -> int:
     from repro.bench.report import format_series
 
     wanted = args.name
+    plan = _load_plan(args)
     tracer = _harness_tracer(args)
 
     def want(tag):
         return wanted is None or wanted == tag
+
+    if plan is not None and (wanted is None or wanted == "tuned"):
+        with tracer.span("tuned", track="cli", cat="harness"):
+            print(format_series(
+                f"Auto-tuned — {plan.case} {plan.mode} step time "
+                f"({plan.compiler})",
+                figures.plan_comparison(plan),
+            ))
 
     if want("fig6") or want("fig7"):
         with tracer.span("fig6_fig7", track="cli", cat="harness"):
@@ -162,6 +189,12 @@ def _cmd_lint(args) -> int:
     return run_lint_command(args)
 
 
+def _cmd_tune(args) -> int:
+    from repro.optim.autotune import run_tune_command
+
+    return run_tune_command(args)
+
+
 def build_parser() -> argparse.ArgumentParser:
     ap = argparse.ArgumentParser(
         prog="repro",
@@ -172,11 +205,16 @@ def build_parser() -> argparse.ArgumentParser:
 
     t = sub.add_parser("tables", help="regenerate Tables 3 and 4")
     t.add_argument("--trace", metavar="PATH", help="write a harness trace")
+    t.add_argument("--plan", metavar="PATH",
+                   help="apply a tuning plan JSON to its matching case")
     t.set_defaults(fn=_cmd_tables)
 
     f = sub.add_parser("figures", help="regenerate the Figure 6-15 studies")
-    f.add_argument("name", nargs="?", help="one figure, e.g. fig12")
+    f.add_argument("name", nargs="?",
+                   help="one figure, e.g. fig12 (or 'tuned' with --plan)")
     f.add_argument("--trace", metavar="PATH", help="write a harness trace")
+    f.add_argument("--plan", metavar="PATH",
+                   help="print the plan's default-vs-tuned step-time study")
     f.set_defaults(fn=_cmd_figures)
 
     p = sub.add_parser("plan", help="offload residency plan for one case")
@@ -233,6 +271,22 @@ def build_parser() -> argparse.ArgumentParser:
                     help="exit non-zero at/above this severity "
                     "(info|warning|error|none; default error)")
     li.set_defaults(fn=_cmd_lint)
+
+    tu = sub.add_parser(
+        "tune",
+        help="closed-loop schedule auto-tuning; writes a TuningPlan JSON",
+    )
+    tu.add_argument("case", help="e.g. iso2d, acoustic-2d, el3d")
+    tu.add_argument("--mode", choices=["modeling", "rtm"], default="rtm")
+    tu.add_argument("--budget", type=int, default=8,
+                    help="max measured probe runs in the search (default 8)")
+    tu.add_argument("--nt", type=int, default=6,
+                    help="time steps per probe window (default 6)")
+    tu.add_argument("--compiler", metavar="NAME",
+                    help="compiler persona, e.g. pgi-14.6, cray-8.2.6")
+    tu.add_argument("--out", default="plan.json",
+                    help="TuningPlan JSON path (default plan.json)")
+    tu.set_defaults(fn=_cmd_tune)
     return ap
 
 

@@ -214,6 +214,34 @@ def fig14_fig15_profiles(nt: int = _FIG_NT) -> dict[str, ProfileReport]:
 
 
 # ----------------------------------------------------------------------
+# Auto-tuned schedule vs the default static schedule (``--plan``)
+# ----------------------------------------------------------------------
+def plan_comparison(plan) -> dict[str, float]:
+    """``{'default': s, 'auto-tuned': s}`` per-time-step seconds of the
+    plan's case, re-measured by probe runs: the default static schedule
+    against the :class:`~repro.optim.autotune.TuningPlan` as applied."""
+    from repro.acc.compiler import COMPILERS
+    from repro.optim.autotune import (
+        options_with_plan,
+        request_for_case,
+        run_probe,
+    )
+
+    persona = next(
+        (p for p in COMPILERS.values() if p.name == plan.compiler), None
+    )
+    request = request_for_case(plan.case, mode=plan.mode, compiler=persona)
+    default = run_probe(request, request.base_options)
+    tuned = run_probe(
+        request, options_with_plan(request.base_options, plan)
+    )
+    return {
+        "default": default.step_seconds,
+        "auto-tuned": tuned.step_seconds,
+    }
+
+
+# ----------------------------------------------------------------------
 # Section 5.1 step 4: backward kernel reuse
 # ----------------------------------------------------------------------
 def backward_reuse_comparison(physics: str = "acoustic", ndim: int = 2) -> dict[str, float]:

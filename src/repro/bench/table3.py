@@ -36,6 +36,28 @@ def tuned_options(persona: CompilerPersona, case: CaseSpec, platform: Platform) 
     )
 
 
+def apply_plan(
+    options: GPUOptions,
+    case: CaseSpec,
+    persona: CompilerPersona,
+    platform: Platform,
+    plan,
+) -> GPUOptions:
+    """Attach a :class:`~repro.optim.autotune.TuningPlan` to ``options`` when
+    it was tuned for this exact (case, compiler, platform) cell; other cells
+    keep the static schedule (a plan measured under one compiler persona
+    says nothing about another)."""
+    if plan is None:
+        return options
+    if plan.case != f"{case.physics}-{case.ndim}d":
+        return options
+    if plan.compiler != persona.name or plan.platform != platform.name:
+        return options
+    from repro.optim.autotune import options_with_plan
+
+    return options_with_plan(options, plan)
+
+
 def make_cell(gpu: GpuTimes, cpu: ReferenceTimes) -> Cell:
     """Combine a GPU estimate with the CPU reference into a table cell."""
     if not gpu.success:
@@ -48,21 +70,26 @@ def make_cell(gpu: GpuTimes, cpu: ReferenceTimes) -> Cell:
     )
 
 
-def _estimate(case: CaseSpec, platform: Platform, persona: CompilerPersona) -> GpuTimes:
+def _estimate(
+    case: CaseSpec, platform: Platform, persona: CompilerPersona, plan=None
+) -> GpuTimes:
+    options = apply_plan(
+        tuned_options(persona, case, platform), case, persona, platform, plan
+    )
     return estimate_modeling(
         case.physics,
         case.shape,
         case.nt,
         case.snap_period,
         platform=platform,
-        options=tuned_options(persona, case, platform),
+        options=options,
         nreceivers=case.nreceivers,
         pml_variant=case.pml_variant,
         snapshot_decimate=case.snapshot_decimate,
     )
 
 
-def table3_row(case: CaseSpec) -> Row:
+def table3_row(case: CaseSpec, plan=None) -> Row:
     """One seismic case's Table 3 row."""
     cpu_cray = cpu_modeling_time(
         CRAY_K40.cluster,
@@ -84,20 +111,22 @@ def table3_row(case: CaseSpec) -> Row:
     )
     return Row(
         name=case.name,
-        cray_cray=make_cell(_estimate(case, CRAY_K40, CRAY_8_2_6), cpu_cray),
-        cray_pgi=make_cell(_estimate(case, CRAY_K40, PGI_14_6), cpu_cray),
-        ibm_pgi=make_cell(_estimate(case, IBM_M2090, PGI_14_3), cpu_ibm),
+        cray_cray=make_cell(_estimate(case, CRAY_K40, CRAY_8_2_6, plan), cpu_cray),
+        cray_pgi=make_cell(_estimate(case, CRAY_K40, PGI_14_6, plan), cpu_cray),
+        ibm_pgi=make_cell(_estimate(case, IBM_M2090, PGI_14_3, plan), cpu_ibm),
     )
 
 
-def table3_rows(cases: tuple[CaseSpec, ...] = ALL_CASES) -> list[Row]:
-    """All Table 3 rows."""
-    return [table3_row(c) for c in cases]
+def table3_rows(
+    cases: tuple[CaseSpec, ...] = ALL_CASES, plan=None
+) -> list[Row]:
+    """All Table 3 rows (``plan``: tuner overrides for its matching cell)."""
+    return [table3_row(c, plan) for c in cases]
 
 
-def format_table3(rows: list[Row] | None = None) -> str:
+def format_table3(rows: list[Row] | None = None, plan=None) -> str:
     if rows is None:
-        rows = table3_rows()
+        rows = table3_rows(plan=plan)
     return format_speedup_table(
         "Table 3: Seismic modeling timing and speedup measurements", rows
     )

@@ -5,7 +5,7 @@ from __future__ import annotations
 
 from repro.acc.compiler import CRAY_8_2_6, PGI_14_3, PGI_14_6, CompilerPersona
 from repro.bench.report import Row, format_speedup_table
-from repro.bench.table3 import make_cell, tuned_options
+from repro.bench.table3 import apply_plan, make_cell, tuned_options
 from repro.bench.workloads import ALL_CASES, CaseSpec
 from repro.core.config import GpuTimes
 from repro.core.platform import CRAY_K40, IBM_M2090, Platform
@@ -13,20 +13,25 @@ from repro.core.reference import cpu_rtm_time
 from repro.core.rtm import estimate_rtm
 
 
-def _estimate(case: CaseSpec, platform: Platform, persona: CompilerPersona) -> GpuTimes:
+def _estimate(
+    case: CaseSpec, platform: Platform, persona: CompilerPersona, plan=None
+) -> GpuTimes:
+    options = apply_plan(
+        tuned_options(persona, case, platform), case, persona, platform, plan
+    )
     return estimate_rtm(
         case.physics,
         case.shape,
         case.nt,
         case.snap_period,
         platform=platform,
-        options=tuned_options(persona, case, platform),
+        options=options,
         nreceivers=case.nreceivers,
         pml_variant=case.pml_variant,
     )
 
 
-def table4_row(case: CaseSpec) -> Row:
+def table4_row(case: CaseSpec, plan=None) -> Row:
     """One seismic case's Table 4 row."""
     cpu_cray = cpu_rtm_time(
         CRAY_K40.cluster,
@@ -48,20 +53,22 @@ def table4_row(case: CaseSpec) -> Row:
     )
     return Row(
         name=case.name,
-        cray_cray=make_cell(_estimate(case, CRAY_K40, CRAY_8_2_6), cpu_cray),
-        cray_pgi=make_cell(_estimate(case, CRAY_K40, PGI_14_6), cpu_cray),
-        ibm_pgi=make_cell(_estimate(case, IBM_M2090, PGI_14_3), cpu_ibm),
+        cray_cray=make_cell(_estimate(case, CRAY_K40, CRAY_8_2_6, plan), cpu_cray),
+        cray_pgi=make_cell(_estimate(case, CRAY_K40, PGI_14_6, plan), cpu_cray),
+        ibm_pgi=make_cell(_estimate(case, IBM_M2090, PGI_14_3, plan), cpu_ibm),
     )
 
 
-def table4_rows(cases: tuple[CaseSpec, ...] = ALL_CASES) -> list[Row]:
-    """All Table 4 rows."""
-    return [table4_row(c) for c in cases]
+def table4_rows(
+    cases: tuple[CaseSpec, ...] = ALL_CASES, plan=None
+) -> list[Row]:
+    """All Table 4 rows (``plan``: tuner overrides for its matching cell)."""
+    return [table4_row(c, plan) for c in cases]
 
 
-def format_table4(rows: list[Row] | None = None) -> str:
+def format_table4(rows: list[Row] | None = None, plan=None) -> str:
     if rows is None:
-        rows = table4_rows()
+        rows = table4_rows(plan=plan)
     return format_speedup_table(
         "Table 4: RTM timing and speedup measurements", rows
     )

@@ -49,6 +49,14 @@ class GPUOptions:
     #: refuse to run when :mod:`repro.analyze` finds error-level problems in
     #: a dry-run recording of this configuration's directive schedule
     strict_lint: bool = False
+    #: per-kernel schedule overrides from the closed-loop tuner (a
+    #: :class:`~repro.optim.autotune.TuningPlan`, or any object exposing
+    #: ``entry_for(kernel_name)``); kernels without an entry fall through to
+    #: the construct/schedule fields above. Load one with
+    #: :func:`repro.optim.autotune.load_plan` and prefer
+    #: :func:`repro.optim.autotune.options_with_plan`, which also applies
+    #: the plan's global ``maxregcount``/async choices
+    plan: Any = None
 
 
 @dataclass

@@ -126,8 +126,24 @@ class OffloadPipeline:
     # ------------------------------------------------------------------
     def _launch(self, workload, present=(), async_=None):
         """Launch under the configured construct (persona-preferred by
-        default; forced kernels/parallel for the Figure 8-9 comparisons)."""
+        default; forced kernels/parallel for the Figure 8-9 comparisons).
+
+        A :class:`~repro.optim.autotune.TuningPlan` on the options takes
+        precedence per kernel: its entry supplies the construct, the loop
+        schedule and (when the step runs asynchronously) the queue the tuner
+        observed to be best."""
         opts = self.options
+        if opts.plan is not None:
+            entry = opts.plan.entry_for(workload.name)
+            if entry is not None:
+                queue = entry.queue if (async_ and entry.queue is not None) else async_
+                if entry.construct == "parallel":
+                    return self.rt.parallel(
+                        workload, present, entry.loop_schedule(), queue
+                    )
+                return self.rt.kernels(
+                    workload, present, entry.loop_schedule(), queue
+                )
         if opts.construct is None:
             return self.rt.compute(workload, present=present, async_=async_)
         if opts.construct == "kernels":

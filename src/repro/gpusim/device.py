@@ -108,6 +108,10 @@ class Device:
         assert tracer is not None
         track = "stream:0" if ev.queue is None else f"queue:{ev.queue}"
         args = {"bytes": ev.nbytes} if ev.nbytes else {}
+        if ev.occupancy is not None:
+            args["occupancy"] = ev.occupancy
+        if ev.spilled_regs is not None:
+            args["spilled_regs"] = ev.spilled_regs
         tracer.emit(
             ev.name, ev.start, ev.end,
             process=self._trace_process, track=track, cat=ev.kind, **args,
@@ -211,7 +215,10 @@ class Device:
         self.times.kernel += est.seconds
         self.clock.charge(est.seconds, "kernel")
         self.kernel_launches += 1
-        self._emit(ProfileEvent("kernel", workload.name, start, end, 0, queue))
+        self._emit(ProfileEvent(
+            "kernel", workload.name, start, end, 0, queue,
+            occupancy=est.occupancy, spilled_regs=est.spilled_regs,
+        ))
         if self._tracer is not None:
             self._tracer.metrics.histogram("gpu.occupancy").observe(est.occupancy)
         return est

@@ -15,7 +15,7 @@ from repro.utils.units import bytes_to_human, seconds_to_human
 
 @dataclass(frozen=True)
 class ProfileEvent:
-    """One timeline entry."""
+    """One timeline entry (timestamps in simulated seconds)."""
 
     kind: str  # 'kernel' | 'h2d' | 'd2h'
     name: str
@@ -23,6 +23,11 @@ class ProfileEvent:
     end: float
     nbytes: int = 0
     queue: int | None = None
+    #: modelled achieved occupancy of a kernel launch (None for copies and
+    #: for events produced before the launch was modelled)
+    occupancy: float | None = None
+    #: hard-spilled registers/thread of a kernel launch (None for copies)
+    spilled_regs: int | None = None
 
     @property
     def duration(self) -> float:

@@ -1,5 +1,32 @@
-"""The paper's optimization catalogue as reusable transformations and tuners."""
+"""The paper's optimization catalogue as reusable transformations and tuners.
 
+Two tuning regimes live here:
+
+* **static** (:mod:`repro.optim.tuning`) — sweeps and predictions over the
+  analytic cost model alone (the paper's hand-tuning workflow);
+* **closed-loop** (:mod:`repro.optim.autotune`) — probe runs under a
+  tracer, schedule search over observed timelines, and the
+  :class:`~repro.optim.autotune.TuningPlan` artifact the pipeline applies
+  per kernel (``python -m repro tune``).
+
+All reported times are simulated seconds on the device clock.
+"""
+
+from repro.optim.autotune import (
+    KernelObservation,
+    KernelPlan,
+    ProbeDegradedWarning,
+    ProbeResult,
+    ScheduleCandidate,
+    TuneRequest,
+    TuningPlan,
+    extract_observations,
+    load_plan,
+    options_with_plan,
+    run_probe,
+    transfer_overlap_seconds,
+    tune_case,
+)
 from repro.optim.transformations import (
     loop_fission,
     mark_uncoalesced,
@@ -11,6 +38,7 @@ from repro.optim.transformations import (
 from repro.optim.tuning import (
     register_sweep,
     RegisterSweepPoint,
+    best_register_count,
     vector_length_sweep,
     predict_best_launch,
     async_comparison,
@@ -18,16 +46,33 @@ from repro.optim.tuning import (
 )
 
 __all__ = [
+    # transformations
     "loop_fission",
     "mark_uncoalesced",
     "with_transposition",
     "inline_receiver_loop",
     "remove_branches",
     "collapse_nest",
+    # static tuners
     "register_sweep",
     "RegisterSweepPoint",
+    "best_register_count",
     "vector_length_sweep",
     "predict_best_launch",
     "async_comparison",
     "AsyncComparison",
+    # closed-loop tuner
+    "KernelObservation",
+    "KernelPlan",
+    "ProbeDegradedWarning",
+    "ProbeResult",
+    "ScheduleCandidate",
+    "TuneRequest",
+    "TuningPlan",
+    "extract_observations",
+    "load_plan",
+    "options_with_plan",
+    "run_probe",
+    "transfer_overlap_seconds",
+    "tune_case",
 ]

@@ -102,3 +102,13 @@ def collapse_nest(workload: KernelWorkload, levels: int) -> KernelWorkload:
         name=workload.name + f"_collapse{levels}",
         loop_dims=(head,) + dims[levels:],
     )
+
+
+__all__ = [
+    "loop_fission",
+    "mark_uncoalesced",
+    "with_transposition",
+    "inline_receiver_loop",
+    "remove_branches",
+    "collapse_nest",
+]

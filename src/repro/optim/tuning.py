@@ -1,4 +1,4 @@
-"""Performance tuners over the device model.
+"""Static performance tuners over the device model.
 
 * :func:`register_sweep` — the ``maxregcount`` study of the paper's
   Figure 10 (64 registers/thread optimal on both cards).
@@ -6,6 +6,15 @@
   prediction-based gang/vector tuning of the paper's reference [13]
   (Siddiqui & Feki), realised against the analytic cost model.
 * :func:`async_comparison` — the async-streams study of Figure 11.
+
+Everything here is *static*: purely model-driven, no probe runs. All
+returned times are **simulated seconds**; occupancies are 0..1 fractions.
+The closed-loop complement lives in :mod:`repro.optim.autotune`
+(:func:`~repro.optim.autotune.tune_case`,
+:func:`~repro.optim.autotune.run_probe`,
+:class:`~repro.optim.autotune.TuningPlan`): it *measures* candidate
+schedules from trace timelines and uses :func:`predict_best_launch` only to
+warm-start the search.
 """
 
 from __future__ import annotations
@@ -27,12 +36,24 @@ DEFAULT_VECTOR_CANDIDATES = (32, 64, 128, 256, 512, 1024)
 
 @dataclass(frozen=True)
 class RegisterSweepPoint:
-    """One point of a maxregcount sweep."""
+    """One point of a maxregcount sweep.
+
+    ``maxregcount`` is the *requested* compile-line value;
+    ``effective_maxregcount`` is the value the card can actually honour
+    (requests above the architecture's registers-per-thread ceiling are
+    clamped). ``seconds`` is the modelled step time in simulated seconds;
+    ``occupancy`` is a 0..1 time-weighted mean.
+    """
 
     maxregcount: int
     seconds: float
     occupancy: float
     spilled_regs: int
+    effective_maxregcount: int = -1
+
+    def __post_init__(self):
+        if self.effective_maxregcount < 0:
+            object.__setattr__(self, "effective_maxregcount", self.maxregcount)
 
 
 def register_sweep(
@@ -42,12 +63,24 @@ def register_sweep(
     toolkit: CudaToolkit = CUDA_5_0,
     threads_per_block: int = 128,
 ) -> list[RegisterSweepPoint]:
-    """Total modelled time of one step's kernels per maxregcount value."""
+    """Total modelled time of one step's kernels per maxregcount value
+    (simulated seconds).
+
+    Candidates above the card's registers-per-thread ceiling are clamped to
+    it; candidates whose *effective* value was already swept are dropped
+    rather than measured twice under different labels (e.g. 128 and 255
+    both clamp to 63 on Fermi), so each returned point is a distinct
+    hardware configuration with both the requested and effective counts.
+    """
     if not workloads:
         raise ConfigurationError("register_sweep needs at least one workload")
     points = []
+    seen_effective: set[int] = set()
     for reg in candidates:
         reg_eff = min(reg, spec.max_regs_per_thread)
+        if reg_eff in seen_effective:
+            continue
+        seen_effective.add(reg_eff)
         total = 0.0
         occ = 0.0
         spilled = 0
@@ -67,6 +100,7 @@ def register_sweep(
                 seconds=total,
                 occupancy=occ / total if total > 0 else 0.0,
                 spilled_regs=spilled,
+                effective_maxregcount=reg_eff,
             )
         )
     return points
@@ -166,3 +200,16 @@ def async_comparison(
         dev.wait()
     async_t = dev.elapsed
     return AsyncComparison(sync_seconds=sync_t, async_seconds=async_t)
+
+
+__all__ = [
+    "DEFAULT_REGISTER_CANDIDATES",
+    "DEFAULT_VECTOR_CANDIDATES",
+    "RegisterSweepPoint",
+    "register_sweep",
+    "best_register_count",
+    "vector_length_sweep",
+    "predict_best_launch",
+    "AsyncComparison",
+    "async_comparison",
+]

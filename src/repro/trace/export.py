@@ -230,3 +230,13 @@ def summary_text(tracer: Tracer, title: str = "Trace summary") -> str:
         lines.append("(no spans recorded)")
     lines.append(tracer.metrics.to_text())
     return "\n".join(lines)
+
+
+__all__ = [
+    "to_perfetto",
+    "write_perfetto",
+    "validate_perfetto",
+    "to_jsonl",
+    "write_jsonl",
+    "summary_text",
+]

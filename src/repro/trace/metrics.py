@@ -177,3 +177,6 @@ class MetricsRegistry:
         if len(lines) == 1:
             lines.append("  (none)")
         return "\n".join(lines)
+
+
+__all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry"]

@@ -182,3 +182,6 @@ class Tracer:
 #: shared always-off tracer: the default for instrumented constructors, so
 #: call sites run unconditionally at negligible cost. Do not enable it.
 NULL_TRACER = Tracer(enabled=False)
+
+
+__all__ = ["SPAN", "INSTANT", "TraceEvent", "Tracer", "NULL_TRACER"]

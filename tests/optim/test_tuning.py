@@ -31,6 +31,21 @@ class TestRegisterSweep:
         with pytest.raises(ConfigurationError):
             register_sweep(K40, [])
 
+    def test_clamped_candidates_deduplicated(self):
+        """On Fermi (63 regs/thread ceiling) the 64/128/255 candidates all
+        clamp to the same hardware configuration: one point, reporting both
+        the requested and the effective count."""
+        pts = register_sweep(M2090, elastic_workloads((512, 512)))
+        assert [p.maxregcount for p in pts] == [16, 32, 64]
+        assert [p.effective_maxregcount for p in pts] == [16, 32, 63]
+        # distinct effective configs -> distinct measurements
+        assert len({p.seconds for p in pts}) == len(pts)
+
+    def test_effective_count_matches_requested_below_ceiling(self):
+        pts = register_sweep(K40, elastic_workloads((256, 256)))
+        assert all(p.effective_maxregcount == p.maxregcount for p in pts)
+        assert len(pts) == 5
+
 
 class TestVectorLengthSweep:
     def test_respects_device_limit(self):

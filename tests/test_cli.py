@@ -48,3 +48,43 @@ class TestCommands:
         data = json.loads(path.read_text())
         assert "table3_modeling" in data
         assert data["fig10_best_maxregcount"] == 64
+
+
+class TestTuneCommand:
+    def test_tune_writes_plan(self, tmp_path, capsys):
+        path = tmp_path / "plan.json"
+        assert main([
+            "tune", "acoustic-2d", "--budget", "2", "--out", str(path),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "TuningPlan" in out and "step time" in out
+        data = json.loads(path.read_text())
+        assert data["case"] == "acoustic-2d"
+        assert data["tuned_step_seconds"] <= data["baseline_step_seconds"]
+        assert data["kernels"], "plan must carry per-kernel entries"
+        for entry in data["kernels"].values():
+            assert entry["vector_length"] >= 1
+            assert "model_error" in entry
+
+    def test_tune_unknown_compiler(self, tmp_path):
+        import pytest
+
+        from repro.utils.errors import ConfigurationError
+
+        with pytest.raises(ConfigurationError):
+            main([
+                "tune", "iso2d", "--compiler", "gcc-4.9",
+                "--out", str(tmp_path / "p.json"),
+            ])
+
+    def test_figures_tuned_study(self, tmp_path, capsys):
+        path = tmp_path / "plan.json"
+        assert main([
+            "tune", "el2d", "--mode", "modeling", "--budget", "2",
+            "--out", str(path),
+        ]) == 0
+        capsys.readouterr()
+        assert main(["figures", "tuned", "--plan", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "Auto-tuned" in out
+        assert "default" in out and "auto-tuned" in out
