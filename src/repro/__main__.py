@@ -25,6 +25,11 @@ Commands
     Closed-loop schedule auto-tuning: probe the case under a tracer,
     search vector length / registers / construct / async, write a
     TuningPlan JSON (see ``docs/tuning.md``).
+``sanitize CASE | all | --script FILE [--ranks N] [--fix]``
+    Dynamic coherence sanitizer + cross-rank halo race detector: run a
+    case's per-rank schedule (or replay a script) under shadow-state and
+    vector-clock checking; ``--fix`` applies the proposed directive
+    edits to a script and re-sanitizes (see ``docs/analysis.md``).
 
 ``tables``/``figures``/``sweep`` also accept ``--trace PATH`` to record a
 harness-level (wall-clock) trace of the run; ``tables``/``figures`` accept
@@ -195,6 +200,12 @@ def _cmd_tune(args) -> int:
     return run_tune_command(args)
 
 
+def _cmd_sanitize(args) -> int:
+    from repro.sanitize.cli import run_sanitize_command
+
+    return run_sanitize_command(args)
+
+
 def build_parser() -> argparse.ArgumentParser:
     ap = argparse.ArgumentParser(
         prog="repro",
@@ -265,12 +276,49 @@ def build_parser() -> argparse.ArgumentParser:
     li.add_argument("--compiler", metavar="NAME",
                     help="compiler persona, e.g. pgi-14.6, cray-8.2.6")
     li.add_argument("--json", action="store_true",
-                    help="machine-readable report")
+                    help="machine-readable report (alias of --format json)")
+    li.add_argument("--format", choices=["text", "json", "sarif"],
+                    default=None,
+                    help="report format (default text; sarif for CI "
+                    "code-scanning uploads)")
     li.add_argument("--fail-on", default="error",
                     metavar="SEVERITY",
                     help="exit non-zero at/above this severity "
                     "(info|warning|error|none; default error)")
     li.set_defaults(fn=_cmd_lint)
+
+    sa = sub.add_parser(
+        "sanitize",
+        help="dynamic coherence sanitizer + cross-rank halo race detector",
+    )
+    sa.add_argument(
+        "case", nargs="?",
+        help="e.g. iso2d, acoustic3d, el2d — or 'all' for the full inventory",
+    )
+    sa.add_argument("--script", metavar="FILE",
+                    help="replay an !$acc directive script instead of a case")
+    sa.add_argument("--ranks", type=int, default=1,
+                    help="simulated GPUs/MPI ranks (default 1)")
+    sa.add_argument("--mode", choices=["modeling", "rtm", "both"],
+                    default="rtm")
+    sa.add_argument("--nt", type=int, default=8,
+                    help="recorded time steps (pattern repeats; keep small)")
+    sa.add_argument("--fix", action="store_true",
+                    help="apply proposed directive edits to the --script "
+                    "file and re-sanitize")
+    sa.add_argument("--output", metavar="FILE",
+                    help="with --fix: write the fixed script here instead "
+                    "of in place")
+    sa.add_argument("--json", action="store_true",
+                    help="machine-readable report (alias of --format json)")
+    sa.add_argument("--format", choices=["text", "json", "sarif"],
+                    default=None,
+                    help="report format (default text)")
+    sa.add_argument("--fail-on", default="error",
+                    metavar="SEVERITY",
+                    help="exit non-zero at/above this severity "
+                    "(info|warning|error|none; default error)")
+    sa.set_defaults(fn=_cmd_sanitize)
 
     tu = sub.add_parser(
         "tune",

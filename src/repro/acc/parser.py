@@ -50,6 +50,9 @@ class Directive:
     async_: int | bool | None = None
     #: queue ids of a wait directive (empty = wait all)
     wait_on: tuple[int, ...] = ()
+    #: a bare ``wait`` clause on a compute construct — OpenACC semantics
+    #: join *all* queues, so this is distinct from no clause at all
+    wait_all: bool = False
     #: update targets
     update_host: tuple[str, ...] = ()
     update_device: tuple[str, ...] = ()
@@ -116,8 +119,12 @@ def parse_directive(text: str) -> Directive:
         elif clause == "async":
             d.async_ = int(arg) if arg else True
         elif clause == "wait":
-            d.wait_on = tuple(int(a) for a in _names(arg))
-        elif clause == "host" and construct == "update":
+            if arg:
+                d.wait_on = tuple(int(a) for a in _names(arg))
+            else:
+                d.wait_all = True
+        elif clause in ("host", "self") and construct == "update":
+            # 'self' is the OpenACC 2.x spelling of 'host'
             d.update_host += _names(arg)
         elif clause == "device" and construct == "update":
             d.update_device += _names(arg)
@@ -215,5 +222,6 @@ def apply_directive(rt, text: str, data: dict | None = None, workload=None, fn=N
             async_=d.async_,
             fn=fn,
             wait_on=d.wait_on,
+            wait_all=d.wait_all,
         )
     raise ConfigurationError(f"cannot apply construct '{d.construct}'")

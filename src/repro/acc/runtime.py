@@ -106,13 +106,40 @@ class Runtime:
         for rec in self._recorders:
             rec.record(kind, sizes=sizes, **fields)
 
-    def note_host_write(self, *names: str) -> None:
+    def note_host_write(
+        self,
+        *names: str,
+        offset: int = 0,
+        nbytes: int | None = None,
+    ) -> None:
         """Mark the *host* copies of ``names`` as changed outside directives
-        (snapshot restore, host-side physics). A no-op for execution; the
-        analyzer uses it to tell legitimate full refreshes from redundant
-        re-transfers."""
+        (snapshot restore, host-side physics, a ghost-slab landing from an
+        MPI receive). A no-op for execution; the analyzer uses it to tell
+        legitimate full refreshes from redundant re-transfers, and the
+        sanitizer to track which byte range went stale on the device.
+        ``offset``/``nbytes`` restrict the marker to a byte range (default:
+        the whole array)."""
         if self._recorders and names:
-            self._record("host_write", writes=tuple(names))
+            self._record(
+                "host_write", writes=tuple(names),
+                offset=int(offset), nbytes=nbytes,
+            )
+
+    def note_host_read(
+        self,
+        *names: str,
+        offset: int = 0,
+        nbytes: int | None = None,
+    ) -> None:
+        """Mark the *host* copies of ``names`` as consumed outside
+        directives (an MPI send packing a halo face, host-side I/O). A
+        no-op for execution; the sanitizer checks the range against its
+        device-dirty shadow intervals."""
+        if self._recorders and names:
+            self._record(
+                "host_read", reads=tuple(names),
+                offset=int(offset), nbytes=nbytes,
+            )
 
     # ------------------------------------------------------------------
     # present-table helpers
@@ -277,29 +304,44 @@ class Runtime:
                 for name in reversed(attached):
                     self._detach(name)
 
+    def _update_extent(self, name: str, nbytes, offset: int, what: str) -> int:
+        """Validate a (possibly partial) update against the present entry;
+        returns the byte count actually moved."""
+        entry = self.present_entry(name)
+        n = entry.nbytes if nbytes is None else int(nbytes)
+        offset = int(offset)
+        if offset < 0:
+            raise PresentTableError(
+                f"{what} of '{name}' with negative offset {offset}"
+            )
+        if offset + n > entry.nbytes:
+            raise PresentTableError(
+                f"{what} of bytes [{offset}, {offset + n}) exceeds "
+                f"'{name}' extent {entry.nbytes}"
+            )
+        return n
+
     def update_device(
         self,
         name: str,
         nbytes: int | None = None,
         chunks: int = 1,
         queue: int | None = None,
+        offset: int = 0,
     ) -> float:
         """``acc update device(...)`` — host-to-device refresh of present
-        data. ``nbytes`` restricts to a partial (e.g. ghost-node) extent;
-        ``chunks`` models non-contiguous strided sections."""
-        entry = self.present_entry(name)
-        n = entry.nbytes if nbytes is None else int(nbytes)
-        if n > entry.nbytes:
-            raise PresentTableError(
-                f"update device of {n} bytes exceeds '{name}' extent {entry.nbytes}"
-            )
+        data. ``nbytes`` restricts to a partial (e.g. ghost-node) extent
+        starting ``offset`` bytes in; ``chunks`` models non-contiguous
+        strided sections."""
+        n = self._update_extent(name, nbytes, offset, "update device")
         with self.tracer.span(
             "acc.update_device", track="acc", cat="acc",
             var=name, bytes=n, chunks=chunks, queue=queue,
         ):
             self._record(
                 "update", direction="device", var=name,
-                nbytes=None if nbytes is None else n, chunks=chunks, queue=queue,
+                nbytes=None if nbytes is None else n, chunks=chunks,
+                queue=queue, offset=int(offset),
             )
             return self.device.h2d(
                 n, name=f"update_device:{name}", chunks=chunks, queue=queue
@@ -311,21 +353,18 @@ class Runtime:
         nbytes: int | None = None,
         chunks: int = 1,
         queue: int | None = None,
+        offset: int = 0,
     ) -> float:
         """``acc update host(...)`` — device-to-host refresh."""
-        entry = self.present_entry(name)
-        n = entry.nbytes if nbytes is None else int(nbytes)
-        if n > entry.nbytes:
-            raise PresentTableError(
-                f"update host of {n} bytes exceeds '{name}' extent {entry.nbytes}"
-            )
+        n = self._update_extent(name, nbytes, offset, "update host")
         with self.tracer.span(
             "acc.update_host", track="acc", cat="acc",
             var=name, bytes=n, chunks=chunks, queue=queue,
         ):
             self._record(
                 "update", direction="host", var=name,
-                nbytes=None if nbytes is None else n, chunks=chunks, queue=queue,
+                nbytes=None if nbytes is None else n, chunks=chunks,
+                queue=queue, offset=int(offset),
             )
             return self.device.d2h(
                 n, name=f"update_host:{name}", chunks=chunks, queue=queue
@@ -358,10 +397,15 @@ class Runtime:
         async_: int | bool | None,
         fn: Callable[[], None] | None,
         wait_on: Sequence[int] = (),
+        wait_all: bool = False,
     ) -> KernelEstimate:
         present = tuple(present)
         for name in present:
             self.present_entry(name)
+        if wait_all:
+            # a bare 'wait' clause joins *all* queues (OpenACC semantics),
+            # not none of them
+            self.device.wait(None)
         for q in wait_on:
             # the OpenACC wait *clause*: the construct does not start until
             # the listed queues drain (modelled as a host-side wait)
@@ -390,6 +434,7 @@ class Runtime:
                     loop_carried=workload.loop_carried,
                     regs_demand=estimate_register_demand(workload),
                     wait_on=tuple(int(q) for q in wait_on),
+                    wait_all=wait_all,
                 )
             if fn is not None:
                 fn()  # the real NumPy computation (host arrays are truth)
@@ -407,11 +452,14 @@ class Runtime:
         async_: int | bool | None = None,
         fn: Callable[[], None] | None = None,
         wait_on: Sequence[int] = (),
+        wait_all: bool = False,
     ) -> KernelEstimate:
         """``acc kernels`` construct around one loop nest. ``wait_on``
-        models the ``wait(...)`` clause: queues drained before launch."""
+        models the ``wait(...)`` clause: queues drained before launch;
+        ``wait_all`` is the bare ``wait`` clause (drain every queue)."""
         return self._run_construct(
-            "kernels", workload, present, schedule, async_, fn, wait_on
+            "kernels", workload, present, schedule, async_, fn, wait_on,
+            wait_all,
         )
 
     def parallel(
@@ -422,10 +470,12 @@ class Runtime:
         async_: int | bool | None = None,
         fn: Callable[[], None] | None = None,
         wait_on: Sequence[int] = (),
+        wait_all: bool = False,
     ) -> KernelEstimate:
         """``acc parallel`` construct."""
         return self._run_construct(
-            "parallel", workload, present, schedule, async_, fn, wait_on
+            "parallel", workload, present, schedule, async_, fn, wait_on,
+            wait_all,
         )
 
     def compute(
@@ -435,6 +485,7 @@ class Runtime:
         async_: int | bool | None = None,
         fn: Callable[[], None] | None = None,
         wait_on: Sequence[int] = (),
+        wait_all: bool = False,
     ) -> KernelEstimate:
         """Launch with this compiler's preferred construct and schedule —
         what the paper's tuned code paths use."""
@@ -446,6 +497,7 @@ class Runtime:
             async_,
             fn,
             wait_on,
+            wait_all,
         )
 
     def wait(self, queue: int | None = None) -> float:

@@ -13,7 +13,9 @@ Ordering model (vector clocks, one component per queue plus the host):
   after pending work on other queues;
 * ``wait`` (all queues) and ``wait(q)`` join the named queues back into
   the host timeline; a ``wait(...)`` *clause* on a compute construct adds
-  the same edges to that one launch.
+  the same edges to that one launch, and a *bare* ``wait`` clause
+  (``AccEvent.wait_all``) joins every queue into the launch — it is a
+  full barrier for that construct, not a no-op.
 
 Conflicts: write-write races are errors; read-write races are warnings
 (kernels and copies both count — an ``update`` is a device-side read or
@@ -60,9 +62,14 @@ class AsyncRacePass(LintPass):
                     segment += 1  # full barrier: later accesses cannot race
                 host[_HOST] += 1
                 continue
-            if e.kind == "host_write":
+            if e.kind in ("host_write", "host_read", "send", "recv"):
                 host[_HOST] += 1
                 continue
+            if e.wait_all:
+                # bare 'wait' clause: the launch (and, in this host-wait
+                # model, the host itself) joins every queue
+                for qc in queues.values():
+                    merge(host, qc)
             if e.queue is None:
                 owner: int | str = _HOST
                 host[_HOST] += 1

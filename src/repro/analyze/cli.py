@@ -99,11 +99,16 @@ def lint_targets(args) -> list[LintResult]:
 
 def run_lint_command(args) -> int:
     """``python -m repro lint`` entry point (argparse namespace in)."""
-    from repro.analyze.report import format_json, format_text
+    from repro.analyze.report import format_json, format_sarif, format_text
 
     results = lint_targets(args)
-    if args.json:
+    fmt = getattr(args, "format", None) or (
+        "json" if getattr(args, "json", False) else "text"
+    )
+    if fmt == "json":
         print(format_json(results))
+    elif fmt == "sarif":
+        print(format_sarif(results))
     else:
         for i, result in enumerate(results):
             if i:

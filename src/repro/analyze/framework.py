@@ -50,6 +50,9 @@ class Diagnostic:
     #: array / kernel the finding concerns, when there is one
     var: str | None = None
     kernel: str | None = None
+    #: machine-applicable remedy (a :class:`repro.sanitize.fixit.ScriptFix`)
+    #: when the pass can propose one; ``--fix`` consumes these
+    fix: object | None = None
 
     def location(self, program: DirectiveProgram | None = None) -> str:
         if self.event_index is None:
@@ -70,6 +73,7 @@ class Diagnostic:
             "event": self.event_index,
             "var": self.var,
             "kernel": self.kernel,
+            "fix": str(self.fix) if self.fix is not None else None,
         }
 
 

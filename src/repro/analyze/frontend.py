@@ -10,11 +10,20 @@ sidecar annotations on ``!$lint`` lines:
 
 * ``!$lint host_writes(u, v)`` — a standalone event marking host-side
   mutation of the named arrays (what makes a following ``update device``
-  *non*-redundant);
+  *non*-redundant); an optional ``bytes=N offset=M`` suffix restricts the
+  marker to a byte range (a ghost slab landing from a receive);
+* ``!$lint host_reads(u)`` — host-side consumption of the named arrays
+  (host I/O packing a buffer), with the same optional range suffix;
+* ``!$lint send(u) to=1`` / ``!$lint recv(u) from=1`` — an MPI transfer
+  of the *host* copy (the sanitizer's cross-rank message edges), with the
+  same optional range suffix;
+* ``!$lint extent(u=65536)`` — declares array byte extents a bare
+  ``copyin(u)`` cannot carry (partial-range checks need them);
 * ``!$lint key=value ...`` — metadata attached to the *next* compute
   construct: ``name=fwd``, ``dims=512x512``, ``reads=u,v``, ``writes=u``,
   ``contiguous=false``, ``carried=true`` (loop-carried writes), ``halo=4``
-  (stencil half-width), ``regs=96`` (register demand).
+  (stencil half-width), ``regs=96`` (register demand) — or to the next
+  ``update`` directive: ``bytes=N offset=M`` (partial extent).
 
 Example::
 
@@ -34,7 +43,10 @@ from repro.analyze.program import AccEvent, DirectiveProgram, ProgramMeta
 from repro.utils.errors import ConfigurationError
 
 _LINT_SENTINEL = "!$lint"
-_HOST_WRITES_RE = re.compile(r"host_writes\s*\(([^)]*)\)", re.IGNORECASE)
+_MARKER_RE = re.compile(
+    r"(host_writes|host_reads|send|recv|extent)\s*\(([^)]*)\)\s*(.*)",
+    re.IGNORECASE,
+)
 _KV_RE = re.compile(r"([a-z_]+)\s*=\s*(\S+)", re.IGNORECASE)
 #: queues available to bare ``async`` round-robin (mirrors the runtime's
 #: ``_queue_for`` against a 16-queue device)
@@ -72,11 +84,33 @@ def _parse_annotation(body: str, lineno: int) -> dict:
             meta["halo"] = int(value)
         elif key == "regs":
             meta["regs_demand"] = int(value)
+        elif key == "bytes":
+            meta["nbytes"] = int(value)
+        elif key == "offset":
+            meta["offset"] = int(value)
         else:
             raise ConfigurationError(
                 f"line {lineno}: unknown !$lint key '{key}'"
             )
     return meta
+
+
+def _marker_range(suffix: str, lineno: int) -> dict:
+    """The optional ``bytes=N offset=M to=R from=R`` suffix of a marker."""
+    out: dict = {}
+    for m in _KV_RE.finditer(suffix):
+        key, value = m.group(1).lower(), m.group(2)
+        if key == "bytes":
+            out["nbytes"] = int(value)
+        elif key == "offset":
+            out["offset"] = int(value)
+        elif key in ("to", "from"):
+            out["peer"] = int(value)
+        else:
+            raise ConfigurationError(
+                f"line {lineno}: unknown marker key '{key}'"
+            )
+    return out
 
 
 def program_from_script(
@@ -97,12 +131,32 @@ def program_from_script(
             continue
         if low.startswith(_LINT_SENTINEL):
             body = line[len(_LINT_SENTINEL):].strip()
-            hw = _HOST_WRITES_RE.match(body)
-            if hw:
-                program.add(AccEvent(
-                    kind="host_write", writes=_names(hw.group(1)),
-                    label=f"line {lineno}",
-                ))
+            marker = _MARKER_RE.match(body)
+            if marker:
+                what = marker.group(1).lower()
+                names = _names(marker.group(2))
+                extra = _marker_range(marker.group(3), lineno)
+                if what == "extent":
+                    for m in _KV_RE.finditer(marker.group(2)):
+                        program.extents[m.group(1)] = int(m.group(2))
+                elif what == "host_writes":
+                    extra.pop("peer", None)
+                    program.add(AccEvent(
+                        kind="host_write", writes=names,
+                        label=f"line {lineno}", **extra,
+                    ))
+                elif what == "host_reads":
+                    extra.pop("peer", None)
+                    program.add(AccEvent(
+                        kind="host_read", reads=names,
+                        label=f"line {lineno}", **extra,
+                    ))
+                else:  # send / recv
+                    for name in names:
+                        program.add(AccEvent(
+                            kind=what, var=name,
+                            label=f"line {lineno}", **extra,
+                        ))
             else:
                 pending.update(_parse_annotation(body, lineno))
             continue
@@ -139,14 +193,18 @@ def program_from_script(
                 copyout=d.data.get("copyout", ()), label=label,
             ))
         elif d.construct == "update":
+            nbytes = pending.pop("nbytes", None)
+            offset = pending.pop("offset", 0)
             for name in d.update_host:
                 program.add(AccEvent(
                     kind="update", direction="host", var=name,
+                    nbytes=nbytes, offset=offset,
                     queue=_resolve_queue(d.async_, None)[0], label=label,
                 ))
             for name in d.update_device:
                 program.add(AccEvent(
                     kind="update", direction="device", var=name,
+                    nbytes=nbytes, offset=offset,
                     queue=_resolve_queue(d.async_, None)[0], label=label,
                 ))
         elif d.construct == "wait":
@@ -177,6 +235,7 @@ def program_from_script(
                 halo=pending.get("halo"),
                 regs_demand=pending.get("regs_demand"),
                 wait_on=d.wait_on,
+                wait_all=d.wait_all,
                 label=label,
             ))
             pending = {}

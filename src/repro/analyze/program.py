@@ -25,7 +25,10 @@ from dataclasses import dataclass, field, replace
 from repro.acc.clauses import LoopSchedule
 
 #: event kinds carried by :class:`AccEvent`
-KINDS = ("enter", "exit", "update", "compute", "wait", "host_write")
+KINDS = (
+    "enter", "exit", "update", "compute", "wait", "host_write",
+    "host_read", "send", "recv",
+)
 
 
 @dataclass(frozen=True)
@@ -50,7 +53,16 @@ class AccEvent:
         ``wait_on`` queue ids (empty tuple = wait on *all* queues).
     ``host_write``
         ``writes``: names whose *host* copies changed (snapshot restores,
-        host-side physics between directives).
+        host-side physics between directives); ``offset``/``nbytes``
+        restrict the write to a byte range (ghost-slab receives).
+    ``host_read``
+        ``reads``: names whose *host* copies are consumed outside
+        directives (MPI sends, host-side I/O), with an optional
+        ``offset``/``nbytes`` range.
+    ``send``/``recv``
+        an MPI transfer of the *host* copy of ``var`` (``peer`` is the
+        other rank when known) — the boundary the sanitizer's cross-rank
+        happens-before graph hangs its message edges on.
     """
 
     kind: str
@@ -65,11 +77,15 @@ class AccEvent:
     delete: tuple[str, ...] = ()
     copyout: tuple[str, ...] = ()
     structured: bool = False
-    # --- update ----------------------------------------------------------
+    # --- update / host_write / host_read / send / recv -------------------
     direction: str | None = None
     var: str | None = None
     nbytes: int | None = None
     chunks: int = 1
+    #: starting byte of a partial transfer/marker (0 = array start)
+    offset: int = 0
+    #: peer rank of a send/recv event (None when unknown)
+    peer: int | None = None
     # --- compute ---------------------------------------------------------
     construct: str | None = None
     kernel: str | None = None
@@ -84,6 +100,9 @@ class AccEvent:
     regs_demand: int | None = None
     # --- wait ------------------------------------------------------------
     wait_on: tuple[int, ...] = ()
+    #: a bare ``wait`` *clause* on a compute construct: the launch joins
+    #: every queue (OpenACC semantics), not just the ones in ``wait_on``
+    wait_all: bool = False
 
     def __post_init__(self):
         if self.kind not in KINDS:

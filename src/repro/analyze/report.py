@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 import json
+import re
 
 from repro.analyze.framework import LintResult, Severity
 
@@ -68,4 +69,74 @@ def format_json(results: list[LintResult]) -> str:
     return json.dumps([to_json_dict(r) for r in results], indent=2)
 
 
-__all__ = ["format_text", "format_json", "to_json_dict"]
+_SARIF_LEVELS = {
+    Severity.ERROR: "error",
+    Severity.WARNING: "warning",
+    Severity.INFO: "note",
+}
+_LINE_RE = re.compile(r"line (\d+)")
+
+
+def _sarif_location(result: LintResult, d) -> dict:
+    """Physical location (script line) when the event label carries one,
+    logical location (event index) otherwise."""
+    program = result.program
+    label = None
+    if d.event_index is not None and 0 <= d.event_index < len(program.events):
+        label = program.events[d.event_index].label
+    m = _LINE_RE.search(label or "")
+    if m and program.meta.source == "script":
+        return {
+            "physicalLocation": {
+                "artifactLocation": {"uri": program.meta.name},
+                "region": {"startLine": int(m.group(1))},
+            }
+        }
+    return {
+        "logicalLocations": [
+            {"fullyQualifiedName": f"{program.meta.name}: {d.location(program)}"}
+        ]
+    }
+
+
+def format_sarif(results: list[LintResult], tool_name: str = "repro-lint") -> str:
+    """All findings as one SARIF 2.1.0 run — the format CI code-scanning
+    uploads consume (``--format=sarif``)."""
+    rules: dict[str, dict] = {}
+    sarif_results: list[dict] = []
+    for result in results:
+        for d in result.diagnostics:
+            rule_id = f"{d.pass_name}/{d.rule}"
+            rules.setdefault(rule_id, {
+                "id": rule_id,
+                "name": d.rule,
+                "defaultConfiguration": {"level": _SARIF_LEVELS[d.severity]},
+            })
+            entry = {
+                "ruleId": rule_id,
+                "level": _SARIF_LEVELS[d.severity],
+                "message": {"text": d.message},
+                "locations": [_sarif_location(result, d)],
+            }
+            if d.fix is not None:
+                entry["message"]["text"] += f" [fix: {d.fix}]"
+            sarif_results.append(entry)
+    doc = {
+        "$schema": (
+            "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+            "Schemata/sarif-schema-2.1.0.json"
+        ),
+        "version": "2.1.0",
+        "runs": [{
+            "tool": {"driver": {
+                "name": tool_name,
+                "informationUri": "https://example.invalid/repro",
+                "rules": sorted(rules.values(), key=lambda r: r["id"]),
+            }},
+            "results": sarif_results,
+        }],
+    }
+    return json.dumps(doc, indent=2)
+
+
+__all__ = ["format_text", "format_json", "format_sarif", "to_json_dict"]

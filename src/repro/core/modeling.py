@@ -81,23 +81,35 @@ def _strict_check(
     boundary_width: int,
     pml_variant: str,
 ) -> None:
-    """Opt-in strict mode: lint a dry-run recording of this configuration's
-    schedule and refuse (raise AnalysisError) on error-level findings."""
-    if not options.strict_lint:
-        return
-    from repro.analyze.drivers import check_schedule
+    """Opt-in strict modes: lint and/or sanitize a dry-run recording of
+    this configuration's schedule and refuse (raise AnalysisError) on
+    error-level findings before the real run starts."""
+    if options.strict_lint:
+        from repro.analyze.drivers import check_schedule
 
-    check_schedule(
-        physics,
-        tuple(shape),
-        mode,
-        options,
-        platform,
-        nreceivers=nreceivers,
-        space_order=space_order,
-        boundary_width=boundary_width,
-        pml_variant=pml_variant,
-    )
+        check_schedule(
+            physics,
+            tuple(shape),
+            mode,
+            options,
+            platform,
+            nreceivers=nreceivers,
+            space_order=space_order,
+            boundary_width=boundary_width,
+            pml_variant=pml_variant,
+        )
+    if options.sanitize:
+        from repro.sanitize.drivers import check_sanitize
+
+        check_sanitize(
+            physics,
+            tuple(shape),
+            mode,
+            options,
+            platform,
+            space_order=space_order,
+            boundary_width=boundary_width,
+        )
 
 
 def run_modeling(

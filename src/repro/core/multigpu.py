@@ -27,11 +27,18 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from repro.core.config import GPUOptions
+from repro.acc.runtime import Runtime
+from repro.core.config import GpuTimes, GPUOptions
 from repro.core.inventory import device_resident_bytes
+from repro.core.pipeline import OffloadPipeline
 from repro.core.platform import CRAY_K40, Platform
+from repro.gpusim.device import Device
 from repro.gpusim.kernelmodel import estimate_kernel_time
 from repro.gpusim.memory import DeviceMemory
+from repro.grid.decomposition import CartesianDecomposition
+from repro.grid.grid import Grid
+from repro.mpisim.comm import SimMPI
+from repro.mpisim.halo import HaloExchanger
 from repro.propagators.workloads import workloads_for
 from repro.utils.errors import ConfigurationError
 
@@ -217,3 +224,224 @@ def scaling_study(
         )
         for n in gpu_counts
     }
+
+
+# ---------------------------------------------------------------------------
+# executed per-rank path
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class ExchangeProtocol:
+    """How the per-step ghost exchange talks to each card.
+
+    The defaults are the correct protocol (pull the send faces, exchange,
+    push the ghost slabs back). Each knob doubles as a fault injector for
+    the sanitizer's fault-seeded tests:
+
+    * ``update_host_before_send=False`` — the MPI send packs a host buffer
+      no ``update host`` refreshed (``stale-host-read``);
+    * ``update_ghost_device=False`` — the received ghost slab never reaches
+      the card (``stale-device-read`` on the next kernel);
+    * ``async_updates=True`` with ``sync_before_send=False`` — the send
+      races the asynchronous ``update host`` still filling the face
+      (``halo-send-before-sync``); with ``sync_before_send=True`` this is
+      the legitimate overlap protocol (a ``wait(queue)`` orders the pair).
+    """
+
+    update_host_before_send: bool = True
+    update_ghost_device: bool = True
+    async_updates: bool = False
+    sync_before_send: bool = True
+    queue: int = 1
+
+
+@dataclass
+class _RankContext:
+    """One card's slice of the run."""
+
+    rank: int
+    sub: object  # Subdomain
+    pipe: OffloadPipeline
+    host_field: np.ndarray
+    local_shape: tuple[int, ...]
+    plane_bytes: int
+
+
+class MultiGpuPipeline:
+    """Executed (per-rank) multi-GPU offload: one :class:`OffloadPipeline`
+    per card over a slab decomposition, ghost planes exchanged through the
+    host via :mod:`repro.mpisim` each step.
+
+    Unlike :func:`estimate_multi_gpu_modeling` (a closed-form timing
+    model), this drives real per-rank directive streams — every ``update``
+    of a ghost face, every ``note_host_write`` of a landed slab, every MPI
+    message — so the analyzer and the sanitizer see the actual schedule.
+    Pass a :class:`~repro.sanitize.session.SanitizeSession` as ``session``
+    to check it live.
+    """
+
+    #: exchanged halo field key (the exchanger's name space, not the
+    #: present table's — ``session.map_field`` bridges the two)
+    FIELD_KEY = "u"
+
+    def __init__(
+        self,
+        physics: str,
+        shape: tuple[int, ...],
+        ngpus: int,
+        platform: Platform = CRAY_K40,
+        options: GPUOptions | None = None,
+        space_order: int = 8,
+        boundary_width: int = 16,
+        nreceivers: int = 16,
+        halo_width: int | None = None,
+        session: object | None = None,
+        protocol: ExchangeProtocol | None = None,
+    ):
+        if ngpus < 1:
+            raise ConfigurationError("ngpus must be >= 1")
+        self.physics = physics.lower()
+        self.shape = tuple(int(n) for n in shape)
+        self.ndim = len(self.shape)
+        self.ngpus = int(ngpus)
+        self.options = options if options is not None else GPUOptions()
+        self.session = session
+        self.protocol = protocol if protocol is not None else ExchangeProtocol()
+        self.radius = space_order // 2
+        halo = self.radius if halo_width is None else int(halo_width)
+        if session is not None:
+            session.declare_stencil(self.radius)
+        dims = (self.ngpus,) + (1,) * (self.ndim - 1)
+        self.decomp = CartesianDecomposition(Grid(self.shape), dims, halo=halo)
+        self.mpi = SimMPI(self.ngpus, observer=session)
+        self.exchanger = HaloExchanger(self.decomp, self.mpi, sanitizer=session)
+        self.ranks: list[_RankContext] = []
+        for r in range(self.ngpus):
+            sub = self.decomp.subdomain(r)
+            local_shape = sub.local_grid.shape
+            device = Device(
+                platform.gpu,
+                pcie=platform.pcie,
+                toolkit=self.options.compiler.default_toolkit,
+                pinned_host=self.options.flags.pin,
+            )
+            rt = Runtime(
+                device,
+                compiler=self.options.compiler,
+                flags=self.options.flags,
+            )
+            if session is not None:
+                rt.attach_recorder(session.recorder(r))
+            pipe = OffloadPipeline(
+                rt,
+                self.physics,
+                local_shape,
+                nreceivers=nreceivers,
+                space_order=space_order,
+                boundary_width=boundary_width,
+                options=self.options,
+            )
+            self.ranks.append(_RankContext(
+                rank=r,
+                sub=sub,
+                pipe=pipe,
+                host_field=np.zeros(local_shape, dtype=np.float32),
+                local_shape=local_shape,
+                plane_bytes=int(np.prod(local_shape[1:])) * 4,
+            ))
+        self.primary = self.ranks[0].pipe.primary
+
+    # ------------------------------------------------------------------
+    def _backward_name(self) -> str:
+        return "bwd:" + self.primary.split(":", 1)[1]
+
+    def exchange(self, device_name: str | None = None) -> None:
+        """One ghost swap of ``device_name`` (default: the primary
+        wavefield) across all ranks, through the host.
+
+        Per face: ``update host`` of the owned planes feeding the send
+        (synchronous, or on the protocol's async queue), the MPI exchange,
+        then ``note_host_write`` + ``update device`` of the landed ghost
+        slab — so each card's directive stream carries the whole round
+        trip. This is the instrumented path the sanitizer checks.
+        """
+        name = device_name if device_name is not None else self.primary
+        proto = self.protocol
+        if self.session is not None:
+            self.session.map_field(self.FIELD_KEY, name)
+        h = self.decomp.halo
+        for rc in self.ranks:
+            rt = rc.pipe.rt
+            n0 = rc.local_shape[0]
+            nbytes = h * rc.plane_bytes
+            queue = proto.queue if proto.async_updates else None
+            for axis, side in rc.sub.halo.exchange_faces():
+                lo = h * rc.plane_bytes if side == "lo" else (n0 - 2 * h) * rc.plane_bytes
+                if proto.update_host_before_send:
+                    rt.update_host(name, nbytes=nbytes, offset=lo, queue=queue)
+            faces = rc.sub.halo.exchange_faces()
+            if faces and proto.async_updates and proto.sync_before_send:
+                rt.wait(proto.queue)
+            for axis, side in faces:
+                lo = h * rc.plane_bytes if side == "lo" else (n0 - 2 * h) * rc.plane_bytes
+                # the face is packed into the message from the host copy
+                rt.note_host_read(name, offset=lo, nbytes=nbytes)
+        self.exchanger.exchange(
+            [{self.FIELD_KEY: rc.host_field} for rc in self.ranks]
+        )
+        for rc in self.ranks:
+            rt = rc.pipe.rt
+            n0 = rc.local_shape[0]
+            nbytes = h * rc.plane_bytes
+            for axis, side in rc.sub.halo.exchange_faces():
+                lo = 0 if side == "lo" else (n0 - h) * rc.plane_bytes
+                # the neighbour's planes landed in the host ghost slab
+                rt.note_host_write(name, offset=lo, nbytes=nbytes)
+                if proto.update_ghost_device:
+                    rt.update_device(name, nbytes=nbytes, offset=lo)
+
+    # ------------------------------------------------------------------
+    def run_modeling(
+        self, nt: int, snap_period: int, snapshot_decimate: int = 4
+    ) -> list[GpuTimes]:
+        """The Figure-4 forward schedule on every card, ghost swaps between
+        steps; returns per-rank modelled timings."""
+        for rc in self.ranks:
+            rc.pipe.allocate_forward()
+        for n in range(nt):
+            for rc in self.ranks:
+                rc.pipe.forward_step()
+            self.exchange(self.primary)
+            if (n + 1) % snap_period == 0:
+                for rc in self.ranks:
+                    rc.pipe.snapshot_to_host(decimate=snapshot_decimate)
+        for rc in self.ranks:
+            rc.pipe.finalize(with_image=False)
+        return [rc.pipe.gpu_times() for rc in self.ranks]
+
+    def run_rtm(self, nt: int, snap_period: int) -> list[GpuTimes]:
+        """Both phases: forward with full-field snapshots, swap, backward
+        with imaging — the backward wavefield's halos swap per step too."""
+        for rc in self.ranks:
+            rc.pipe.allocate_forward()
+        for n in range(nt):
+            for rc in self.ranks:
+                rc.pipe.forward_step()
+            self.exchange(self.primary)
+            if (n + 1) % snap_period == 0:
+                for rc in self.ranks:
+                    rc.pipe.snapshot_to_host(decimate=1)
+        for rc in self.ranks:
+            rc.pipe.swap_to_backward()
+        bwd = self._backward_name()
+        for n in range(nt - 1, -1, -1):
+            if (n + 1) % snap_period == 0:
+                for rc in self.ranks:
+                    rc.pipe.load_forward_snapshot()
+                    rc.pipe.imaging_step()
+            for rc in self.ranks:
+                rc.pipe.backward_step()
+            self.exchange(bwd)
+        for rc in self.ranks:
+            rc.pipe.finalize(with_image=rc.pipe.options.image_on_gpu)
+        return [rc.pipe.gpu_times() for rc in self.ranks]

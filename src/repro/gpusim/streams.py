@@ -119,6 +119,14 @@ class StreamPool:
             "copy": min(1.0, self.copy_busy / span),
         }
 
+    def pending_queues(self) -> tuple[int, ...]:
+        """Queues with enqueued work that has not retired relative to the
+        host clock — what a host-side consumer (an MPI send packing a halo
+        buffer) would race against. Used by the coherence sanitizer."""
+        return tuple(sorted(
+            q for q, end in self._queue_end.items() if end > self.clock.now
+        ))
+
     def idle(self) -> bool:
         """Whether all queued work has retired relative to the host clock."""
         pending = max(

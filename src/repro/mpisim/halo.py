@@ -47,6 +47,12 @@ class HaloExchanger:
     latency / bandwidth:
         Link cost model; defaults to the intra-node (shared-memory MPI)
         figures of :mod:`repro.mpisim.cluster`.
+    sanitizer:
+        Optional coherence sanitizer (duck-typed:
+        ``on_halo_geometry(decomp)``, ``on_halo_send(rank, name, axis,
+        side, nbytes)`` before each face send and ``on_halo_recv(rank,
+        name, axis, side, nbytes)`` after each ghost slab lands). See
+        :mod:`repro.sanitize`.
     """
 
     def __init__(
@@ -57,6 +63,7 @@ class HaloExchanger:
         clock: SimClock | None = None,
         latency: float = SHM_LATENCY,
         bandwidth: float = SHM_BANDWIDTH,
+        sanitizer: object | None = None,
     ):
         if mpi.nranks != decomp.nranks:
             raise CommunicationError(
@@ -69,8 +76,11 @@ class HaloExchanger:
         self.clock = clock if clock is not None else SimClock()
         self.latency = latency
         self.bandwidth = bandwidth
+        self.sanitizer = sanitizer
         if tracer is not None and mpi.tracer is None:
             mpi.tracer = tracer
+        if sanitizer is not None:
+            sanitizer.on_halo_geometry(decomp)
 
     # ------------------------------------------------------------------
     def exchange(self, local_fields: list[dict[str, np.ndarray]]) -> None:
@@ -104,6 +114,10 @@ class HaloExchanger:
                         assert peer is not None
                         sl = self.decomp.send_slices(axis, side, arr.shape)
                         face = np.ascontiguousarray(arr[sl])
+                        if self.sanitizer is not None:
+                            self.sanitizer.on_halo_send(
+                                rank, name, axis, side, int(face.nbytes)
+                            )
                         comm.isend(face, dest=peer, tag=_face_tag(axis, side, fid))
                         if self.tracer is not None:
                             self.tracer.instant(
@@ -117,6 +131,7 @@ class HaloExchanger:
                 comm = self.comms[rank]
                 pending: list[Request] = []
                 targets: list[tuple[np.ndarray, tuple[slice, ...], np.ndarray]] = []
+                labels: list[tuple[str, str]] = []
                 for fid, name in enumerate(names):
                     arr = fields[name]
                     for ax, side in sub.halo.exchange_faces():
@@ -132,12 +147,18 @@ class HaloExchanger:
                             comm.irecv(buf, source=peer, tag=_face_tag(axis, opposite, fid))
                         )
                         targets.append((arr, sl, buf))
+                        labels.append((name, side))
                 remaining = list(range(len(pending)))
                 while remaining:
                     i = RankComm.waitany([pending[j] for j in remaining])
                     idx = remaining.pop(i)
                     arr, sl, buf = targets[idx]
                     arr[sl] = buf
+                    if self.sanitizer is not None:
+                        name, side = labels[idx]
+                        self.sanitizer.on_halo_recv(
+                            rank, name, axis, side, int(buf.nbytes)
+                        )
                     self._trace_recv(rank, axis, pending[idx], buf.nbytes)
 
     # ------------------------------------------------------------------

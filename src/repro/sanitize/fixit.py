@@ -1,0 +1,116 @@
+"""Fixit engine: machine-applicable edits for sanitizer findings.
+
+Each sanitizer diagnostic that anchors to a script line carries a
+:class:`ScriptFix` describing the minimal directive edit that removes the
+hazard:
+
+* ``insert-before`` — new lines ahead of the faulty one: an
+  ``update device``/``update self`` of exactly the stale byte ranges
+  (with a ``!$lint bytes=/offset=`` annotation carrying the extent), or
+  an ``!$acc wait(q)`` ahead of a racing halo send;
+* ``widen-update`` — grow the ``bytes=`` (and ``offset=``) annotation of
+  a short ghost-zone transfer to the stencil radius' requirement.
+
+:func:`apply_fixes` rewrites the script text; the driver then re-runs the
+sanitizer on the result to validate the round trip.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+
+from repro.analyze.framework import Diagnostic
+
+_LINT_LINE_RE = re.compile(r"^\s*!\$lint\b", re.IGNORECASE)
+_BYTES_RE = re.compile(r"(bytes\s*=\s*)(\d+)", re.IGNORECASE)
+_OFFSET_RE = re.compile(r"(offset\s*=\s*)(\d+)", re.IGNORECASE)
+
+
+@dataclass(frozen=True)
+class ScriptFix:
+    """One machine-applicable edit, anchored to a 1-based script line."""
+
+    action: str  # 'insert-before' | 'widen-update'
+    line: int | None
+    #: lines to insert ahead of ``line`` (insert-before)
+    lines: tuple[str, ...] = ()
+    var: str | None = None
+    #: target transfer size of a widen-update
+    required_bytes: int | None = None
+    #: target starting byte of a widen-update (None = leave offset alone)
+    required_offset: int | None = None
+
+    def __str__(self) -> str:
+        if self.action == "insert-before":
+            where = f"line {self.line}" if self.line else "the failing directive"
+            return f"insert before {where}: " + "; ".join(self.lines)
+        tail = f" offset={self.required_offset}" if self.required_offset is not None else ""
+        return (
+            f"widen the update at line {self.line} to "
+            f"bytes={self.required_bytes}{tail}"
+        )
+
+
+def collect_fixes(diagnostics: list[Diagnostic]) -> list[ScriptFix]:
+    """The unique, line-anchored fixes of a findings list (fixes without a
+    line anchor — recorded-program findings — are advisory only)."""
+    out: list[ScriptFix] = []
+    for d in diagnostics:
+        fix = d.fix
+        if isinstance(fix, ScriptFix) and fix.line is not None and fix not in out:
+            out.append(fix)
+    return out
+
+
+def apply_fixes(text: str, diagnostics: list[Diagnostic]) -> tuple[str, int]:
+    """Apply every line-anchored fix to ``text``; returns the rewritten
+    script and the number of fixes applied."""
+    lines = text.splitlines()
+    applied = 0
+
+    fixes = collect_fixes(diagnostics)
+    # widens first: they edit lines in place and do not shift numbering
+    for fix in fixes:
+        if fix.action != "widen-update" or not fix.required_bytes:
+            continue
+        target = _annotation_line(lines, fix.line)
+        if target is None:
+            continue
+        edited = _BYTES_RE.sub(
+            lambda m: f"{m.group(1)}{fix.required_bytes}", lines[target]
+        )
+        if fix.required_offset is not None:
+            edited = _OFFSET_RE.sub(
+                lambda m: f"{m.group(1)}{fix.required_offset}", edited
+            )
+        if edited != lines[target]:
+            lines[target] = edited
+            applied += 1
+
+    # inserts last, highest line first, so earlier anchors stay valid
+    inserts = [f for f in fixes if f.action == "insert-before" and f.lines]
+    for fix in sorted(inserts, key=lambda f: f.line, reverse=True):
+        if not 1 <= fix.line <= len(lines) + 1:
+            continue
+        indent = re.match(r"\s*", lines[fix.line - 1]).group(0) if fix.line <= len(lines) else ""
+        lines[fix.line - 1:fix.line - 1] = [indent + ln for ln in fix.lines]
+        applied += 1
+
+    return "\n".join(lines) + ("\n" if text.endswith("\n") else ""), applied
+
+
+def _annotation_line(lines: list[str], directive_line: int | None) -> int | None:
+    """0-based index of the ``!$lint`` annotation (carrying ``bytes=``)
+    attached to the update directive at 1-based ``directive_line``."""
+    if directive_line is None:
+        return None
+    i = directive_line - 2  # line above the directive
+    while i >= 0 and _LINT_LINE_RE.match(lines[i]):
+        if _BYTES_RE.search(lines[i]):
+            return i
+        i -= 1
+    return None
+
+
+__all__ = ["ScriptFix", "collect_fixes", "apply_fixes"]

@@ -1,0 +1,84 @@
+"""SARIF 2.1.0 output (``lint --format=sarif`` / ``sanitize --format=sarif``)."""
+
+import json
+
+from repro.analyze import lint_program, program_from_script
+from repro.analyze.program import ProgramMeta
+from repro.analyze.report import format_sarif
+
+
+def lint_script(text, name="test.acc"):
+    program = program_from_script(
+        text, meta=ProgramMeta(source="script", name=name)
+    )
+    return lint_program(program)
+
+
+DIRTY = """
+!$lint reads=u
+!$acc parallel loop present(u)
+"""
+
+
+class TestSarif:
+    def test_document_shape(self):
+        doc = json.loads(format_sarif([lint_script(DIRTY)]))
+        assert doc["version"] == "2.1.0"
+        assert "sarif-schema-2.1.0" in doc["$schema"]
+        (run,) = doc["runs"]
+        assert run["tool"]["driver"]["name"] == "repro-lint"
+
+    def test_rules_are_deduplicated_and_sorted(self):
+        doc = json.loads(format_sarif([lint_script(DIRTY), lint_script(DIRTY)]))
+        run = doc["runs"][0]
+        ids = [r["id"] for r in run["tool"]["driver"]["rules"]]
+        assert ids == sorted(ids)
+        assert len(ids) == len(set(ids))
+        # two identical results, one rule entry each
+        assert len(run["results"]) == 2 * len(ids)
+
+    def test_rule_ids_are_pass_qualified(self):
+        doc = json.loads(format_sarif([lint_script(DIRTY)]))
+        for r in doc["runs"][0]["results"]:
+            assert "/" in r["ruleId"]
+
+    def test_script_findings_carry_physical_locations(self):
+        doc = json.loads(format_sarif([lint_script(DIRTY)]))
+        locs = [loc for r in doc["runs"][0]["results"] for loc in r["locations"]]
+        physical = [l for l in locs if "physicalLocation" in l]
+        assert physical
+        region = physical[0]["physicalLocation"]
+        assert region["artifactLocation"]["uri"] == "test.acc"
+        assert region["region"]["startLine"] >= 1
+
+    def test_levels_map_severities(self):
+        doc = json.loads(format_sarif([lint_script(DIRTY)]))
+        levels = {r["level"] for r in doc["runs"][0]["results"]}
+        assert levels <= {"error", "warning", "note"}
+
+    def test_clean_result_is_empty_run(self):
+        clean = lint_script(
+            "!$acc enter data copyin(u)\n"
+            "!$lint name=k reads=u writes=u\n"
+            "!$acc parallel loop\n"
+            "!$acc exit data delete(u)\n"
+        )
+        doc = json.loads(format_sarif([clean]))
+        assert doc["runs"][0]["results"] == []
+        assert doc["runs"][0]["tool"]["driver"]["rules"] == []
+
+    def test_sanitizer_fix_rides_in_the_message(self):
+        from repro.sanitize import sanitize_script
+
+        r = sanitize_script(
+            "!$lint extent(u=1024)\n"
+            "!$acc enter data copyin(u)\n"
+            "!$lint host_writes(u) bytes=64 offset=0\n"
+            "!$lint name=k dims=16x16 reads=u writes=u\n"
+            "!$acc parallel loop\n"
+            "!$acc exit data delete(u)\n"
+        )
+        doc = json.loads(format_sarif([r], tool_name="repro-sanitize"))
+        (res,) = doc["runs"][0]["results"]
+        assert "[fix:" in res["message"]["text"]
+        assert doc["runs"][0]["tool"]["driver"]["name"] == "repro-sanitize"

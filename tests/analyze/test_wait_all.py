@@ -1,0 +1,84 @@
+"""Regression: a bare ``wait`` *clause* on a compute construct.
+
+OpenACC semantics: ``!$acc parallel loop wait async(2)`` joins *every*
+queue before launching. The old pipeline parsed the argument-less clause
+to an empty ``wait_on`` tuple — indistinguishable from no clause at all —
+so the race pass missed the ordering edge and the runtime never drained
+the queues. ``wait_all`` threads the distinction end to end.
+"""
+
+from repro.acc import PGI_14_6, Runtime, parse_directive
+from repro.analyze import lint_program, program_from_script
+from repro.gpusim import Device, K40
+from repro.propagators.base import KernelWorkload
+from repro.utils.units import MB
+
+
+def wl(name="k"):
+    return KernelWorkload(name, 10**5, 20.0, 8, 2, (1000, 100))
+
+
+class TestParser:
+    def test_bare_wait_clause_sets_wait_all(self):
+        d = parse_directive("!$acc parallel loop wait async(2)")
+        assert d.wait_all
+        assert d.wait_on == ()
+
+    def test_wait_clause_with_queues_is_not_wait_all(self):
+        d = parse_directive("!$acc parallel loop wait(1) async(2)")
+        assert not d.wait_all
+        assert d.wait_on == (1,)
+
+    def test_wait_directive_is_not_wait_all_clause(self):
+        d = parse_directive("!$acc wait")
+        assert d.construct == "wait"
+        assert not d.wait_all
+
+
+class TestRaceAnalysis:
+    def test_bare_wait_clause_orders_prior_queues(self):
+        r = lint_program(program_from_script("""
+            !$acc enter data copyin(u)
+            !$lint name=k1 writes=u
+            !$acc parallel loop async(1)
+            !$lint name=k2 writes=u
+            !$acc parallel loop wait async(2)
+            !$acc wait
+            !$acc exit data delete(u)
+        """))
+        assert not [d for d in r.diagnostics if d.pass_name == "async-race"]
+
+    def test_without_the_clause_the_race_is_reported(self):
+        r = lint_program(program_from_script("""
+            !$acc enter data copyin(u)
+            !$lint name=k1 writes=u
+            !$acc parallel loop async(1)
+            !$lint name=k2 writes=u
+            !$acc parallel loop async(2)
+            !$acc wait
+            !$acc exit data delete(u)
+        """))
+        races = [d for d in r.diagnostics if d.pass_name == "async-race"]
+        assert any(d.rule == "ww-race" for d in races)
+
+
+class TestRuntime:
+    def test_wait_all_drains_queues_before_launch(self):
+        rt = Runtime(Device(K40), compiler=PGI_14_6)
+        rt.enter_data(copyin={"u": MB})
+        rt.parallel(wl("k1"), present=["u"], async_=1)
+        assert rt.device.streams.pending_queues()
+        rt.parallel(wl("k2"), present=["u"], wait_all=True)
+        rt.wait()
+        assert not rt.device.streams.pending_queues()
+
+    def test_wait_all_is_recorded_on_the_event(self):
+        from repro.analyze.recorder import ProgramRecorder
+
+        rt = Runtime(Device(K40), compiler=PGI_14_6)
+        rec = ProgramRecorder()
+        rt.attach_recorder(rec)
+        rt.enter_data(copyin={"u": MB})
+        rt.parallel(wl("k"), present=["u"], wait_all=True)
+        events = [e for e in rec.program.events if e.kind == "compute"]
+        assert events and events[0].wait_all

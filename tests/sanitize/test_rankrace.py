@@ -1,0 +1,75 @@
+"""Unit tests for the cross-rank vector clocks (happens-before graph)."""
+
+from repro.sanitize.rankrace import RankClocks
+
+
+class TestSingleRank:
+    def test_async_op_is_unordered_until_wait(self):
+        c = RankClocks()
+        key, tick = c.async_op(0, queue=2)
+        assert not c.ordered(0, key, tick)
+        c.wait(0, queue=2)
+        assert c.ordered(0, key, tick)
+
+    def test_wait_all_joins_every_queue(self):
+        c = RankClocks()
+        k1, t1 = c.async_op(0, queue=1)
+        k2, t2 = c.async_op(0, queue=2)
+        c.wait(0)  # bare wait
+        assert c.ordered(0, k1, t1) and c.ordered(0, k2, t2)
+
+    def test_wait_on_one_queue_leaves_the_other(self):
+        c = RankClocks()
+        k1, t1 = c.async_op(0, queue=1)
+        k2, t2 = c.async_op(0, queue=2)
+        c.wait(0, queue=1)
+        assert c.ordered(0, k1, t1)
+        assert not c.ordered(0, k2, t2)
+
+    def test_later_tick_needs_a_later_wait(self):
+        c = RankClocks()
+        c.async_op(0, queue=1)
+        c.wait(0, queue=1)
+        key, tick = c.async_op(0, queue=1)
+        assert not c.ordered(0, key, tick)
+
+
+class TestCrossRank:
+    def test_message_carries_the_senders_clock(self):
+        """Fidge/Mattern: recv merges the snapshot taken at send time."""
+        c = RankClocks()
+        key, tick = c.async_op(0, queue=1)
+        c.wait(0, queue=1)
+        c.send(0, 1)
+        c.recv(1, 0)
+        assert c.ordered(1, key, tick)
+
+    def test_unsynced_op_does_not_travel(self):
+        c = RankClocks()
+        key, tick = c.async_op(0, queue=1)
+        c.send(0, 1)  # host never waited: snapshot misses the op
+        c.recv(1, 0)
+        assert not c.ordered(1, key, tick)
+
+    def test_channels_are_fifo_per_tag(self):
+        c = RankClocks()
+        c.send(0, 1, tag=7)
+        key, tick = c.async_op(0, queue=1)
+        c.wait(0, queue=1)
+        c.send(0, 1, tag=7)
+        c.recv(1, 0, tag=7)  # first (pre-op) snapshot
+        assert not c.ordered(1, key, tick)
+        c.recv(1, 0, tag=7)  # second snapshot carries the op
+        assert c.ordered(1, key, tick)
+
+    def test_recv_on_empty_channel_is_noop(self):
+        c = RankClocks()
+        c.recv(1, 0)
+        assert c.host.get(1, {}) == {}
+
+    def test_ranks_are_independent(self):
+        c = RankClocks()
+        key, tick = c.async_op(0, queue=1)
+        c.wait(1)  # rank 1 waiting does not order rank 0's op
+        assert not c.ordered(0, key, tick)
+        assert not c.ordered(1, key, tick)

@@ -1,0 +1,98 @@
+"""Unit tests for the shadow coherence state (interval algebra)."""
+
+from repro.sanitize.shadow import (
+    UNKNOWN_EXTENT,
+    ShadowArray,
+    add_interval,
+    describe,
+    intersect,
+    normalize,
+    subtract_interval,
+    total_bytes,
+)
+
+
+class TestIntervalAlgebra:
+    def test_normalize_coalesces_touching(self):
+        assert normalize([(0, 4), (4, 8)]) == [(0, 8)]
+
+    def test_normalize_coalesces_overlapping(self):
+        assert normalize([(0, 6), (4, 8), (10, 12)]) == [(0, 8), (10, 12)]
+
+    def test_normalize_drops_empty(self):
+        assert normalize([(4, 4), (8, 6)]) == []
+
+    def test_add_interval(self):
+        assert add_interval([(0, 4)], 8, 12) == [(0, 4), (8, 12)]
+        assert add_interval([(0, 4)], 2, 8) == [(0, 8)]
+
+    def test_subtract_interior_splits(self):
+        assert subtract_interval([(0, 12)], 4, 8) == [(0, 4), (8, 12)]
+
+    def test_subtract_edges(self):
+        assert subtract_interval([(0, 12)], 0, 4) == [(4, 12)]
+        assert subtract_interval([(0, 12)], 8, 12) == [(0, 8)]
+        assert subtract_interval([(0, 12)], 0, 12) == []
+
+    def test_subtract_disjoint_is_noop(self):
+        assert subtract_interval([(0, 4)], 8, 12) == [(0, 4)]
+
+    def test_intersect(self):
+        assert intersect([(0, 4), (8, 12)], 2, 10) == [(2, 4), (8, 10)]
+        assert intersect([(0, 4)], 4, 8) == []
+
+    def test_total_bytes(self):
+        assert total_bytes([(0, 4), (8, 12)]) == 8
+
+    def test_describe(self):
+        assert describe([(0, 4)]) == "[0, 4)"
+        assert describe([]) == "(empty)"
+        assert "more" in describe([(0, 1), (2, 3), (4, 5), (6, 7)], limit=2)
+
+
+class TestShadowArray:
+    def test_host_write_makes_device_stale(self):
+        s = ShadowArray("u", extent=1024)
+        s.host_write(0, 256)
+        assert s.device_stale() == [(0, 256)]
+        assert s.host_stale() == []
+
+    def test_update_device_clears_host_dirt(self):
+        s = ShadowArray("u", extent=1024)
+        s.host_write(0, 256)
+        s.update_device(0, 256)
+        assert s.device_stale() == []
+        assert s.clean()
+
+    def test_partial_update_leaves_remainder(self):
+        s = ShadowArray("u", extent=1024)
+        s.host_write(0, 512)
+        s.update_device(0, 128)
+        assert s.device_stale() == [(128, 512)]
+
+    def test_device_write_makes_host_stale(self):
+        s = ShadowArray("u", extent=1024)
+        s.device_write()  # full extent
+        assert s.host_stale(0, 64) == [(0, 64)]
+        s.update_host()
+        assert s.host_stale() == []
+
+    def test_update_device_overwrites_device_dirt_in_range(self):
+        """The transfer wins in the overwritten range: the device copy there
+        now reflects the host, whatever the kernel wrote before."""
+        s = ShadowArray("u", extent=1024)
+        s.device_write(0, 1024)
+        s.update_device(0, 256)
+        assert s.host_stale() == [(256, 1024)]
+
+    def test_range_is_clamped_to_extent(self):
+        s = ShadowArray("u", extent=100)
+        s.host_write(50, 500)
+        assert s.device_stale() == [(50, 100)]
+
+    def test_unknown_extent_full_operations(self):
+        s = ShadowArray("u")  # UNKNOWN_EXTENT
+        assert s.extent == UNKNOWN_EXTENT
+        s.host_write(0, 4096)
+        s.update_device()  # sizeless update covers everything
+        assert s.clean()
