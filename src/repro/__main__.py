@@ -21,6 +21,11 @@ Commands
     ``!$acc`` script) — present-table lifetimes, async races, schedule
     smells, transfer efficiency. ``--fail-on SEVERITY`` gates the exit
     code.
+``chaos CASE | all [--seed S] [--faults SPEC] [--ranks N]``
+    Seeded fault-injection campaign: run each case under injected PCIe /
+    kernel / ECC / OOM / MPI / dead-rank faults, recover via retry,
+    checkpoint restart or degradation, and verify the recovered answer
+    matches the fault-free run (see ``docs/resilience.md``).
 ``tune CASE [--budget N] [--out plan.json]``
     Closed-loop schedule auto-tuning: probe the case under a tracer,
     search vector length / registers / construct / async, write a
@@ -194,6 +199,12 @@ def _cmd_lint(args) -> int:
     return run_lint_command(args)
 
 
+def _cmd_chaos(args) -> int:
+    from repro.resilience.chaos import run_chaos_command
+
+    return run_chaos_command(args)
+
+
 def _cmd_tune(args) -> int:
     from repro.optim.autotune import run_tune_command
 
@@ -319,6 +330,34 @@ def build_parser() -> argparse.ArgumentParser:
                     help="exit non-zero at/above this severity "
                     "(info|warning|error|none; default error)")
     sa.set_defaults(fn=_cmd_sanitize)
+
+    ch = sub.add_parser(
+        "chaos",
+        help="seeded fault-injection campaign with executed recovery",
+    )
+    ch.add_argument(
+        "case",
+        help="e.g. iso2d, acoustic3d, el2d — or 'all' for the full inventory",
+    )
+    ch.add_argument("--seed", type=int, default=7,
+                    help="campaign seed (identical seeds reproduce "
+                    "identical reports; default 7)")
+    ch.add_argument("--faults", metavar="SPEC",
+                    help="explicit fault specs 'kind[@op][xN][:rank],...' "
+                    "instead of the seeded per-kind sweep")
+    ch.add_argument("--ranks", type=int, default=1,
+                    help="simulated GPUs/MPI ranks (>1 adds message and "
+                    "dead-rank faults; default 1)")
+    ch.add_argument("--mode", choices=["modeling", "rtm", "both"],
+                    default="both")
+    ch.add_argument("--nt", type=int, default=None,
+                    help="time steps per run (default 16, or 12 decomposed)")
+    ch.add_argument("--format", choices=["text", "json"], default="text")
+    ch.add_argument("--out", metavar="PATH",
+                    help="also write the report to this file")
+    ch.add_argument("--trace", metavar="PATH",
+                    help="write a Perfetto trace of faults and recovery")
+    ch.set_defaults(fn=_cmd_chaos)
 
     tu = sub.add_parser(
         "tune",

@@ -106,6 +106,17 @@ class Runtime:
         for rec in self._recorders:
             rec.record(kind, sizes=sizes, **fields)
 
+    # ------------------------------------------------------------------
+    # injection hook (repro.resilience)
+    # ------------------------------------------------------------------
+    def attach_injector(self, injector, rank: int | None = None) -> None:
+        """Install a :class:`~repro.resilience.injector.FaultInjector` on
+        this runtime's device. Every directive that allocates, transfers or
+        launches consults it before charging simulated time, so a retried
+        directive re-enters cleanly. ``rank`` tags the device's operations
+        for rank-scoped fault specs."""
+        injector.attach_device(self.device, rank=rank)
+
     def note_host_write(
         self,
         *names: str,
@@ -176,6 +187,12 @@ class Runtime:
         """Bytes currently attached through the present table."""
         return sum(e.nbytes for e in self._table.values())
 
+    def present_names(self) -> tuple[str, ...]:
+        """Names currently attached, in attach order — what a residency
+        teardown (:meth:`~repro.core.pipeline.OffloadPipeline.drop_residency`)
+        must ``exit data delete``."""
+        return tuple(self._table)
+
     def _attach(
         self, name: str, data: np.ndarray | int, transfer: bool, copyout: bool
     ) -> None:
@@ -187,7 +204,13 @@ class Runtime:
         nbytes = self._nbytes(data)
         self.device.allocate(name, nbytes)
         if transfer:
-            self.device.h2d(nbytes, name=f"copyin:{name}")
+            try:
+                self.device.h2d(nbytes, name=f"copyin:{name}")
+            except Exception:
+                # failed copyin must not leak the allocation: the name never
+                # became present, so nothing else will ever release it
+                self.device.release(name)
+                raise
         self._table[name] = PresentEntry(name, nbytes, 1, copyout)
 
     def _detach(self, name: str, force_copyout: bool | None = None) -> None:

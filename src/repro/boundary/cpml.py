@@ -135,6 +135,25 @@ class CPML:
         for p in self._psi.values():
             p.fill(0.0)
 
+    def capture(self) -> dict[str, np.ndarray]:
+        """Deep-copy every memory variable — the C-PML half of a
+        checkpoint. The psi fields are real recursion state: restoring a
+        wavefield without them replays different absorption."""
+        return {name: p.copy() for name, p in self._psi.items()}
+
+    def restore(self, snapshot: dict[str, np.ndarray]) -> None:
+        """Restore :meth:`capture`'s state exactly. Memory variables are
+        lazily allocated, so any psi born *after* the capture is deleted —
+        keeping it would seed the replay with future state."""
+        for name in [n for n in self._psi if n not in snapshot]:
+            del self._psi[name]
+        for name, p in snapshot.items():
+            live = self._psi.get(name)
+            if live is None:
+                self._psi[name] = p.copy()
+            else:
+                live[...] = p
+
     def _broadcast(self, arr1d: np.ndarray, axis: int) -> np.ndarray:
         shape_ones = [1] * self.grid.ndim
         shape_ones[axis] = len(arr1d)

@@ -254,6 +254,45 @@ class ExchangeProtocol:
     sync_before_send: bool = True
     queue: int = 1
 
+    @classmethod
+    def from_faults(cls, specs, queue: int = 1) -> "ExchangeProtocol":
+        """Build a (mis)protocol from shared fault specs — the single fault
+        vocabulary of :mod:`repro.resilience.faults`. Accepts
+        :class:`~repro.resilience.faults.FaultSpec` objects or kind strings;
+        non-protocol kinds are ignored (they inject through the device/MPI
+        hooks instead)."""
+        from repro.resilience import faults as F
+
+        kinds = {getattr(s, "kind", s) for s in specs}
+        unknown = kinds - set(F.ALL_KINDS)
+        if unknown:
+            raise ConfigurationError(
+                f"unknown fault kind(s): {', '.join(sorted(unknown))}"
+            )
+        racy = F.HALO_SEND_BEFORE_SYNC in kinds
+        return cls(
+            update_host_before_send=F.HALO_STALE_HOST not in kinds,
+            update_ghost_device=F.HALO_STALE_DEVICE not in kinds,
+            async_updates=racy,
+            sync_before_send=not racy,
+            queue=queue,
+        )
+
+    def fault_specs(self) -> tuple:
+        """The protocol-hazard fault specs this configuration embodies
+        (empty for the correct protocol) — the reverse of
+        :meth:`from_faults`."""
+        from repro.resilience import faults as F
+
+        specs = []
+        if not self.update_host_before_send:
+            specs.append(F.FaultSpec(F.HALO_STALE_HOST))
+        if not self.update_ghost_device:
+            specs.append(F.FaultSpec(F.HALO_STALE_DEVICE))
+        if self.async_updates and not self.sync_before_send:
+            specs.append(F.FaultSpec(F.HALO_SEND_BEFORE_SYNC))
+        return tuple(specs)
+
 
 @dataclass
 class _RankContext:
@@ -297,9 +336,16 @@ class MultiGpuPipeline:
         halo_width: int | None = None,
         session: object | None = None,
         protocol: ExchangeProtocol | None = None,
+        tracers: list | None = None,
+        exchange_tracer: object | None = None,
+        injector: object | None = None,
     ):
         if ngpus < 1:
             raise ConfigurationError("ngpus must be >= 1")
+        if tracers is not None and len(tracers) != ngpus:
+            raise ConfigurationError(
+                f"need one tracer per rank: got {len(tracers)} for {ngpus} GPUs"
+            )
         self.physics = physics.lower()
         self.shape = tuple(int(n) for n in shape)
         self.ndim = len(self.shape)
@@ -314,7 +360,9 @@ class MultiGpuPipeline:
         dims = (self.ngpus,) + (1,) * (self.ndim - 1)
         self.decomp = CartesianDecomposition(Grid(self.shape), dims, halo=halo)
         self.mpi = SimMPI(self.ngpus, observer=session)
-        self.exchanger = HaloExchanger(self.decomp, self.mpi, sanitizer=session)
+        if injector is not None:
+            injector.attach_mpi(self.mpi)
+        self._exchange_tracer = exchange_tracer
         self.ranks: list[_RankContext] = []
         for r in range(self.ngpus):
             sub = self.decomp.subdomain(r)
@@ -329,9 +377,12 @@ class MultiGpuPipeline:
                 device,
                 compiler=self.options.compiler,
                 flags=self.options.flags,
+                tracer=tracers[r] if tracers is not None else None,
             )
             if session is not None:
                 rt.attach_recorder(session.recorder(r))
+            if injector is not None:
+                rt.attach_injector(injector, rank=r)
             pipe = OffloadPipeline(
                 rt,
                 self.physics,
@@ -350,6 +401,19 @@ class MultiGpuPipeline:
                 plane_bytes=int(np.prod(local_shape[1:])) * 4,
             ))
         self.primary = self.ranks[0].pipe.primary
+        # the exchanger's halo spans share rank 0's simulated timeline, so a
+        # merged Perfetto export lines kernels and messages up on one axis
+        self.exchanger = HaloExchanger(
+            self.decomp,
+            self.mpi,
+            tracer=exchange_tracer,
+            clock=(
+                self.ranks[0].pipe.rt.device.clock
+                if exchange_tracer is not None
+                else None
+            ),
+            sanitizer=session,
+        )
 
     # ------------------------------------------------------------------
     def _backward_name(self) -> str:

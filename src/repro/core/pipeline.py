@@ -293,6 +293,53 @@ class OffloadPipeline:
         self._phase = "idle"
 
     # ------------------------------------------------------------------
+    # residency teardown / rebuild (repro.resilience)
+    # ------------------------------------------------------------------
+    def drop_residency(self) -> None:
+        """Detach everything currently on the card, without copyout.
+
+        The recovery layer's teardown before a restart or re-plan: the host
+        copies are the source of truth, so dropping device residency loses
+        nothing. Reads the *runtime's* present table rather than this
+        pipeline's phase bookkeeping — a fault can strike mid-directive
+        (e.g. OOM halfway through ``enter data``), leaving the table
+        partially populated while the phase never advanced.
+        """
+        with self.tracer.span("drop_residency", track="pipeline", cat="recovery"):
+            self.rt.wait()
+            names = self.rt.present_names()
+            if names:
+                self.rt.exit_data(delete=names)
+        self._present_names = []
+        self._phase = "idle"
+
+    def restore_residency(self, phase: str) -> None:
+        """Rebuild device residency for ``phase`` ('idle' | 'forward' |
+        'backward') after :meth:`drop_residency` — re-uploading the phase's
+        inventory from the host (the modelled recovery cost a restart
+        pays)."""
+        if self._phase != "idle":
+            raise ConfigurationError(
+                f"restore_residency in phase '{self._phase}' (drop first)"
+            )
+        if phase == "idle":
+            return
+        if phase not in ("forward", "backward"):
+            raise ConfigurationError(f"unknown phase '{phase}'")
+        with self.tracer.span(
+            "restore_residency", track="pipeline", cat="recovery", phase=phase,
+        ):
+            self.allocate_forward()
+            if phase == "backward":
+                self._swap_to_backward()
+
+    # ------------------------------------------------------------------
+    @property
+    def phase(self) -> str:
+        """Current Figure-4 phase: 'idle', 'forward' or 'backward'."""
+        return self._phase
+
+    # ------------------------------------------------------------------
     def gpu_times(self) -> GpuTimes:
         """Summarise the device's accumulated modelled time."""
         dev = self.rt.device

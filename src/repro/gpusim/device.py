@@ -18,7 +18,7 @@ from repro.gpusim.kernelmodel import (
     estimate_kernel_time,
 )
 from repro.gpusim.memory import DeviceMemory
-from repro.gpusim.pcie import PCIE_GEN2_X16, PCIeModel
+from repro.gpusim.pcie import PCIE_GEN2_X16, PCIeModel, checked_transfer
 from repro.gpusim.profiler import ProfileEvent, Profiler
 from repro.gpusim.specs import CUDA_5_0, CudaToolkit, GPUSpec
 from repro.gpusim.streams import StreamPool
@@ -85,6 +85,9 @@ class Device:
         self._sinks: list[Callable[[ProfileEvent], None]] = [self.profiler.record]
         self._tracer: Tracer | None = None
         self._trace_process = f"gpu:{spec.name}"
+        # resilience hook: a (possibly rank-bound) FaultInjector consulted at
+        # the top of allocate/h2d/d2h/launch, before any time is charged
+        self.injector = None
 
     # ------------------------------------------------------------------
     # trace stream
@@ -134,6 +137,8 @@ class Device:
     # ------------------------------------------------------------------
     def allocate(self, name: str, nbytes: int) -> None:
         """Device allocation (charges the driver round trip)."""
+        if self.injector is not None:
+            self.injector.on_allocate(name, int(nbytes), self.memory)
         self.memory.allocate(name, nbytes)
         self.clock.advance(self.ALLOC_COST_S, "alloc")
         self.times.alloc += self.ALLOC_COST_S
@@ -161,7 +166,10 @@ class Device:
     def h2d(self, nbytes: int, name: str = "h2d", chunks: int = 1, queue: int | None = None) -> float:
         """Host-to-device copy of ``nbytes`` (``chunks`` DMA transactions for
         strided/partial data). Returns the modelled duration."""
-        t = self.pcie.transfer_time(nbytes, pinned=self.pinned_host, chunks=chunks)
+        t = checked_transfer(
+            self.pcie, "h2d", nbytes, name=name,
+            pinned=self.pinned_host, chunks=chunks, injector=self.injector,
+        )
         if queue is None:
             start, end = self.streams.run_copy_sync(t)
         else:
@@ -173,7 +181,10 @@ class Device:
 
     def d2h(self, nbytes: int, name: str = "d2h", chunks: int = 1, queue: int | None = None) -> float:
         """Device-to-host copy."""
-        t = self.pcie.transfer_time(nbytes, pinned=self.pinned_host, chunks=chunks)
+        t = checked_transfer(
+            self.pcie, "d2h", nbytes, name=name,
+            pinned=self.pinned_host, chunks=chunks, injector=self.injector,
+        )
         if queue is None:
             start, end = self.streams.run_copy_sync(t)
         else:
@@ -197,6 +208,8 @@ class Device:
         ``enqueue_cost_factor`` lets a compiler persona inflate the async
         enqueue cost (the PGI-async regression the paper reports).
         """
+        if self.injector is not None:
+            self.injector.on_kernel_launch(workload.name)
         est = estimate_kernel_time(self.spec, workload, launch, self.toolkit)
         queue = launch.async_queue if launch is not None else None
         host_admin = self.PRESENT_LOOKUP_S * (2 + workload.address_streams)

@@ -66,6 +66,11 @@ class DeviceMemory:
     def allocations(self) -> tuple[Allocation, ...]:
         return tuple(self._allocs.values())
 
+    def allocation_table(self) -> tuple[tuple[str, int], ...]:
+        """Live allocations as ``(name, aligned_bytes)`` pairs — the table
+        :class:`DeviceOutOfMemoryError` embeds in its message."""
+        return tuple((a.name, a.aligned_bytes) for a in self._allocs.values())
+
     def holds(self, name: str) -> bool:
         return name in self._allocs
 
@@ -83,7 +88,10 @@ class DeviceMemory:
             raise DeviceError(f"allocation '{name}' already exists on device")
         aligned = _aligned(int(nbytes))
         if aligned > self.free:
-            raise DeviceOutOfMemoryError(aligned, self.free, self.usable)
+            raise DeviceOutOfMemoryError(
+                aligned, self.free, self.usable,
+                allocations=self.allocation_table(), request_name=name,
+            )
         alloc = Allocation(name, int(nbytes), aligned)
         self._allocs[name] = alloc
         self.peak_bytes = max(self.peak_bytes, self.used)

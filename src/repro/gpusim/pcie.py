@@ -71,6 +71,28 @@ class PCIeModel:
         return TransferStats(int(nbytes), t, pinned, int(chunks), direction)
 
 
+def checked_transfer(
+    model: PCIeModel,
+    direction: str,
+    nbytes: int,
+    *,
+    name: str = "",
+    pinned: bool = False,
+    chunks: int = 1,
+    injector=None,
+) -> float:
+    """Model one DMA transfer, consulting the fault ``injector`` first.
+
+    This is the single bus-level choke point the resilience layer hooks:
+    an armed PCIe fault raises :class:`~repro.utils.errors.PCIeTransferError`
+    *before* any simulated time is charged, so a retried transfer re-enters
+    with a clean clock. Returns the modelled duration in seconds.
+    """
+    if injector is not None:
+        injector.on_transfer(direction, name, int(nbytes))
+    return model.transfer_time(nbytes, pinned=pinned, chunks=chunks)
+
+
 #: Link models used by the two evaluation platforms.
 PCIE_GEN2_X16 = PCIeModel(pinned_bandwidth=6.0 * GB, pageable_bandwidth=3.0 * GB, latency=10e-6)
 PCIE_GEN3_X16 = PCIeModel(pinned_bandwidth=11.0 * GB, pageable_bandwidth=5.5 * GB, latency=8e-6)

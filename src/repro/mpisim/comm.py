@@ -111,6 +111,14 @@ class SimMPI:
     #: nbytes)`` / ``on_recv(rank, source, tag, nbytes)``) — the coherence
     #: sanitizer hangs its cross-rank happens-before edges here
     observer: object | None = None
+    #: optional fault injector (duck-typed: ``on_message(rank, dest, tag,
+    #: nbytes) -> 'deliver'|'drop'|'duplicate'|'delay'``) consulted by every
+    #: send — the resilience layer's mpi-drop/dup/delay faults
+    injector: object | None = None
+    #: messages held back by a 'delay' verdict: they missed their superstep
+    #: (the receiver starves exactly like a drop) and surface only if a
+    #: later receive matches before :meth:`flush` clears them
+    _delayed: list = field(default_factory=list)
 
     def __post_init__(self):
         if self.nranks < 1:
@@ -127,6 +135,20 @@ class SimMPI:
 
     def pending_messages(self) -> int:
         return sum(len(q) for q in self._mailbox.values())
+
+    def delayed_messages(self) -> int:
+        """Messages held back by an injected ``mpi-delay`` fault."""
+        return len(self._delayed)
+
+    def flush(self) -> int:
+        """Drop every buffered and delayed message — the recovery layer's
+        world reset before retrying a failed exchange (ghost slabs are
+        rewritten wholesale by the retry, so discarding in-flight traffic
+        is safe). Returns how many messages were discarded."""
+        n = self.pending_messages() + len(self._delayed)
+        self._mailbox.clear()
+        self._delayed.clear()
+        return n
 
 
 class RankComm:
@@ -149,7 +171,22 @@ class RankComm:
         if dest == self.rank:
             raise CommunicationError("self-sends are not supported")
         key = (self.rank, dest, int(tag))
-        self._mpi._mailbox.setdefault(key, deque()).append(np.array(data, copy=True))
+        action = "deliver"
+        if self._mpi.injector is not None:
+            action = self._mpi.injector.on_message(
+                self.rank, dest, int(tag), int(data.nbytes)
+            )
+        if action == "drop":
+            pass  # lost in flight: the matching receive starves
+        elif action == "delay":
+            # held past its superstep: the receive starves now; the copy
+            # lingers until a recovery flush() discards it
+            self._mpi._delayed.append((key, np.array(data, copy=True)))
+        else:
+            queue = self._mpi._mailbox.setdefault(key, deque())
+            queue.append(np.array(data, copy=True))
+            if action == "duplicate":
+                queue.append(np.array(data, copy=True))
         self._mpi.stats.record(data.nbytes)
         if self._mpi.tracer is not None:
             m = self._mpi.tracer.metrics

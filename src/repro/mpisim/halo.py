@@ -160,6 +160,17 @@ class HaloExchanger:
                             rank, name, axis, side, int(buf.nbytes)
                         )
                     self._trace_recv(rank, axis, pending[idx], buf.nbytes)
+        # Every posted receive has drained, so a clean exchange leaves the
+        # world empty. Leftover traffic means a message nobody expected — a
+        # duplicated send (injected or real) — and silently consuming it on
+        # the *next* exchange would hand a stale face to a future timestep,
+        # so fail loudly here where recovery can flush and retry.
+        leftover = self.mpi.pending_messages()
+        if leftover:
+            raise CommunicationError(
+                f"halo exchange finished with {leftover} unexpected message(s) "
+                "still buffered (duplicated send?)"
+            )
 
     # ------------------------------------------------------------------
     def _trace_recv(self, rank: int, axis: int, req: Request, nbytes: int) -> None:

@@ -179,6 +179,34 @@ class Propagator(ABC):
         """Bytes of all time-varying fields (what must live on the device)."""
         return sum(a.nbytes for a in self.fields.values())
 
+    # ------------------------------------------------------------------
+    # checkpoint support (repro.resilience)
+    # ------------------------------------------------------------------
+    def capture_state(self) -> dict:
+        """Deep-copy the complete time-varying state: every wavefield, the
+        step counter, and (for the C-PML systems) the boundary memory
+        variables. Restoring this dict and replaying the same steps is
+        bitwise identical to never having stopped."""
+        state: dict = {
+            "step": self.state.step,
+            "fields": {name: a.copy() for name, a in self.fields.items()},
+        }
+        cpml = getattr(self, "cpml", None)
+        if cpml is not None:
+            state["psi"] = cpml.capture()
+        return state
+
+    def restore_state(self, state: dict) -> None:
+        """Restore :meth:`capture_state`'s snapshot in place (array
+        identities survive — any device present-table entry keyed by these
+        arrays' names stays valid; only the *values* roll back)."""
+        for name, a in state["fields"].items():
+            self.fields[name][...] = a
+        self.state = PropagatorState(step=int(state["step"]))
+        cpml = getattr(self, "cpml", None)
+        if cpml is not None:
+            cpml.restore(state.get("psi", {}))
+
     @abstractmethod
     def snapshot_field(self) -> np.ndarray:
         """The observable wavefield recorded in snapshots/seismograms

@@ -1,0 +1,80 @@
+"""Fault injection, recovery and chaos testing for the simulated stack.
+
+``repro.resilience`` closes the loop the ROADMAP's production-scale north
+star leaves open: the stack *plans* checkpoints and *detects* hazards, but
+nothing could survive a fault. This package injects typed, seeded faults
+into every layer (PCIe, kernels, allocations, MPI messages), recovers
+(retry with deterministic backoff, restart from an executed checkpoint,
+degrade via re-planning or re-decomposition) and proves — per run — that
+the recovered answer matches the fault-free one.
+
+Layout
+------
+``faults``
+    The shared fault vocabulary: :class:`FaultSpec`, :class:`FaultPlan`,
+    parse helpers, kind constants.
+``injector``
+    :class:`FaultInjector` — arms a plan against the hooks threaded into
+    :mod:`repro.gpusim`, :mod:`repro.acc` and :mod:`repro.mpisim`.
+``recovery``
+    :class:`ResilientPipeline` / :class:`ResilientMultiGpu` — the guarded
+    execution wrappers, plus :class:`BackoffPolicy` and
+    :class:`CheckpointStore`.
+``chaos``
+    Seeded campaign runner behind ``python -m repro chaos``.
+``report``
+    :class:`ResilienceReport` (text/JSON).
+
+Only ``faults`` and ``report`` are imported eagerly: ``recovery`` and
+``chaos`` import the core pipelines, which themselves import this package's
+fault vocabulary — the lazy split keeps that cycle open.
+"""
+
+from __future__ import annotations
+
+from repro.resilience.faults import (  # noqa: F401
+    ALL_KINDS,
+    DEVICE_KINDS,
+    MPI_KINDS,
+    PROTOCOL_KINDS,
+    FaultEvent,
+    FaultPlan,
+    FaultSpec,
+    parse_fault_spec,
+    parse_faults,
+)
+from repro.resilience.report import FaultOutcome, ResilienceReport  # noqa: F401
+
+_LAZY = {
+    "FaultInjector": ("repro.resilience.injector", "FaultInjector"),
+    "BoundInjector": ("repro.resilience.injector", "BoundInjector"),
+    "BackoffPolicy": ("repro.resilience.recovery", "BackoffPolicy"),
+    "CheckpointStore": ("repro.resilience.recovery", "CheckpointStore"),
+    "ResilientPipeline": ("repro.resilience.recovery", "ResilientPipeline"),
+    "ResilientMultiGpu": ("repro.resilience.recovery", "ResilientMultiGpu"),
+    "RecoveryStats": ("repro.resilience.recovery", "RecoveryStats"),
+    "run_chaos_case": ("repro.resilience.chaos", "run_chaos_case"),
+    "run_chaos_case_multigpu": (
+        "repro.resilience.chaos", "run_chaos_case_multigpu"
+    ),
+    "run_chaos_campaign": ("repro.resilience.chaos", "run_chaos_campaign"),
+}
+
+
+def __getattr__(name: str):
+    try:
+        module, attr = _LAZY[name]
+    except KeyError:
+        raise AttributeError(f"module 'repro.resilience' has no attribute {name!r}")
+    import importlib
+
+    return getattr(importlib.import_module(module), attr)
+
+
+__all__ = [
+    "ALL_KINDS", "DEVICE_KINDS", "MPI_KINDS", "PROTOCOL_KINDS",
+    "FaultSpec", "FaultPlan", "FaultEvent",
+    "parse_fault_spec", "parse_faults",
+    "FaultOutcome", "ResilienceReport",
+    *_LAZY,
+]

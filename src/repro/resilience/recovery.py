@@ -1,0 +1,1019 @@
+"""The recovery layer: guarded pipelines that survive injected faults.
+
+Three mechanisms, applied in escalation order (the degradation ladder):
+
+1. **Retry with capped exponential backoff** — transient faults
+   (:class:`~repro.utils.errors.PCIeTransferError`,
+   :class:`~repro.utils.errors.KernelLaunchError`, a failed halo exchange).
+   Backoff delays are deterministic — seeded jitter, charged to the
+   *simulated* clock, never wall time.
+2. **Restart from the last periodic checkpoint** — when retries exhaust, or
+   immediately on an uncorrectable ECC event (device data is corrupt, so
+   re-running the op would read garbage). This is the *executed* form of
+   :mod:`repro.core.checkpointing`: :class:`CheckpointStore` saves real
+   wavefield + C-PML + image state on the
+   :func:`~repro.core.checkpointing.plan_checkpoints` schedule and restores
+   it bit-for-bit, so the replay reproduces the fault-free run exactly.
+3. **Graceful degradation** — permanent capacity loss. A mid-run device OOM
+   re-plans residency via :func:`~repro.core.offload_plan.plan_offload`
+   (the Figure-4 swap / smaller resident set) and rebuilds the card's data;
+   a dead rank re-decomposes the domain onto the surviving cards.
+
+:class:`ResilientPipeline` wraps the single-card executed drivers
+(:func:`~repro.core.modeling.run_modeling` /
+:func:`~repro.core.rtm.run_rtm` semantics, physics bit-identical);
+:class:`ResilientMultiGpu` wraps the decomposed
+:class:`~repro.core.multigpu.MultiGpuPipeline` path with a real (simple,
+deterministic, ghost-dependent) host physics so halo faults are observable
+in the answer.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.checkpointing import plan_checkpoints
+from repro.core.config import (
+    GPUOptions,
+    ModelingConfig,
+    ModelingResult,
+    RTMConfig,
+    RTMResult,
+)
+from repro.core.imaging import (
+    cross_correlation_update,
+    illumination_update,
+    mute_shallow,
+    normalize_image,
+)
+from repro.core.modeling import (
+    _build_runtime,
+    _default_receivers,
+    _default_source,
+)
+from repro.core.multigpu import MultiGpuPipeline
+from repro.core.offload_plan import plan_offload
+from repro.core.pipeline import OffloadPipeline
+from repro.core.platform import CRAY_K40, Platform
+from repro.core.snapshots import SnapshotStore, default_snap_period
+from repro.propagators.factory import make_propagator
+from repro.resilience.faults import OOM, PCIE_PERMANENT, RANK_DEAD
+from repro.resilience.injector import TRACE_PROCESS, FaultInjector
+from repro.trace.tracer import NULL_TRACER
+from repro.utils.errors import (
+    CommunicationError,
+    ConfigurationError,
+    DeviceECCError,
+    DeviceLostError,
+    DeviceOutOfMemoryError,
+    KernelLaunchError,
+    PCIeTransferError,
+    ReproError,
+)
+
+RECOVERY_TRACK = "recovery"
+
+#: faults where retrying the same operation can succeed
+_TRANSIENT = (PCIeTransferError, KernelLaunchError)
+
+
+@dataclass(frozen=True)
+class BackoffPolicy:
+    """Capped exponential backoff with deterministic, seeded jitter.
+
+    ``delay(attempt)`` = ``base_delay_s * factor**attempt`` stretched by up
+    to ``jitter`` (drawn from the policy's own RNG stream). Delays are
+    charged to the simulated device clock — never wall time — so identical
+    seeds reproduce identical recovery timelines.
+    """
+
+    max_retries: int = 3
+    base_delay_s: float = 1e-3
+    factor: float = 2.0
+    jitter: float = 0.25
+    seed: int = 0
+
+    def rng(self) -> random.Random:
+        return random.Random(self.seed)
+
+    def delay(self, attempt: int, rng: random.Random) -> float:
+        base = self.base_delay_s * self.factor ** min(attempt, 16)
+        return base * (1.0 + self.jitter * rng.random())
+
+
+class CheckpointStore:
+    """Executed periodic checkpointing on a
+    :func:`~repro.core.checkpointing.plan_checkpoints` schedule.
+
+    Checkpoints are taken at loop-iteration boundaries: index ``0`` (the
+    pristine state) plus every ``period``-th boundary the plan's budget
+    keeps. The observable wavefield payload lives in a
+    :class:`~repro.core.snapshots.SnapshotStore`; the full state dict
+    (propagator fields, C-PML memory, accumulated image/illumination)
+    rides alongside under the same key.
+    """
+
+    def __init__(self, nt: int, period: int, budget: int | None = None):
+        if nt < 1:
+            raise ConfigurationError("nt must be >= 1")
+        self.period = max(1, int(period))
+        nstates = nt // self.period
+        self.plan = None
+        steps = {0}
+        if nstates >= 1:
+            budget = nstates if budget is None else max(1, int(budget))
+            self.plan = plan_checkpoints(nt, self.period, budget)
+            steps |= {
+                (k + 1) * self.period
+                for k in self.plan.stored_indices
+                if (k + 1) * self.period < nt
+            }
+        self._steps = steps
+        self.wavefields = SnapshotStore(self.period)
+        self._states: dict[int, dict] = {}
+        self.saves = 0
+
+    def is_checkpoint_step(self, step: int) -> bool:
+        """Whether a checkpoint is due at the top of iteration ``step``."""
+        return step in self._steps
+
+    def save(self, step: int, observable: np.ndarray, state: dict) -> None:
+        self.wavefields.save(step, observable)
+        self._states[step] = state
+        self.saves += 1
+
+    def latest(self, at_or_before: int) -> int:
+        """Most recent stored step <= ``at_or_before`` (0 always exists
+        once the run has started)."""
+        stored = [s for s in self._states if s <= at_or_before]
+        if not stored:
+            raise ConfigurationError(
+                f"no checkpoint at or before step {at_or_before}"
+            )
+        return max(stored)
+
+    def load(self, step: int) -> dict:
+        return self._states[step]
+
+    def nbytes(self) -> int:
+        aux = sum(
+            sum(a.nbytes for a in st.get("fields", {}).values())
+            for st in self._states.values()
+        )
+        return self.wavefields.nbytes() + aux
+
+
+@dataclass
+class RecoveryStats:
+    """What recovery did during one guarded run."""
+
+    detected: int = 0
+    retries: int = 0
+    restarts: int = 0
+    degraded: list = field(default_factory=list)
+    #: simulated seconds spent on recovery actions (backoff waits +
+    #: residency teardown/rebuild), excluding replayed compute
+    recovery_cost_s: float = 0.0
+    actions: list = field(default_factory=list)
+
+    def note(self, action: str) -> None:
+        self.actions.append(action)
+
+
+class _RestartNeeded(ReproError):
+    """Internal: escalate from op-level retry to checkpoint restart."""
+
+    def __init__(self, cause: Exception):
+        super().__init__(str(cause))
+        self.cause = cause
+
+
+class _Guard:
+    """Shared op-level retry/degrade machinery."""
+
+    def __init__(
+        self,
+        injector: FaultInjector,
+        backoff: BackoffPolicy,
+        stats: RecoveryStats,
+        tracer,
+        clock,
+        mode: str,
+    ):
+        self.injector = injector
+        self.backoff = backoff
+        self.stats = stats
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        self.clock = clock
+        self.mode = mode
+        self._rng = backoff.rng()
+
+    def _wait(self, attempt: int) -> None:
+        delay = self.backoff.delay(attempt, self._rng)
+        self.clock.advance(delay, "recovery")
+        self.stats.recovery_cost_s += delay
+
+    def _span(self, name, **args):
+        return self.tracer.span(
+            name, process=TRACE_PROCESS, track=RECOVERY_TRACK, cat="recovery",
+            **args,
+        )
+
+    def run(self, label: str, op, pipeline: OffloadPipeline, phase: str,
+            reset=None):
+        """Run ``op`` under the ladder. ``phase`` is the pipeline phase the
+        op expects; a degrade rebuilds residency to it before retrying.
+        ``reset`` (when given) undoes a partial op before a retry —
+        residency-building ops are not idempotent, so a transfer fault
+        halfway through ``allocate_forward`` must tear down the partial
+        present-table before re-entering."""
+        attempt = 0
+        while True:
+            try:
+                return op()
+            except _TRANSIENT as exc:
+                self.stats.detected += 1
+                if attempt >= self.backoff.max_retries:
+                    raise _RestartNeeded(exc)
+                with self._span(f"retry:{label}", attempt=attempt, error=str(exc)):
+                    if reset is not None:
+                        reset()
+                    self._wait(attempt)
+                attempt += 1
+                self.stats.retries += 1
+                self.stats.note(f"retry {label} (attempt {attempt}): {exc}")
+            except DeviceECCError as exc:
+                # device memory is corrupt — re-running the op would compute
+                # on garbage; only a checkpoint restart re-uploads good state
+                self.stats.detected += 1
+                self.stats.note(f"ecc during {label}: {exc}")
+                raise _RestartNeeded(exc)
+            except DeviceOutOfMemoryError as exc:
+                self.stats.detected += 1
+                self.degrade_oom(label, exc, pipeline, phase)
+                self.stats.retries += 1
+
+    def degrade_oom(
+        self, label: str, exc: Exception, pipeline: OffloadPipeline, phase: str
+    ) -> None:
+        """The OOM rung: drop residency, consult the offload planner for
+        the strategy this card *can* afford, rebuild, and let the caller
+        retry the op."""
+        plan = plan_offload(
+            pipeline.physics,
+            pipeline.shape,
+            pipeline.rt.device.spec,
+            boundary_width=pipeline.boundary_width,
+            rtm=self.mode == "rtm",
+        )
+        with self._span(
+            f"degrade:{label}", strategy=plan.strategy, error=str(exc),
+        ):
+            t0 = self.clock.now
+            pipeline.drop_residency()
+            self.injector.resolve(OOM)
+            pipeline.restore_residency(phase)
+            self.stats.recovery_cost_s += self.clock.now - t0
+        action = f"re-plan:{plan.strategy}"
+        self.stats.degraded.append(action)
+        self.stats.note(f"degrade {label}: {action} ({exc})")
+
+
+class ResilientPipeline:
+    """Fault-tolerant executed modeling/RTM on one simulated card.
+
+    With an empty fault plan this runs *exactly* the plain drivers'
+    operation sequence — the physics is bitwise identical and the device
+    timeline matches to the last launch (checkpoint capture is pure host
+    work). With faults armed, recovery guarantees the same final answer.
+
+    Parameters
+    ----------
+    config:
+        :class:`ModelingConfig` (for :meth:`run_modeling`) or
+        :class:`RTMConfig` (for :meth:`run_rtm`).
+    gpu_options / platform / tracer:
+        As for the plain drivers; the pipeline is always attached (faults
+        inject through device operations).
+    injector:
+        The armed :class:`FaultInjector` (one is built from ``plan`` when
+        omitted).
+    backoff:
+        Retry policy (deterministic defaults).
+    checkpoint_period:
+        Loop iterations between checkpoints (default: ``nt // 4``, min 1).
+    checkpoint_budget:
+        Max stored checkpoints (:func:`plan_checkpoints` spreads them);
+        ``None`` keeps every periodic one.
+    max_restarts:
+        Restart budget before the run is declared unrecoverable (the
+        original fault is re-raised).
+    """
+
+    def __init__(
+        self,
+        config: ModelingConfig,
+        gpu_options: GPUOptions | None = None,
+        platform: Platform = CRAY_K40,
+        tracer=None,
+        injector: FaultInjector | None = None,
+        plan=None,
+        backoff: BackoffPolicy | None = None,
+        checkpoint_period: int | None = None,
+        checkpoint_budget: int | None = None,
+        max_restarts: int = 4,
+    ):
+        if config.model is None:
+            raise ConfigurationError("ResilientPipeline needs an EarthModel")
+        self.config = config
+        self.options = gpu_options if gpu_options is not None else GPUOptions()
+        self.platform = platform
+        self.tracer = tracer
+        if injector is None:
+            injector = FaultInjector(plan, tracer=tracer)
+        self.injector = injector
+        self.backoff = backoff if backoff is not None else BackoffPolicy()
+        period = checkpoint_period
+        if period is None:
+            period = max(1, config.nt // 4)
+        self.checkpoint_period = period
+        self.checkpoint_budget = checkpoint_budget
+        self.max_restarts = int(max_restarts)
+        self.stats = RecoveryStats()
+        self.checkpoints: CheckpointStore | None = None
+        self.backward_checkpoints: CheckpointStore | None = None
+
+    # ------------------------------------------------------------------
+    def _setup(self, physics: str):
+        prop_kwargs = {}
+        if physics == "isotropic":
+            prop_kwargs["pml_variant"] = self.config.pml_variant
+        prop = make_propagator(
+            physics,
+            self.config.model,
+            dt=self.config.dt,
+            space_order=self.config.space_order,
+            boundary_width=self.config.boundary_width,
+            **prop_kwargs,
+        )
+        rt = _build_runtime(self.options, self.platform, self.tracer)
+        rt.attach_injector(self.injector)
+        pipeline = OffloadPipeline(
+            rt,
+            physics,
+            self.config.model.grid.shape,
+            nreceivers=(
+                self.config.receivers.count
+                if self.config.receivers is not None
+                else _default_receivers(self.config).count
+            ),
+            space_order=self.config.space_order,
+            boundary_width=self.config.boundary_width,
+            options=self.options,
+            pml_variant=self.config.pml_variant,
+        )
+        guard = _Guard(
+            self.injector, self.backoff, self.stats,
+            pipeline.tracer, rt.device.clock,
+            "rtm" if isinstance(self.config, RTMConfig) else "modeling",
+        )
+        return prop, pipeline, guard
+
+    def _restart(self, exc, guard, ckpt, prop, pipeline, phase, at_step, aux=None):
+        """Restore the most recent checkpoint; returns the loop index to
+        resume from. Raises the original fault when the restart budget is
+        spent (unrecoverable)."""
+        if self.stats.restarts >= self.max_restarts:
+            raise exc.cause
+        self.stats.restarts += 1
+        step = ckpt.latest(at_step)
+        with guard._span(
+            "restart", from_step=at_step, to_step=step, phase=phase,
+            error=str(exc.cause),
+        ):
+            t0 = guard.clock.now
+            pipeline.drop_residency()
+            # restart-level repair: the modelled link/card reset clears any
+            # latched permanent PCIe fault
+            self.injector.resolve(PCIE_PERMANENT)
+            state = ckpt.load(step)
+            prop.restore_state(state["prop"])
+            if aux is not None:
+                aux(state)
+            pipeline.restore_residency(phase)
+            self.stats.recovery_cost_s += guard.clock.now - t0
+        self.stats.note(
+            f"restart from checkpoint {step} after {type(exc.cause).__name__}"
+        )
+        return step
+
+    def _initial_allocate(self, guard, pipeline) -> None:
+        """Guarded first residency build. No physics has run yet, so the
+        restart rung reduces to: tear down, reset the link (a permanent
+        PCIe fault latched during the copyin), rebuild."""
+        try:
+            guard.run(
+                "allocate_forward", pipeline.allocate_forward, pipeline,
+                "idle", reset=pipeline.drop_residency,
+            )
+        except _RestartNeeded as exc:
+            if self.stats.restarts >= self.max_restarts:
+                raise exc.cause
+            self.stats.restarts += 1
+            with guard._span("restart", phase="allocate", error=str(exc.cause)):
+                t0 = guard.clock.now
+                pipeline.drop_residency()
+                self.injector.resolve(PCIE_PERMANENT)
+                pipeline.restore_residency("forward")
+                self.stats.recovery_cost_s += guard.clock.now - t0
+            self.stats.note(
+                "allocate restarted after " + type(exc.cause).__name__
+            )
+
+    def _finalize(self, guard, pipeline, phase, with_image: bool):
+        try:
+            guard.run("finalize", lambda: pipeline.finalize(with_image), pipeline, phase)
+        except _RestartNeeded:
+            # the answer already lives on the host — a finalize that cannot
+            # talk to the card degrades to dropping residency outright
+            pipeline.drop_residency()
+            self.injector.resolve(PCIE_PERMANENT)
+            self.stats.degraded.append("finalize:drop")
+            self.stats.note("finalize degraded to residency drop")
+
+    # ------------------------------------------------------------------
+    def run_modeling(self) -> ModelingResult:
+        config = self.config
+        physics = config.physics.lower()
+        prop, pipeline, guard = self._setup(physics)
+        dt = prop.dt
+        snap_period = (
+            config.snap_period
+            if config.snap_period is not None
+            else default_snap_period(dt, config.peak_freq)
+        )
+        store = SnapshotStore(snap_period, decimate=config.snapshot_decimate)
+        source = _default_source(config, dt)
+        receivers = (
+            config.receivers
+            if config.receivers is not None
+            else _default_receivers(config)
+        )
+        seismogram = np.zeros((config.nt, receivers.count), dtype=np.float32)
+        ckpt = CheckpointStore(
+            config.nt, self.checkpoint_period, self.checkpoint_budget
+        )
+        self.checkpoints = ckpt
+
+        self._initial_allocate(guard, pipeline)
+        n = 0
+        while n < config.nt:
+            if ckpt.is_checkpoint_step(n):
+                ckpt.save(n, prop.snapshot_field(), {"prop": prop.capture_state()})
+            try:
+                amp = source.amplitude(n)
+                srcs = [(source.index, amp)] if amp != 0.0 else []
+                prop.step(srcs)
+                seismogram[n, :] = receivers.record(prop.snapshot_field())
+                guard.run(
+                    "forward_step",
+                    lambda s=srcs: pipeline.forward_step(inject_source=bool(s)),
+                    pipeline, "forward",
+                )
+                if store.is_snap_step(n):
+                    store.save(n, prop.snapshot_field())
+                    guard.run(
+                        "snapshot_to_host",
+                        lambda: pipeline.snapshot_to_host(
+                            decimate=config.snapshot_decimate
+                        ),
+                        pipeline, "forward",
+                    )
+                n += 1
+            except _RestartNeeded as exc:
+                n = self._restart(exc, guard, ckpt, prop, pipeline, "forward", n)
+
+        self._finalize(guard, pipeline, "forward", with_image=False)
+        return ModelingResult(
+            seismogram=seismogram,
+            snapshots=store,
+            final_wavefield=prop.snapshot_field().copy(),
+            dt=dt,
+            gpu=pipeline.gpu_times(),
+            extras={"resilience": self.stats},
+        )
+
+    # ------------------------------------------------------------------
+    def run_rtm(self) -> RTMResult:
+        config = self.config
+        if not isinstance(config, RTMConfig):
+            raise ConfigurationError("run_rtm needs an RTMConfig")
+        physics = config.physics.lower()
+        fwd, pipeline, guard = self._setup(physics)
+        dt = fwd.dt
+        snap_period = (
+            config.snap_period
+            if config.snap_period is not None
+            else default_snap_period(dt, config.peak_freq)
+        )
+        store = SnapshotStore(snap_period, decimate=1)
+        source = _default_source(config, dt)
+        receivers = (
+            config.receivers
+            if config.receivers is not None
+            else _default_receivers(config)
+        )
+        seismogram = np.zeros((config.nt, receivers.count), dtype=np.float32)
+        shape = config.model.grid.shape
+        illum = np.zeros(shape, dtype=np.float32)
+        ckpt = CheckpointStore(
+            config.nt, self.checkpoint_period, self.checkpoint_budget
+        )
+        self.checkpoints = ckpt
+
+        # ---------------- forward phase ----------------
+        self._initial_allocate(guard, pipeline)
+
+        def restore_illum(state):
+            illum[...] = state["illum"]
+
+        n = 0
+        while n < config.nt:
+            if ckpt.is_checkpoint_step(n):
+                ckpt.save(
+                    n, fwd.snapshot_field(),
+                    {"prop": fwd.capture_state(), "illum": illum.copy()},
+                )
+            try:
+                amp = source.amplitude(n)
+                srcs = [(source.index, amp)] if amp != 0.0 else []
+                fwd.step(srcs)
+                seismogram[n, :] = receivers.record(fwd.snapshot_field())
+                guard.run(
+                    "forward_step",
+                    lambda s=srcs: pipeline.forward_step(inject_source=bool(s)),
+                    pipeline, "forward",
+                )
+                if store.is_snap_step(n):
+                    s = fwd.snapshot_field()
+                    store.save(n, s)
+                    illumination_update(illum, s)
+                    guard.run(
+                        "snapshot_to_host",
+                        lambda: pipeline.snapshot_to_host(decimate=1),
+                        pipeline, "forward",
+                    )
+                n += 1
+            except _RestartNeeded as exc:
+                n = self._restart(
+                    exc, guard, ckpt, fwd, pipeline, "forward", n,
+                    aux=restore_illum,
+                )
+
+        # ---------------- swap ----------------
+        def do_swap():
+            # a retry after a teardown re-enters from idle: rebuild the
+            # forward residency, then swap — same end state as one swap
+            if pipeline.phase == "idle":
+                pipeline.restore_residency("backward")
+            else:
+                pipeline.swap_to_backward()
+
+        try:
+            guard.run("swap_to_backward", do_swap, pipeline, "forward",
+                      reset=pipeline.drop_residency)
+        except _RestartNeeded as exc:
+            if self.stats.restarts >= self.max_restarts:
+                raise exc.cause
+            self.stats.restarts += 1
+            with guard._span("restart", phase="swap", error=str(exc.cause)):
+                t0 = guard.clock.now
+                pipeline.drop_residency()
+                self.injector.resolve(PCIE_PERMANENT)
+                pipeline.restore_residency("backward")
+                self.stats.recovery_cost_s += guard.clock.now - t0
+            self.stats.note("swap restarted after " + type(exc.cause).__name__)
+
+        # ---------------- backward phase ----------------
+        bwd = make_propagator(
+            physics,
+            config.model,
+            dt=config.dt,
+            space_order=config.space_order,
+            boundary_width=config.boundary_width,
+            **({"pml_variant": config.pml_variant} if physics == "isotropic" else {}),
+        )
+        image = np.zeros(shape, dtype=np.float32)
+        scale = np.float32(1.0 / bwd.dt)
+        bck = CheckpointStore(
+            config.nt, self.checkpoint_period, self.checkpoint_budget
+        )
+        self.backward_checkpoints = bck
+
+        def restore_image(state):
+            image[...] = state["image"]
+
+        n = config.nt - 1
+        while n >= 0:
+            m = config.nt - 1 - n  # completed backward steps
+            if bck.is_checkpoint_step(m):
+                bck.save(
+                    m, bwd.snapshot_field(),
+                    {"prop": bwd.capture_state(), "image": image.copy()},
+                )
+            try:
+                traces = seismogram[n, :]
+                bwd.step(())
+                bwd.inject_pressure(receivers.indices, traces, scale=scale)
+                if store.has(n):
+                    cross_correlation_update(image, store.load(n), bwd.snapshot_field())
+                    guard.run(
+                        "load_forward_snapshot",
+                        pipeline.load_forward_snapshot, pipeline, "backward",
+                    )
+                    guard.run(
+                        "imaging_step", pipeline.imaging_step, pipeline, "backward",
+                    )
+                guard.run(
+                    "backward_step",
+                    lambda: pipeline.backward_step(inject_receivers=True),
+                    pipeline, "backward",
+                )
+                n -= 1
+            except _RestartNeeded as exc:
+                m_r = self._restart(
+                    exc, guard, bck, bwd, pipeline, "backward", m,
+                    aux=restore_image,
+                )
+                n = config.nt - 1 - m_r
+
+        self._finalize(
+            guard, pipeline, "backward", with_image=self.options.image_on_gpu
+        )
+        raw = image.copy()
+        out = normalize_image(
+            image, illum if config.illumination_normalize else None
+        )
+        mute = (
+            config.mute_cells
+            if config.mute_cells is not None
+            else config.boundary_width + 8
+        )
+        out = mute_shallow(out, mute)
+        return RTMResult(
+            image=out,
+            raw_image=raw,
+            seismogram=seismogram,
+            dt=dt,
+            gpu=pipeline.gpu_times(),
+            extras={
+                "snap_period": snap_period,
+                "snapshots": store.count,
+                "resilience": self.stats,
+            },
+        )
+
+
+class ResilientMultiGpu:
+    """Fault-tolerant decomposed run over :class:`MultiGpuPipeline`.
+
+    Each rank carries a *real* host field (the decomposed scatter of a
+    seeded global field) advanced by a deterministic, halo-dependent
+    axis-0 smoothing stencil each step — deliberately simple physics whose
+    answer is provably wrong if a ghost exchange is lost and not recovered.
+    The per-rank device pipelines and the MPI world run the full
+    instrumented schedule, so every fault kind (device *and* message) has a
+    real injection surface, and recovery must reproduce the fault-free
+    gathered field exactly.
+
+    Degradation ladder additions over the single-card wrapper: a dead rank
+    gathers the global state from the surviving host copies, re-decomposes
+    onto ``ngpus - 1`` cards, and continues the same step.
+    """
+
+    def __init__(
+        self,
+        physics: str,
+        shape: tuple[int, ...],
+        ngpus: int,
+        platform: Platform = CRAY_K40,
+        options: GPUOptions | None = None,
+        injector: FaultInjector | None = None,
+        plan=None,
+        backoff: BackoffPolicy | None = None,
+        checkpoint_period: int | None = None,
+        max_restarts: int = 4,
+        seed: int = 1234,
+        space_order: int = 8,
+        boundary_width: int = 16,
+        tracer=None,
+    ):
+        if ngpus < 1:
+            raise ConfigurationError("ngpus must be >= 1")
+        self.physics = physics.lower()
+        self.shape = tuple(int(x) for x in shape)
+        self.ngpus = int(ngpus)
+        self.platform = platform
+        self.options = options if options is not None else GPUOptions()
+        if injector is None:
+            injector = FaultInjector(plan, tracer=tracer)
+        self.injector = injector
+        self.backoff = backoff if backoff is not None else BackoffPolicy()
+        self.checkpoint_period = checkpoint_period
+        self.max_restarts = int(max_restarts)
+        self.space_order = int(space_order)
+        self.boundary_width = int(boundary_width)
+        self.tracer = tracer
+        self.stats = RecoveryStats()
+        rng = np.random.default_rng(seed)
+        self.global_field = rng.standard_normal(self.shape).astype(np.float32)
+        self.image: np.ndarray | None = None
+        self.mgp: MultiGpuPipeline | None = None
+        self._build(self.ngpus)
+
+    # ------------------------------------------------------------------
+    def _build(self, ngpus: int) -> None:
+        self.ngpus = ngpus
+        self.mgp = MultiGpuPipeline(
+            self.physics,
+            self.shape,
+            ngpus,
+            platform=self.platform,
+            options=self.options,
+            space_order=self.space_order,
+            boundary_width=self.boundary_width,
+            injector=self.injector,
+        )
+        self._scatter()
+
+    def _scatter(self) -> None:
+        for rc in self.mgp.ranks:
+            rc.host_field[...] = rc.sub.scatter(self.global_field)
+
+    def _gather(self) -> None:
+        for rc in self.mgp.ranks:
+            rc.sub.gather_into(self.global_field, rc.host_field)
+
+    def _guard(self) -> _Guard:
+        clock = self.mgp.ranks[0].pipe.rt.device.clock
+        tracer = self.tracer if self.tracer is not None else NULL_TRACER
+        return _Guard(
+            self.injector, self.backoff, self.stats, tracer, clock, "modeling"
+        )
+
+    # ------------------------------------------------------------------
+    # the host physics: deterministic, halo-dependent axis-0 smoothing
+    # ------------------------------------------------------------------
+    @staticmethod
+    def reference_step(g: np.ndarray) -> np.ndarray:
+        """The global-domain update one :meth:`_local_step` sweep equals
+        when every halo is fresh (used by tests as the decomposition-free
+        oracle)."""
+        pad = [(1, 1)] + [(0, 0)] * (g.ndim - 1)
+        p = np.pad(g, pad, mode="edge")
+        return (0.25 * p[:-2] + 0.5 * p[1:-1] + 0.25 * p[2:]).astype(np.float32)
+
+    def _local_step(self) -> None:
+        h = self.mgp.decomp.halo
+        for rc in self.mgp.ranks:
+            a = rc.host_field
+            # physical-edge halos replicate the current edge plane (what the
+            # global rule's edge padding sees); exchanged halos were filled
+            # by the previous ghost swap
+            if not rc.sub.halo.lo[0]:
+                a[:h] = a[h]
+            if not rc.sub.halo.hi[0]:
+                a[-h:] = a[-h - 1]
+            n0 = a.shape[0]
+            core = (
+                0.25 * a[h - 1:n0 - h - 1]
+                + 0.5 * a[h:n0 - h]
+                + 0.25 * a[h + 1:n0 - h + 1]
+            ).astype(np.float32)
+            a[h:n0 - h] = core
+
+    # ------------------------------------------------------------------
+    def _exchange(self, guard: _Guard, name: str) -> None:
+        """One guarded ghost swap: a failed exchange flushes the world and
+        retries wholesale (owned cells are untouched by the exchange, so
+        the retry converges on exactly the clean ghost state)."""
+        attempt = 0
+        while True:
+            try:
+                self.mgp.exchange(name)
+                return
+            except (CommunicationError,) + _TRANSIENT as exc:
+                self.stats.detected += 1
+                if attempt >= self.backoff.max_retries:
+                    raise _RestartNeeded(exc)
+                with guard._span("retry:exchange", attempt=attempt, error=str(exc)):
+                    dropped = self.mgp.mpi.flush()
+                    guard._wait(attempt)
+                attempt += 1
+                self.stats.retries += 1
+                self.stats.note(
+                    f"retry exchange (attempt {attempt}, flushed {dropped}): {exc}"
+                )
+
+    def _rank_op(
+        self, guard: _Guard, rc, label: str, op, phase: str, reset=None
+    ) -> None:
+        guard.run(label, op, rc.pipe, phase, reset=reset)
+
+    def _restore_residency(self, phase: str) -> None:
+        for rc in self.mgp.ranks:
+            rc.pipe.drop_residency()
+        for rc in self.mgp.ranks:
+            rc.pipe.restore_residency(phase)
+
+    def _restart(self, exc, guard, ckpt, phase: str, at: int) -> int:
+        if self.stats.restarts >= self.max_restarts:
+            raise exc.cause
+        self.stats.restarts += 1
+        step = ckpt.latest(at)
+        with guard._span(
+            "restart", from_step=at, to_step=step, phase=phase,
+            error=str(exc.cause),
+        ):
+            t0 = guard.clock.now
+            state = ckpt.load(step)
+            self.global_field[...] = state["global"]
+            if self.image is not None and "image" in state:
+                self.image[...] = state["image"]
+            self.injector.resolve(PCIE_PERMANENT)
+            self.mgp.mpi.flush()
+            self._scatter()
+            self._restore_residency(phase)
+            self.stats.recovery_cost_s += guard.clock.now - t0
+        self.stats.note(
+            f"restart from checkpoint {step} after {type(exc.cause).__name__}"
+        )
+        return step
+
+    def _structural(self, guard: "_Guard", phase: str, body) -> None:
+        """Run a residency-building sweep (allocate / swap) with the
+        allocate-level restart rung: no checkpoint is involved because the
+        host state is intact — tear everything down, reset the link, and
+        rebuild straight to ``phase``."""
+        try:
+            body()
+        except _RestartNeeded as exc:
+            if self.stats.restarts >= self.max_restarts:
+                raise exc.cause
+            self.stats.restarts += 1
+            with guard._span("restart", phase=phase, error=str(exc.cause)):
+                t0 = guard.clock.now
+                self.injector.resolve(PCIE_PERMANENT)
+                self._restore_residency(phase)
+                self.stats.recovery_cost_s += guard.clock.now - t0
+            self.stats.note(
+                f"{phase} residency restarted after {type(exc.cause).__name__}"
+            )
+
+    def _redecompose(self, exc: DeviceLostError, phase: str) -> None:
+        """The dead-rank rung: the card is gone but every host slab is
+        intact — gather, rebuild on the survivors, scatter, re-upload."""
+        if self.ngpus <= 1:
+            raise exc  # nothing left to decompose onto
+        self.stats.detected += 1
+        old = self.ngpus
+        guard = self._guard()
+        with guard._span(
+            "redecompose", from_ranks=old, to_ranks=old - 1, error=str(exc),
+        ):
+            self._gather()
+            self.injector.resolve(RANK_DEAD)
+            self._build(old - 1)
+            for rc in self.mgp.ranks:
+                rc.pipe.restore_residency(phase)
+        action = f"re-decompose:{old}->{old - 1}"
+        self.stats.degraded.append(action)
+        self.stats.note(f"{action} after rank loss")
+
+    # ------------------------------------------------------------------
+    def run(self, nt: int, snap_period: int, mode: str = "modeling") -> np.ndarray:
+        """Run ``nt`` decomposed steps (plus a backward imaging phase for
+        ``mode='rtm'``); returns the final gathered global field
+        (modeling) or the accumulated image (rtm)."""
+        if mode not in ("modeling", "rtm"):
+            raise ConfigurationError(f"unknown mode '{mode}'")
+        period = self.checkpoint_period
+        if period is None:
+            period = max(1, nt // 4)
+        ckpt = CheckpointStore(nt, period)
+        store = SnapshotStore(snap_period) if mode == "rtm" else None
+        guard = self._guard()
+
+        def allocate_all():
+            for rc in self.mgp.ranks:
+                self._rank_op(
+                    guard, rc, "allocate_forward", rc.pipe.allocate_forward,
+                    "idle", reset=rc.pipe.drop_residency,
+                )
+
+        self._structural(guard, "forward", allocate_all)
+
+        n = 0
+        while n < nt:
+            guard = self._guard()  # rank 0's clock may change on rebuild
+            if ckpt.is_checkpoint_step(n):
+                self._gather()
+                ckpt.save(n, self.global_field, {"global": self.global_field.copy()})
+            try:
+                self._local_step()
+                for rc in list(self.mgp.ranks):
+                    try:
+                        self._rank_op(
+                            guard, rc, "forward_step", rc.pipe.forward_step,
+                            "forward",
+                        )
+                    except DeviceLostError as exc:
+                        self._redecompose(exc, "forward")
+                        raise _RestartNeeded(exc)
+                self._exchange(guard, self.mgp.primary)
+                if mode == "rtm" and (n + 1) % snap_period == 0:
+                    self._gather()
+                    store.save(n, self.global_field.copy())
+                n += 1
+            except _RestartNeeded as exc:
+                n = self._restart(exc, guard, ckpt, "forward", n)
+
+        self._gather()
+        if mode == "modeling":
+            for rc in self.mgp.ranks:
+                self._rank_op(
+                    guard, rc, "finalize",
+                    lambda p=rc.pipe: p.finalize(with_image=False), "forward",
+                )
+            return self.global_field.copy()
+
+        # ---------------- rtm backward phase ----------------
+        def swap_all():
+            for rc in self.mgp.ranks:
+                self._rank_op(
+                    guard, rc, "swap_to_backward",
+                    lambda p=rc.pipe: (
+                        p.restore_residency("backward")
+                        if p.phase == "idle"
+                        else p.swap_to_backward()
+                    ),
+                    "forward", reset=rc.pipe.drop_residency,
+                )
+
+        self._structural(guard, "backward", swap_all)
+        self.image = np.zeros(self.shape, dtype=np.float32)
+        # deterministic backward seed: the time-reverse starts from the
+        # final forward state, halved
+        self.global_field[...] = 0.5 * self.global_field
+        self._scatter()
+        bwd_name = self.mgp._backward_name()
+        bck = CheckpointStore(nt, period)
+        m = 0
+        while m < nt:
+            guard = self._guard()
+            if bck.is_checkpoint_step(m):
+                self._gather()
+                bck.save(m, self.global_field, {
+                    "global": self.global_field.copy(),
+                    "image": self.image.copy(),
+                })
+            try:
+                self._local_step()
+                for rc in list(self.mgp.ranks):
+                    try:
+                        self._rank_op(
+                            guard, rc, "backward_step", rc.pipe.backward_step,
+                            "backward",
+                        )
+                    except DeviceLostError as exc:
+                        self._redecompose(exc, "backward")
+                        raise _RestartNeeded(exc)
+                self._exchange(guard, bwd_name)
+                step = nt - 1 - m
+                if store.has(step):
+                    self._gather()
+                    self.image += store.load(step) * self.global_field
+                m += 1
+            except _RestartNeeded as exc:
+                m = self._restart(exc, guard, bck, "backward", m)
+
+        for rc in self.mgp.ranks:
+            self._rank_op(
+                guard, rc, "finalize",
+                lambda p=rc.pipe: p.finalize(
+                    with_image=p.options.image_on_gpu
+                ), "backward",
+            )
+        return self.image.copy()
+
+
+__all__ = [
+    "BackoffPolicy",
+    "CheckpointStore",
+    "RecoveryStats",
+    "ResilientPipeline",
+    "ResilientMultiGpu",
+]

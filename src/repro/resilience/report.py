@@ -1,0 +1,161 @@
+"""The chaos campaign's artifact: :class:`ResilienceReport`.
+
+One :class:`FaultOutcome` row per (case, fault spec) run; the report
+aggregates them into the injected / detected / retried / restarted /
+degraded / unrecovered ledger and renders as text or JSON. Deliberately
+timestamp-free: identical seeds must produce byte-identical reports, so the
+only time in here is the *simulated* recovery cost.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass, field
+
+
+@dataclass
+class FaultOutcome:
+    """Outcome of one faulted run of one seed case."""
+
+    case: str
+    mode: str
+    kind: str
+    spec: str
+    #: faults actually fired by the injector
+    injected: int = 0
+    #: the fault surfaced as a typed error (vs silently vanished)
+    detected: bool = False
+    #: operation-level retries spent
+    retries: int = 0
+    #: checkpoint restarts performed
+    restarts: int = 0
+    #: degradation action taken ('' when none): e.g. 're-plan:swap',
+    #: 're-decompose:2->1', 'device-refresh'
+    degraded: str = ""
+    #: the run completed despite the fault
+    recovered: bool = False
+    #: final wavefield/image matches the fault-free reference
+    equivalent: bool = False
+    #: simulated seconds of recovery overhead (backoff + restart replay)
+    recovery_cost_s: float = 0.0
+    #: human-readable fault/action labels, in order
+    events: tuple = ()
+    notes: str = ""
+
+    @property
+    def ok(self) -> bool:
+        return self.recovered and self.equivalent
+
+    def action(self) -> str:
+        """The headline recovery action for the text table."""
+        if self.degraded:
+            return f"degrade[{self.degraded}]"
+        if self.restarts:
+            return f"restart x{self.restarts}"
+        if self.retries:
+            return f"retry x{self.retries}"
+        return "none" if self.injected == 0 else "?"
+
+
+@dataclass
+class ResilienceReport:
+    """Aggregated chaos-campaign results."""
+
+    seed: int
+    ranks: int
+    outcomes: list = field(default_factory=list)
+
+    def add(self, outcome: FaultOutcome) -> None:
+        self.outcomes.append(outcome)
+
+    # ------------------------------------------------------------------
+    # aggregates
+    # ------------------------------------------------------------------
+    @property
+    def injected(self) -> int:
+        return sum(o.injected for o in self.outcomes)
+
+    @property
+    def detected(self) -> int:
+        return sum(1 for o in self.outcomes if o.detected)
+
+    @property
+    def retried(self) -> int:
+        return sum(o.retries for o in self.outcomes)
+
+    @property
+    def restarted(self) -> int:
+        return sum(o.restarts for o in self.outcomes)
+
+    @property
+    def degraded(self) -> int:
+        return sum(1 for o in self.outcomes if o.degraded)
+
+    @property
+    def unrecovered(self) -> int:
+        return sum(1 for o in self.outcomes if o.injected and not o.ok)
+
+    @property
+    def recovery_cost_s(self) -> float:
+        return sum(o.recovery_cost_s for o in self.outcomes)
+
+    def all_recovered(self) -> bool:
+        return self.unrecovered == 0
+
+    # ------------------------------------------------------------------
+    # rendering
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict:
+        return {
+            "seed": self.seed,
+            "ranks": self.ranks,
+            "summary": {
+                "runs": len(self.outcomes),
+                "injected": self.injected,
+                "detected": self.detected,
+                "retried": self.retried,
+                "restarted": self.restarted,
+                "degraded": self.degraded,
+                "unrecovered": self.unrecovered,
+                "recovery_cost_s": round(self.recovery_cost_s, 9),
+            },
+            "outcomes": [asdict(o) for o in self.outcomes],
+        }
+
+    def to_json(self, indent: int = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
+
+    def to_text(self) -> str:
+        head = (
+            f"resilience report  seed={self.seed} ranks={self.ranks} "
+            f"runs={len(self.outcomes)}"
+        )
+        lines = [head, "=" * len(head)]
+        widths = (14, 9, 22, 20, 9)
+        hdr = ("case", "mode", "fault", "action", "result")
+        lines.append("  ".join(h.ljust(w) for h, w in zip(hdr, widths)))
+        lines.append("  ".join("-" * w for w in widths))
+        for o in self.outcomes:
+            result = "OK" if o.ok else ("CLEAN" if o.injected == 0 else "FAIL")
+            row = (o.case, o.mode, o.spec, o.action(), result)
+            lines.append("  ".join(str(c).ljust(w) for c, w in zip(row, widths)))
+            if o.notes:
+                lines.append(f"    note: {o.notes}")
+        lines.append("")
+        lines.append(
+            f"injected={self.injected} detected={self.detected} "
+            f"retried={self.retried} restarted={self.restarted} "
+            f"degraded={self.degraded} unrecovered={self.unrecovered}"
+        )
+        lines.append(
+            f"recovery cost (simulated): {self.recovery_cost_s * 1e3:.3f} ms"
+        )
+        verdict = (
+            "ALL RECOVERED" if self.all_recovered() else
+            f"{self.unrecovered} RUN(S) UNRECOVERED"
+        )
+        lines.append(verdict)
+        return "\n".join(lines)
+
+
+__all__ = ["FaultOutcome", "ResilienceReport"]

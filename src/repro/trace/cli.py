@@ -76,6 +76,10 @@ def trace_case(
 
     tracer = tracer if tracer is not None else Tracer()
     shape = _SHAPES[ndim]
+    if ranks > 1:
+        return tracer, _trace_multigpu(
+            tracer, physics, shape, mode, nt, ranks, case=case, ndim=ndim
+        )
     depth = shape[0] * 10.0 / 2
     model = layered_model(
         shape, spacing=10.0, interfaces=[depth],
@@ -93,9 +97,6 @@ def trace_case(
     else:
         result = run_modeling(ModelingConfig(**cfg_kw),
                               gpu_options=options, tracer=tracer)
-    if ranks > 1:
-        field = result.image if mode == "rtm" else result.final_wavefield
-        _trace_halo_superstep(tracer, model, field, ranks)
     # the whole-run umbrella span, emitted post hoc: its clock is only
     # rebound to the device's simulated timeline once the Runtime exists
     tracer.emit(f"trace.{mode}", 0.0, tracer.now(), track="run", cat="phase",
@@ -103,24 +104,46 @@ def trace_case(
     return tracer, result
 
 
-def _trace_halo_superstep(tracer: Tracer, model, field, ranks: int) -> None:
-    """One instrumented halo swap of the final wavefield over ``ranks``
-    simulated MPI ranks (the multi-GPU decomposition the paper targets)."""
-    from repro.grid.decomposition import CartesianDecomposition
-    from repro.mpisim.comm import SimMPI
-    from repro.mpisim.halo import HaloExchanger
-    from repro.utils.timer import SimClock
+class MultiGpuTraceResult:
+    """What a decomposed trace run yields: per-rank modelled timings (the
+    single-card ``result.gpu`` has no one-card equivalent here)."""
 
-    decomp = CartesianDecomposition(model.grid, ranks, halo=4)
-    mpi = SimMPI(ranks)
-    # the exchange timeline continues where the device timeline stopped
-    clock = SimClock()
-    clock.advance_to(tracer.now())
-    ex = HaloExchanger(decomp, mpi, tracer=tracer, clock=clock)
-    locals_ = [decomp.subdomain(r).scatter(field) for r in range(ranks)]
-    with tracer.span("halo.exchange", process="mpi", track="superstep",
-                     cat="halo", ranks=ranks):
-        ex.exchange([{"wavefield": a} for a in locals_])
+    def __init__(self, rank_times):
+        self.rank_times = list(rank_times)
+        self.gpu = None
+
+
+def _trace_multigpu(
+    tracer: Tracer, physics: str, shape, mode: str, nt: int, ranks: int,
+    case: str, ndim: int,
+) -> MultiGpuTraceResult:
+    """The decomposed path: one :class:`Tracer` per rank wired into that
+    rank's runtime, halo-exchange spans on the shared timeline, all merged
+    into ``tracer`` under ``rank<r>:``-prefixed processes."""
+    from repro.core import GPUOptions
+    from repro.core.multigpu import MultiGpuPipeline
+
+    rank_tracers = [Tracer() for _ in range(ranks)]
+    mgp = MultiGpuPipeline(
+        physics, shape, ranks,
+        options=GPUOptions(),
+        space_order=4 if ndim == 3 else 8,
+        boundary_width=8,
+        tracers=rank_tracers,
+        exchange_tracer=tracer,
+    )
+    snap_period = 4
+    if mode == "rtm":
+        times = mgp.run_rtm(nt, snap_period)
+    else:
+        times = mgp.run_modeling(nt, snap_period)
+    end = 0.0
+    for r, rt in enumerate(rank_tracers):
+        tracer.absorb(rt, process_prefix=f"rank{r}:")
+        end = max(end, rt.now())
+    tracer.emit(f"trace.{mode}", 0.0, end, track="run", cat="phase",
+                case=case, physics=physics, ndim=ndim, nt=nt, ranks=ranks)
+    return MultiGpuTraceResult(times)
 
 
 def run_trace_command(args) -> int:
@@ -137,6 +160,9 @@ def run_trace_command(args) -> int:
     print()
     if result.gpu is not None:
         print(format_gpu_times("GPU time by category", result.gpu))
+        print()
+    for r, times in enumerate(getattr(result, "rank_times", ())):
+        print(format_gpu_times(f"GPU time by category — rank {r}", times))
         print()
     print(f"wrote {args.out} ({len(trace['traceEvents'])} events; "
           "open in https://ui.perfetto.dev)")

@@ -178,6 +178,29 @@ class Tracer:
             self._events.clear()
         self.metrics.clear()
 
+    # ------------------------------------------------------------------
+    # merging
+    # ------------------------------------------------------------------
+    def absorb(self, other: "Tracer", process_prefix: str = "") -> int:
+        """Copy every event of ``other`` into this tracer, optionally
+        renaming processes with ``process_prefix`` (e.g. ``"rank0:"``) so
+        per-rank timelines stay distinguishable after the merge into one
+        Perfetto export. Timestamps are taken verbatim — the caller is
+        responsible for the clocks being comparable (all simulated device
+        clocks start at 0, which is exactly what a side-by-side per-rank
+        view wants). Returns the number of events absorbed."""
+        absorbed = other.events
+        if process_prefix:
+            from dataclasses import replace
+
+            absorbed = [
+                replace(e, process=f"{process_prefix}{e.process}")
+                for e in absorbed
+            ]
+        with self._lock:
+            self._events.extend(absorbed)
+        return len(absorbed)
+
 
 #: shared always-off tracer: the default for instrumented constructors, so
 #: call sites run unconditionally at negligible cost. Do not enable it.

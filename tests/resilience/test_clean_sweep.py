@@ -1,0 +1,58 @@
+"""The 12-case clean sweep: with no faults armed, the resilient wrappers
+add zero overhead — bitwise-identical physics and identical modelled device
+time — across every physics x dimensionality x mode seed case."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import GPUOptions, ModelingConfig, RTMConfig
+from repro.core.modeling import run_modeling
+from repro.core.rtm import run_rtm
+from repro.model import layered_model
+from repro.resilience.recovery import ResilientPipeline
+
+SHAPES = {2: (48, 48), 3: (24, 24, 24)}
+NT = 6
+
+CASES = [
+    (physics, ndim, mode)
+    for physics in ("isotropic", "acoustic", "elastic")
+    for ndim in (2, 3)
+    for mode in ("modeling", "rtm")
+]
+
+
+def _cfg(physics, ndim, mode):
+    shape = SHAPES[ndim]
+    model = layered_model(
+        shape, spacing=10.0, interfaces=[shape[0] * 10.0 / 2],
+        velocities=[1500.0, 2600.0], vs_ratio=0.5,
+    )
+    cls = RTMConfig if mode == "rtm" else ModelingConfig
+    return cls(
+        physics=physics, model=model, nt=NT, peak_freq=12.0,
+        space_order=4, boundary_width=6, snap_period=2,
+    )
+
+
+@pytest.mark.parametrize(
+    "physics,ndim,mode", CASES,
+    ids=[f"{p[:2]}{n}d-{m}" for p, n, m in CASES],
+)
+def test_clean_run_is_transparent(physics, ndim, mode):
+    if mode == "rtm":
+        ref = run_rtm(_cfg(physics, ndim, mode), gpu_options=GPUOptions())
+        res = ResilientPipeline(_cfg(physics, ndim, mode))
+        got = res.run_rtm()
+        assert np.array_equal(ref.image, got.image)
+        assert np.array_equal(ref.raw_image, got.raw_image)
+    else:
+        ref = run_modeling(_cfg(physics, ndim, mode), gpu_options=GPUOptions())
+        res = ResilientPipeline(_cfg(physics, ndim, mode))
+        got = res.run_modeling()
+        assert np.array_equal(ref.final_wavefield, got.final_wavefield)
+    assert np.array_equal(ref.seismogram, got.seismogram)
+    # zero modelled overhead: same launches, same simulated seconds
+    for f in ("total", "kernel", "h2d", "d2h", "alloc", "launches"):
+        assert getattr(ref.gpu, f) == getattr(got.gpu, f), f
+    assert res.stats.detected == 0 and res.stats.restarts == 0

@@ -1,0 +1,133 @@
+"""FaultInjector: counting, firing windows, rank filters, resolution."""
+
+import pytest
+
+from repro.gpusim.memory import DeviceMemory
+from repro.resilience.faults import FaultPlan, FaultSpec
+from repro.resilience.injector import FaultInjector
+from repro.trace.tracer import Tracer
+from repro.utils.errors import (
+    DeviceECCError,
+    DeviceLostError,
+    DeviceOutOfMemoryError,
+    KernelLaunchError,
+    PCIeTransferError,
+)
+
+
+def _drive_transfers(inj, n, rank=None):
+    fired = 0
+    for i in range(n):
+        try:
+            inj.on_transfer("h2d", f"buf{i}", 1024, rank=rank)
+        except PCIeTransferError:
+            fired += 1
+    return fired
+
+
+class TestCounting:
+    def test_empty_plan_counts_only(self):
+        inj = FaultInjector()
+        assert _drive_transfers(inj, 5) == 0
+        for k in range(3):
+            inj.on_kernel_launch(f"k{k}")
+        inj.on_allocate("a", 256, DeviceMemory(1 << 20))
+        assert inj.op_counts() == {"transfer": 5, "launch": 3, "alloc": 1}
+        assert inj.events == []
+
+    def test_per_rank_counters(self):
+        inj = FaultInjector()
+        _drive_transfers(inj, 4, rank=0)
+        _drive_transfers(inj, 2, rank=1)
+        assert inj.op_count("transfer") == 6  # any-rank total
+        assert inj.op_count("transfer", rank=0) == 4
+        assert inj.op_count("transfer", rank=1) == 2
+
+
+class TestFiringWindows:
+    def test_transient_fires_count_consecutive_ops(self):
+        plan = FaultPlan(specs=(FaultSpec("pcie-transient", op_index=3, count=2),))
+        inj = FaultInjector(plan)
+        outcomes = []
+        for i in range(6):
+            try:
+                inj.on_transfer("h2d", "p", 8)
+                outcomes.append("ok")
+            except PCIeTransferError:
+                outcomes.append("fail")
+        assert outcomes == ["ok", "ok", "fail", "fail", "ok", "ok"]
+        assert [e.op_index for e in inj.events] == [3, 4]
+
+    def test_permanent_fires_until_resolved(self):
+        plan = FaultPlan(specs=(FaultSpec("pcie-permanent", op_index=2),))
+        inj = FaultInjector(plan)
+        assert _drive_transfers(inj, 5) == 4  # ops 2..5 all fail
+        assert inj.resolve("pcie-permanent") == 1
+        assert _drive_transfers(inj, 3) == 0
+        assert inj.resolve("pcie-permanent") == 0  # already resolved
+
+    def test_rank_filter_uses_that_ranks_counter(self):
+        plan = FaultPlan(specs=(FaultSpec("kernel-launch", op_index=2, rank=1),))
+        inj = FaultInjector(plan)
+        # rank 0 races ahead: its ops must never trip the rank-1 spec
+        for _ in range(4):
+            inj.on_kernel_launch("k", rank=0)
+        inj.on_kernel_launch("k", rank=1)  # rank 1 op #1: below op_index
+        with pytest.raises(KernelLaunchError):
+            inj.on_kernel_launch("k", rank=1)  # rank 1 op #2: fires
+        assert inj.events[0].rank == 1
+
+
+class TestKinds:
+    def test_ecc_and_rank_dead_raise_typed_errors(self):
+        plan = FaultPlan(specs=(
+            FaultSpec("ecc", op_index=1),
+            FaultSpec("rank-dead", op_index=2),
+        ))
+        inj = FaultInjector(plan)
+        with pytest.raises(DeviceECCError):
+            inj.on_kernel_launch("stencil")
+        with pytest.raises(DeviceLostError):
+            inj.on_kernel_launch("stencil")
+
+    def test_oom_carries_live_allocation_table(self):
+        mem = DeviceMemory(1 << 20)
+        mem.allocate("resident", 4096)
+        plan = FaultPlan(specs=(FaultSpec("oom", op_index=1),))
+        inj = FaultInjector(plan)
+        with pytest.raises(DeviceOutOfMemoryError) as exc:
+            inj.on_allocate("newbuf", 8192, mem)
+        msg = str(exc.value)
+        assert "resident" in msg and "newbuf" in msg
+
+    def test_message_actions(self):
+        plan = FaultPlan(specs=(
+            FaultSpec("mpi-drop", op_index=1),
+            FaultSpec("mpi-dup", op_index=2),
+            FaultSpec("mpi-delay", op_index=3),
+        ))
+        inj = FaultInjector(plan)
+        actions = [inj.on_message(0, 1, tag=9, nbytes=64) for _ in range(4)]
+        assert actions == ["drop", "duplicate", "delay", "deliver"]
+
+
+class TestRecordingAndBinding:
+    def test_events_traced_as_instants(self):
+        tracer = Tracer(clock=lambda: 0.0)
+        plan = FaultPlan(specs=(FaultSpec("kernel-launch", op_index=1),))
+        inj = FaultInjector(plan, tracer=tracer)
+        with pytest.raises(KernelLaunchError):
+            inj.on_kernel_launch("stencil")
+        marks = tracer.by_category("fault")
+        assert len(marks) == 1
+        assert marks[0].name == "fault:kernel-launch"
+        assert marks[0].process == "resilience"
+
+    def test_bound_injector_tags_rank(self):
+        plan = FaultPlan(specs=(FaultSpec("pcie-transient", op_index=1, rank=2),))
+        inj = FaultInjector(plan)
+        bound = inj.bound(2)
+        with pytest.raises(PCIeTransferError):
+            bound.on_transfer("d2h", "field", 128)
+        assert inj.events[0].rank == 2
+        assert inj.op_count("transfer", rank=2) == 1

@@ -1,0 +1,46 @@
+"""Multi-rank trace CLI: per-rank tracers merged into one timeline."""
+
+import json
+
+from repro.trace.cli import MultiGpuTraceResult, trace_case
+from repro.trace.export import write_perfetto
+from repro.trace.tracer import Tracer
+
+
+class TestAbsorb:
+    def test_prefixes_processes_and_counts(self):
+        a, b = Tracer(clock=lambda: 0.0), Tracer(clock=lambda: 0.0)
+        with b.span("step", process="gpu", track="q0"):
+            pass
+        b.instant("mark", process="host")
+        n = a.absorb(b, process_prefix="rank1:")
+        assert n == 2
+        assert {e.process for e in a.events} == {"rank1:gpu", "rank1:host"}
+
+    def test_no_prefix_copies_verbatim(self):
+        a, b = Tracer(clock=lambda: 0.0), Tracer(clock=lambda: 0.0)
+        b.instant("mark", process="mpi")
+        a.absorb(b)
+        assert a.events[0].process == "mpi"
+
+
+class TestTraceRanks:
+    def test_two_rank_modeling_merges_rank_timelines(self, tmp_path):
+        tracer, result = trace_case("ac2d", mode="modeling", nt=8, ranks=2)
+        assert isinstance(result, MultiGpuTraceResult)
+        assert len(result.rank_times) == 2
+        assert result.gpu is None
+
+        processes = {e.process for e in tracer.events}
+        assert any(p.startswith("rank0:") for p in processes)
+        assert any(p.startswith("rank1:") for p in processes)
+        # halo-exchange spans stay on the unprefixed shared timeline
+        assert any(e.cat == "halo" for e in tracer.events)
+
+        umbrella = tracer.find("trace.modeling")
+        assert len(umbrella) == 1 and umbrella[0].args["ranks"] == 2
+
+        out = tmp_path / "trace.json"
+        doc = write_perfetto(tracer, str(out))
+        assert json.loads(out.read_text())["traceEvents"]
+        assert doc["traceEvents"]
