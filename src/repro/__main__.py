@@ -35,10 +35,24 @@ Commands
     case's per-rank schedule (or replay a script) under shadow-state and
     vector-clock checking; ``--fix`` applies the proposed directive
     edits to a script and re-sanitizes (see ``docs/analysis.md``).
+``scale CASE | all [--ranks 1,2,4,8]``
+    Multi-rank scaling observatory: sweep the executed multi-GPU
+    pipeline over rank counts, reduce each merged trace to overlap /
+    comm / critical-path metrics, assert the scaling shape against the
+    paper's cluster model, and write ``BENCH_scaling.json`` (see
+    ``docs/observability.md``).
+``report [--check]``
+    Diff the latest run of every ledger group against its history;
+    ``--check`` exits non-zero on regression (the CI gate).
 
 ``tables``/``figures``/``sweep`` also accept ``--trace PATH`` to record a
 harness-level (wall-clock) trace of the run; ``tables``/``figures`` accept
 ``--plan plan.json`` to apply a tuning plan to its matching case.
+
+``trace``/``chaos``/``tune``/``scale`` append one structured record per
+run to the run ledger (``.repro/ledger.jsonl`` by default; ``--ledger
+PATH`` moves it, ``--no-ledger`` disables it) — the trajectory ``report``
+reads back.
 """
 
 from __future__ import annotations
@@ -217,6 +231,28 @@ def _cmd_sanitize(args) -> int:
     return run_sanitize_command(args)
 
 
+def _cmd_scale(args) -> int:
+    from repro.observe.scaling import run_scale_command
+
+    return run_scale_command(args)
+
+
+def _cmd_report(args) -> int:
+    from repro.observe.report import run_report_command
+
+    return run_report_command(args)
+
+
+def _add_ledger_args(p) -> None:
+    from repro.observe.ledger import DEFAULT_LEDGER_PATH
+
+    p.add_argument("--ledger", metavar="PATH", default=DEFAULT_LEDGER_PATH,
+                   help="run-ledger JSONL path "
+                   f"(default {DEFAULT_LEDGER_PATH})")
+    p.add_argument("--no-ledger", action="store_true",
+                   help="do not append this run to the ledger")
+
+
 def build_parser() -> argparse.ArgumentParser:
     ap = argparse.ArgumentParser(
         prog="repro",
@@ -268,6 +304,7 @@ def build_parser() -> argparse.ArgumentParser:
                     help="simulated MPI ranks for a halo-exchange superstep")
     tr.add_argument("--out", default="trace.json", help="Perfetto JSON path")
     tr.add_argument("--jsonl", metavar="PATH", help="also write flat JSONL")
+    _add_ledger_args(tr)
     tr.set_defaults(fn=_cmd_trace)
 
     li = sub.add_parser(
@@ -357,6 +394,7 @@ def build_parser() -> argparse.ArgumentParser:
                     help="also write the report to this file")
     ch.add_argument("--trace", metavar="PATH",
                     help="write a Perfetto trace of faults and recovery")
+    _add_ledger_args(ch)
     ch.set_defaults(fn=_cmd_chaos)
 
     tu = sub.add_parser(
@@ -373,7 +411,44 @@ def build_parser() -> argparse.ArgumentParser:
                     help="compiler persona, e.g. pgi-14.6, cray-8.2.6")
     tu.add_argument("--out", default="plan.json",
                     help="TuningPlan JSON path (default plan.json)")
+    _add_ledger_args(tu)
     tu.set_defaults(fn=_cmd_tune)
+
+    sc = sub.add_parser(
+        "scale",
+        help="multi-rank scaling observatory; writes BENCH_scaling.json",
+    )
+    sc.add_argument(
+        "case",
+        help="e.g. iso2d, ac3d — 'all' or a comma list for the full sweep",
+    )
+    sc.add_argument("--ranks", default="1,2,4,8",
+                    help="comma-separated rank counts (default 1,2,4,8)")
+    sc.add_argument("--mode", choices=["modeling", "rtm"], default="rtm")
+    sc.add_argument("--nt", type=int, default=16,
+                    help="time steps per point (default 16)")
+    sc.add_argument("--out", default="BENCH_scaling.json",
+                    help="scaling artifact path (default BENCH_scaling.json)")
+    _add_ledger_args(sc)
+    sc.set_defaults(fn=_cmd_scale)
+
+    rp = sub.add_parser(
+        "report",
+        help="diff the latest runs against the ledger trajectory",
+    )
+    rp.add_argument("--check", action="store_true",
+                    help="exit non-zero when any group regressed")
+    rp.add_argument("--ledger", metavar="PATH", default=None,
+                    help="ledger path (default .repro/ledger.jsonl)")
+    rp.add_argument("--threshold", type=float, default=10.0,
+                    help="regression threshold in percent (default 10)")
+    rp.add_argument("--window", type=int, default=5,
+                    help="baseline = median of up to N prior runs (default 5)")
+    rp.add_argument("--command-filter", metavar="CMD", default=None,
+                    help="only report groups of one command "
+                    "(trace|tune|chaos|scale)")
+    rp.add_argument("--format", choices=["text", "json"], default="text")
+    rp.set_defaults(fn=_cmd_report)
     return ap
 
 

@@ -89,6 +89,13 @@ def format_speedup_table(title: str, rows: list[Row]) -> str:
     return "\n".join(lines)
 
 
+#: fixed category-name column width of :func:`format_gpu_times` — wide
+#: enough for every category the runtime emits (``kernel``, ``h2d``,
+#: ``d2h``, ``halo``, ``alloc``, ``other``, ``total``), so breakdowns
+#: from different runs and ranks align when printed side by side
+GPU_TIMES_NAME_WIDTH = 8
+
+
 def format_gpu_times(title: str, gpu: "GpuTimes") -> str:
     """Render one run's per-category GPU time breakdown.
 
@@ -96,6 +103,12 @@ def format_gpu_times(title: str, gpu: "GpuTimes") -> str:
     device SimClock's cumulative kernel / h2d / d2h / alloc seconds) that
     the drivers collect — the textual twin of the profiler timelines the
     paper reads utilization off.
+
+    Column contract (stable across runs — consumers diff these blocks):
+    ``  <name:{W}> : <seconds:10.4f> s  (<share:5.1f>%)`` with
+    ``W = max(GPU_TIMES_NAME_WIDTH, longest category name)``; one line
+    per non-zero category, largest first, then the ``total`` line. The
+    share column is percent of the run's total GPU time.
     """
     lines = [title, "-" * len(title)]
     if not gpu.success:
@@ -109,7 +122,7 @@ def format_gpu_times(title: str, gpu: "GpuTimes") -> str:
     other = gpu.other
     if other > 0.0:
         cats["other"] = other
-    width = max((len(k) for k in cats), default=5)
+    width = max(GPU_TIMES_NAME_WIDTH, max((len(k) for k in cats), default=0))
     total = gpu.total if gpu.total > 0 else sum(cats.values())
     for name in sorted(cats, key=cats.get, reverse=True):
         share = 100.0 * cats[name] / total if total > 0 else 0.0

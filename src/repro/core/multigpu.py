@@ -39,6 +39,7 @@ from repro.grid.decomposition import CartesianDecomposition
 from repro.grid.grid import Grid
 from repro.mpisim.comm import SimMPI
 from repro.mpisim.halo import HaloExchanger
+from repro.observe import runlog
 from repro.propagators.workloads import workloads_for
 from repro.utils.errors import ConfigurationError
 
@@ -463,6 +464,7 @@ class MultiGpuPipeline:
                 rt.note_host_write(name, offset=lo, nbytes=nbytes)
                 if proto.update_ghost_device:
                     rt.update_device(name, nbytes=nbytes, offset=lo)
+        runlog.count("multigpu.exchanges")
 
     # ------------------------------------------------------------------
     def run_modeling(
@@ -470,6 +472,7 @@ class MultiGpuPipeline:
     ) -> list[GpuTimes]:
         """The Figure-4 forward schedule on every card, ghost swaps between
         steps; returns per-rank modelled timings."""
+        runlog.emit("run", op="modeling", nt=nt, ranks=len(self.ranks))
         for rc in self.ranks:
             rc.pipe.allocate_forward()
         for n in range(nt):
@@ -481,11 +484,13 @@ class MultiGpuPipeline:
                     rc.pipe.snapshot_to_host(decimate=snapshot_decimate)
         for rc in self.ranks:
             rc.pipe.finalize(with_image=False)
+        runlog.emit("run.done", op="modeling")
         return [rc.pipe.gpu_times() for rc in self.ranks]
 
     def run_rtm(self, nt: int, snap_period: int) -> list[GpuTimes]:
         """Both phases: forward with full-field snapshots, swap, backward
         with imaging — the backward wavefield's halos swap per step too."""
+        runlog.emit("run", op="rtm", nt=nt, ranks=len(self.ranks))
         for rc in self.ranks:
             rc.pipe.allocate_forward()
         for n in range(nt):
@@ -508,4 +513,5 @@ class MultiGpuPipeline:
             self.exchange(bwd)
         for rc in self.ranks:
             rc.pipe.finalize(with_image=rc.pipe.options.image_on_gpu)
+        runlog.emit("run.done", op="rtm")
         return [rc.pipe.gpu_times() for rc in self.ranks]

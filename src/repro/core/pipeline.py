@@ -29,6 +29,7 @@ import numpy as np
 from repro.acc.runtime import Runtime
 from repro.core.config import GpuTimes, GPUOptions
 from repro.core.inventory import field_inventory, primary_wavefield
+from repro.observe import runlog
 from repro.propagators.base import KernelWorkload
 from repro.propagators.workloads import (
     imaging_condition_workloads,
@@ -166,6 +167,7 @@ class OffloadPipeline:
             self.rt.enter_data(copyin=dict(self.inventory))
         self._present_names = list(self.inventory)
         self._phase = "forward"
+        runlog.emit("phase", phase="forward", fields=len(self.inventory))
 
     # ------------------------------------------------------------------
     # step 2: forward phase
@@ -184,6 +186,7 @@ class OffloadPipeline:
                              async_=async_)
             if async_ or (async_ is None and self.rt.compiler.auto_async_kernels):
                 self.rt.wait()
+        runlog.count("pipeline.forward_steps")
 
     def snapshot_to_host(self, decimate: int = 1) -> None:
         """``update host`` of the wavefield for the snapshot store."""
@@ -193,6 +196,7 @@ class OffloadPipeline:
             self.rt.update_host(self.primary, nbytes=nbytes)
         self.tracer.metrics.counter("pipeline.snapshot_bytes").add(nbytes)
         self.tracer.metrics.counter("pipeline.snapshots").add()
+        runlog.count("pipeline.snapshots")
 
     # ------------------------------------------------------------------
     # step 3: offload forward, upload backward
@@ -204,6 +208,7 @@ class OffloadPipeline:
             raise ConfigurationError(f"swap_to_backward in phase '{self._phase}'")
         with self.tracer.span("swap_to_backward", track="pipeline", cat="phase"):
             self._swap_to_backward()
+        runlog.emit("phase", phase="backward")
 
     def _swap_to_backward(self) -> None:
         self.rt.wait()
@@ -258,6 +263,7 @@ class OffloadPipeline:
         with self.tracer.span("backward_step", track="pipeline", cat="phase",
                               phase="backward"):
             self._backward_step(inject_receivers, async_)
+        runlog.count("pipeline.backward_steps")
 
     def _backward_step(self, inject_receivers, async_) -> None:
         if self.physics == "isotropic":
@@ -291,6 +297,7 @@ class OffloadPipeline:
             self.rt.exit_data(delete=list(self._present_names))
         self._present_names = []
         self._phase = "idle"
+        runlog.emit("phase", phase="idle", with_image=with_image)
 
     # ------------------------------------------------------------------
     # residency teardown / rebuild (repro.resilience)
@@ -312,6 +319,7 @@ class OffloadPipeline:
                 self.rt.exit_data(delete=names)
         self._present_names = []
         self._phase = "idle"
+        runlog.emit("phase", phase="idle", via="drop_residency")
 
     def restore_residency(self, phase: str) -> None:
         """Rebuild device residency for ``phase`` ('idle' | 'forward' |
@@ -332,6 +340,7 @@ class OffloadPipeline:
             self.allocate_forward()
             if phase == "backward":
                 self._swap_to_backward()
+        runlog.emit("phase", phase=self._phase, via="restore_residency")
 
     # ------------------------------------------------------------------
     @property

@@ -1,0 +1,234 @@
+"""The run ledger: an append-only JSONL trajectory of observed runs.
+
+Every ``trace`` / ``tune`` / ``chaos`` / ``scale`` invocation appends one
+:class:`LedgerRecord` — run identity (command, case, mode, ranks), the
+TuningPlan fingerprint in effect, the run's reduced metrics, and the
+structured events its :class:`~repro.observe.runlog.RunLog` accumulated
+(recoveries, degrades, phase transitions). ``python -m repro report``
+reads the trajectory back and diffs the latest run of each group against
+its history, so a schedule change that quietly costs 10% of step time is
+caught by CI rather than by a reader of BENCH files.
+
+The on-disk format is one JSON object per line (schema-versioned). Lines
+with a newer schema or unparseable content are surfaced as warnings, not
+errors: the ledger is history, and history survives format drift.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import uuid
+from dataclasses import dataclass, field
+from datetime import datetime, timezone
+
+from repro.utils.errors import ConfigurationError
+
+#: current record schema
+LEDGER_SCHEMA = 1
+#: default ledger location, relative to the working directory
+DEFAULT_LEDGER_PATH = os.path.join(".repro", "ledger.jsonl")
+
+
+def plan_fingerprint(plan) -> str | None:
+    """Stable short hash of a :class:`~repro.optim.autotune.TuningPlan`
+    (or None) — ledger records carry it so a metric shift can be tied to
+    the plan that caused it."""
+    if plan is None:
+        return None
+    doc = json.dumps(plan.to_json(), sort_keys=True)
+    return hashlib.sha256(doc.encode()).hexdigest()[:12]
+
+
+def _utcnow() -> str:
+    return datetime.now(timezone.utc).isoformat(timespec="seconds")
+
+
+@dataclass
+class LedgerRecord:
+    """One observed run."""
+
+    command: str
+    case: str | None
+    mode: str | None
+    ranks: int
+    metrics: dict[str, float]
+    run_id: str = ""
+    timestamp: str = ""
+    plan_hash: str | None = None
+    events: list[dict] = field(default_factory=list)
+    counters: dict[str, float] = field(default_factory=dict)
+    schema: int = LEDGER_SCHEMA
+
+    def __post_init__(self) -> None:
+        if not self.run_id:
+            self.run_id = uuid.uuid4().hex[:12]
+        if not self.timestamp:
+            self.timestamp = _utcnow()
+
+    # ------------------------------------------------------------------
+    @property
+    def group(self) -> tuple:
+        """The trend axis: runs compare only within their group."""
+        return (self.command, self.case, self.mode, self.ranks)
+
+    def to_json(self) -> dict:
+        return {
+            "schema": self.schema,
+            "run_id": self.run_id,
+            "timestamp": self.timestamp,
+            "command": self.command,
+            "case": self.case,
+            "mode": self.mode,
+            "ranks": self.ranks,
+            "plan_hash": self.plan_hash,
+            "metrics": dict(sorted(self.metrics.items())),
+            "counters": dict(sorted(self.counters.items())),
+            "events": list(self.events),
+        }
+
+    @staticmethod
+    def from_json(doc: dict) -> "LedgerRecord":
+        return LedgerRecord(
+            command=doc["command"],
+            case=doc.get("case"),
+            mode=doc.get("mode"),
+            ranks=int(doc.get("ranks", 1)),
+            metrics=dict(doc.get("metrics", {})),
+            run_id=doc.get("run_id", ""),
+            timestamp=doc.get("timestamp", ""),
+            plan_hash=doc.get("plan_hash"),
+            events=list(doc.get("events", ())),
+            counters=dict(doc.get("counters", {})),
+            schema=int(doc.get("schema", LEDGER_SCHEMA)),
+        )
+
+    @staticmethod
+    def from_runlog(
+        runlog, metrics: dict[str, float], plan_hash: str | None = None
+    ) -> "LedgerRecord":
+        """Fold a finished :class:`~repro.observe.runlog.RunLog` and the
+        run's reduced metrics into one record."""
+        return LedgerRecord(
+            command=runlog.command,
+            case=runlog.case,
+            mode=runlog.mode,
+            ranks=runlog.ranks,
+            metrics=dict(metrics),
+            plan_hash=plan_hash,
+            events=list(runlog.events),
+            counters=dict(runlog.counters),
+        )
+
+
+class RunLedger:
+    """Append/read access to one JSONL ledger file."""
+
+    def __init__(self, path: str = DEFAULT_LEDGER_PATH):
+        self.path = path
+        self.warnings: list[str] = []
+
+    # ------------------------------------------------------------------
+    def append(self, record: LedgerRecord) -> LedgerRecord:
+        """Append one record (creating the ledger directory on first use)."""
+        parent = os.path.dirname(self.path)
+        if parent:
+            os.makedirs(parent, exist_ok=True)
+        with open(self.path, "a", encoding="utf-8") as fh:
+            fh.write(json.dumps(record.to_json(), sort_keys=False) + "\n")
+        return record
+
+    # ------------------------------------------------------------------
+    def records(
+        self,
+        command: str | None = None,
+        case: str | None = None,
+        mode: str | None = None,
+        ranks: int | None = None,
+    ) -> list[LedgerRecord]:
+        """All parseable records, in append order, optionally filtered."""
+        self.warnings = []
+        if not os.path.exists(self.path):
+            return []
+        out: list[LedgerRecord] = []
+        with open(self.path, encoding="utf-8") as fh:
+            for lineno, line in enumerate(fh, 1):
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    doc = json.loads(line)
+                    rec = LedgerRecord.from_json(doc)
+                except (ValueError, KeyError, TypeError) as exc:
+                    self.warnings.append(
+                        f"{self.path}:{lineno}: skipped unreadable record "
+                        f"({type(exc).__name__}: {exc})"
+                    )
+                    continue
+                if rec.schema > LEDGER_SCHEMA:
+                    self.warnings.append(
+                        f"{self.path}:{lineno}: skipped schema-{rec.schema} "
+                        f"record (this build reads <= {LEDGER_SCHEMA})"
+                    )
+                    continue
+                out.append(rec)
+        if command is not None:
+            out = [r for r in out if r.command == command]
+        if case is not None:
+            out = [r for r in out if r.case == case]
+        if mode is not None:
+            out = [r for r in out if r.mode == mode]
+        if ranks is not None:
+            out = [r for r in out if r.ranks == ranks]
+        return out
+
+    def groups(self) -> dict[tuple, list[LedgerRecord]]:
+        """Records bucketed by their (command, case, mode, ranks) group,
+        each bucket in append order."""
+        out: dict[tuple, list[LedgerRecord]] = {}
+        for rec in self.records():
+            out.setdefault(rec.group, []).append(rec)
+        return out
+
+    def latest(self, **filters) -> LedgerRecord | None:
+        recs = self.records(**filters)
+        return recs[-1] if recs else None
+
+
+def ledger_path_from_args(args) -> str | None:
+    """Resolve a CLI's ``--ledger``/``--no-ledger`` pair: None disables
+    the append, otherwise the given (or default) ledger path."""
+    if getattr(args, "no_ledger", False):
+        return None
+    return getattr(args, "ledger", None) or DEFAULT_LEDGER_PATH
+
+
+def append_run(
+    ledger_path: str | None,
+    runlog,
+    metrics: dict[str, float],
+    plan=None,
+) -> LedgerRecord | None:
+    """The one-call hook the CLIs use: fold ``runlog`` + ``metrics`` into
+    a record and append it to ``ledger_path``. ``None`` path disables the
+    ledger (``--no-ledger``); returns the appended record or None."""
+    if ledger_path is None:
+        return None
+    if runlog is None:
+        raise ConfigurationError("append_run needs an active RunLog")
+    record = LedgerRecord.from_runlog(
+        runlog, metrics, plan_hash=plan_fingerprint(plan)
+    )
+    return RunLedger(ledger_path).append(record)
+
+
+__all__ = [
+    "LEDGER_SCHEMA",
+    "DEFAULT_LEDGER_PATH",
+    "plan_fingerprint",
+    "LedgerRecord",
+    "RunLedger",
+    "append_run",
+    "ledger_path_from_args",
+]

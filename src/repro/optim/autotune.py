@@ -935,11 +935,31 @@ def run_tune_command(args) -> int:
         f"tuning {args.case} ({args.mode}) on {request.platform.name} / "
         f"{request.base_options.compiler.name}, budget {args.budget} probes"
     )
-    plan = tune_case(request, budget=args.budget, log=print)
+    from repro.observe import RunLog, append_run, ledger_path_from_args
+
+    runlog = RunLog(command="tune", case=args.case, mode=args.mode,
+                    ranks=1, budget=args.budget, nt=args.nt)
+    with runlog.activate():
+        plan = tune_case(request, budget=args.budget, log=print)
     plan.save(args.out)
     print()
     print(plan.summary_text())
     print(f"wrote {args.out}")
+    ledger_path = ledger_path_from_args(args)
+    record = append_run(
+        ledger_path, runlog,
+        {
+            "baseline_step_seconds": plan.baseline_step_seconds,
+            "tuned_step_seconds": plan.tuned_step_seconds,
+            "improvement": plan.improvement,
+            "transfer_overlap_fraction": plan.transfer_overlap_fraction,
+            "probes": float(plan.probes),
+        },
+        plan=plan,
+    )
+    if record is not None:
+        print(f"ledger {ledger_path} (run {record.run_id}, "
+              f"plan {record.plan_hash})")
     return 0
 
 

@@ -302,11 +302,16 @@ def run_chaos_command(args) -> int:
         if args.mode == "both"
         else (args.mode,)
     )
+    from repro.observe import RunLog, append_run, ledger_path_from_args
+
     cases = None if args.case == "all" else (args.case,)
-    report = run_chaos_campaign(
-        cases=cases, modes=modes, seed=args.seed, ranks=args.ranks,
-        nt=args.nt, faults=args.faults, tracer=tracer,
-    )
+    runlog = RunLog(command="chaos", case=args.case, mode=args.mode,
+                    ranks=args.ranks, seed=args.seed)
+    with runlog.activate():
+        report = run_chaos_campaign(
+            cases=cases, modes=modes, seed=args.seed, ranks=args.ranks,
+            nt=args.nt, faults=args.faults, tracer=tracer,
+        )
 
     text = report.to_json() if args.format == "json" else report.to_text()
     if args.out:
@@ -323,6 +328,24 @@ def run_chaos_command(args) -> int:
 
         write_perfetto(tracer, args.trace)
         print(f"wrote {args.trace}")
+
+    runs = len(report.outcomes)
+    injected = report.injected
+    ledger_path = ledger_path_from_args(args)
+    record = append_run(
+        ledger_path, runlog,
+        {
+            "runs": float(runs),
+            "injected": float(injected),
+            "unrecovered": float(report.unrecovered),
+            "recovered_fraction": (
+                1.0 - report.unrecovered / runs if runs else 1.0
+            ),
+            "recovery_cost_s": report.recovery_cost_s,
+        },
+    )
+    if record is not None:
+        print(f"ledger {ledger_path} (run {record.run_id})")
     return 0 if report.unrecovered == 0 else 1
 
 

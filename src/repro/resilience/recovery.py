@@ -59,6 +59,7 @@ from repro.core.offload_plan import plan_offload
 from repro.core.pipeline import OffloadPipeline
 from repro.core.platform import CRAY_K40, Platform
 from repro.core.snapshots import SnapshotStore, default_snap_period
+from repro.observe import runlog
 from repro.propagators.factory import make_propagator
 from repro.resilience.faults import OOM, PCIE_PERMANENT, RANK_DEAD
 from repro.resilience.injector import TRACE_PROCESS, FaultInjector
@@ -181,6 +182,11 @@ class RecoveryStats:
 
     def note(self, action: str) -> None:
         self.actions.append(action)
+        # recovery actions land in the ambient run ledger record too, so
+        # a chaos campaign's retries/restarts/degrades are queryable next
+        # to the run's reduced metrics (no-op outside a run scope)
+        runlog.emit("recovery", action=action)
+        runlog.count("recovery.actions")
 
 
 class _RestartNeeded(ReproError):

@@ -149,14 +149,24 @@ def _trace_multigpu(
 def run_trace_command(args) -> int:
     """``python -m repro trace`` entry point (argparse namespace in)."""
     from repro.bench.report import format_gpu_times
+    from repro.observe import RunLog, append_run, ledger_path_from_args
+    from repro.observe.reduce import reduce_trace
 
-    tracer, result = trace_case(
-        args.case, mode=args.mode, nt=args.nt, ranks=args.ranks
-    )
+    runlog = RunLog(command="trace", case=args.case, mode=args.mode,
+                    ranks=args.ranks, nt=args.nt)
+    with runlog.activate():
+        tracer, result = trace_case(
+            args.case, mode=args.mode, nt=args.nt, ranks=args.ranks
+        )
     trace = write_perfetto(tracer, args.out)
     if args.jsonl:
         write_jsonl(tracer, args.jsonl)
     print(summary_text(tracer, title=f"Trace summary — {args.case} ({args.mode})"))
+    print()
+    reduction = reduce_trace(tracer)
+    print(reduction.to_text(
+        title=f"Trace reduction — {args.case} ({args.mode})"
+    ))
     print()
     if result.gpu is not None:
         print(format_gpu_times("GPU time by category", result.gpu))
@@ -168,4 +178,8 @@ def run_trace_command(args) -> int:
           "open in https://ui.perfetto.dev)")
     if args.jsonl:
         print(f"wrote {args.jsonl}")
+    ledger_path = ledger_path_from_args(args)
+    record = append_run(ledger_path, runlog, reduction.summary_metrics())
+    if record is not None:
+        print(f"ledger {ledger_path} (run {record.run_id})")
     return 0

@@ -132,6 +132,31 @@ class MetricsRegistry:
         return inst
 
     # ------------------------------------------------------------------
+    def absorb(self, other: "MetricsRegistry", prefix: str = "") -> None:
+        """Merge ``other``'s instruments into this registry under
+        ``prefix``-renamed instrument names (``"rank0:halo.bytes"``).
+
+        Counters add; gauges keep the merged-in last value and the max of
+        both high-water marks; histograms fold count/total/min/max (the
+        streaming summary is associative, so the merge is exact)."""
+        snap = other.snapshot()
+        for name, value in snap["counters"].items():
+            self.counter(f"{prefix}{name}").add(value)
+        for name, g in snap["gauges"].items():
+            gauge = self.gauge(f"{prefix}{name}")
+            gauge.set(g["max"])
+            gauge.set(g["value"])
+        for name, h in snap["histograms"].items():
+            if h["count"] == 0:
+                continue
+            hist = self.histogram(f"{prefix}{name}")
+            with self._lock:
+                hist.count += h["count"]
+                hist.total += h["total"]
+                hist.min = min(hist.min, h["min"])
+                hist.max = max(hist.max, h["max"])
+
+    # ------------------------------------------------------------------
     def __iter__(self) -> Iterator[str]:
         yield from sorted({*self._counters, *self._gauges, *self._histograms})
 

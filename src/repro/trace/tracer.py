@@ -188,7 +188,10 @@ class Tracer:
         Perfetto export. Timestamps are taken verbatim — the caller is
         responsible for the clocks being comparable (all simulated device
         clocks start at 0, which is exactly what a side-by-side per-rank
-        view wants). Returns the number of events absorbed."""
+        view wants). The other tracer's metrics registry merges in too,
+        under ``process_prefix``-renamed instrument names, so a merged
+        multi-rank summary shows every rank's counters side by side.
+        Returns the number of events absorbed."""
         absorbed = other.events
         if process_prefix:
             from dataclasses import replace
@@ -199,6 +202,7 @@ class Tracer:
             ]
         with self._lock:
             self._events.extend(absorbed)
+        self.metrics.absorb(other.metrics, prefix=process_prefix)
         return len(absorbed)
 
 

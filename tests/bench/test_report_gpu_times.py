@@ -23,3 +23,24 @@ class TestFormatGpuTimes:
     def test_failure_rendered(self):
         gpu = GpuTimes(success=False, failure="oom")
         assert "FAILED (oom)" in format_gpu_times("Breakdown", gpu)
+
+    def test_share_column_sums_to_total(self):
+        gpu = GpuTimes(total=2.0, kernel=1.0, h2d=0.6, d2h=0.4, launches=3,
+                       categories={"kernel": 1.0, "h2d": 0.6, "d2h": 0.4})
+        text = format_gpu_times("Breakdown", gpu)
+        assert "( 50.0%)" in text and "( 30.0%)" in text and "( 20.0%)" in text
+
+    def test_stable_column_width_across_category_sets(self):
+        from repro.bench.report import GPU_TIMES_NAME_WIDTH
+
+        short = GpuTimes(total=1.0, kernel=1.0, launches=1,
+                         categories={"h2d": 1.0})
+        long = GpuTimes(total=1.0, kernel=1.0, launches=1,
+                        categories={"kernel": 0.5, "halo": 0.3, "alloc": 0.2})
+        for gpu in (short, long):
+            lines = format_gpu_times("T", gpu).splitlines()[2:]
+            # every value column starts at the same offset in every run
+            assert all(
+                line.index(" : ") == 2 + GPU_TIMES_NAME_WIDTH
+                for line in lines
+            )

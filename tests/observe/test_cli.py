@@ -1,0 +1,83 @@
+"""End-to-end CLI contracts: trace/tune feed the ledger report reads."""
+
+import json
+
+from repro.__main__ import main
+from repro.observe.ledger import RunLedger
+
+
+class TestTraceLedger:
+    def test_trace_appends_and_prints_reduction(self, tmp_path, capsys):
+        ledger = str(tmp_path / "ledger.jsonl")
+        out = str(tmp_path / "trace.json")
+        rc = main(["trace", "iso2d", "--mode", "modeling", "--nt", "4",
+                   "--out", out, "--ledger", ledger])
+        assert rc == 0
+        text = capsys.readouterr().out
+        assert "Trace reduction" in text
+        assert "per-rank overlap" in text
+        rec = RunLedger(ledger).latest()
+        assert rec.command == "trace" and rec.case == "iso2d"
+        assert rec.metrics["makespan_s"] > 0.0
+        assert rec.counters["pipeline.forward_steps"] == 4.0
+
+    def test_trace_two_ranks_reduces_merged_timeline(self, tmp_path, capsys):
+        ledger = str(tmp_path / "ledger.jsonl")
+        out = str(tmp_path / "trace.json")
+        rc = main(["trace", "iso2d", "--mode", "modeling", "--nt", "4",
+                   "--ranks", "2", "--out", out, "--ledger", ledger])
+        assert rc == 0
+        text = capsys.readouterr().out
+        assert "rank 1:" in text  # per-rank overlap lines
+        assert "rank0:gpu.kernel_launches" in text  # merged metrics table
+        rec = RunLedger(ledger).latest()
+        assert rec.ranks == 2
+        assert rec.metrics["comm_s"] > 0.0
+
+    def test_trace_no_ledger(self, tmp_path, capsys):
+        out = str(tmp_path / "trace.json")
+        rc = main(["trace", "iso2d", "--mode", "modeling", "--nt", "4",
+                   "--out", out, "--no-ledger"])
+        assert rc == 0
+        out_text = capsys.readouterr().out
+        assert not any(line.startswith("ledger ")
+                       for line in out_text.splitlines())
+
+
+class TestTuneLedger:
+    def test_tune_records_plan_fingerprint(self, tmp_path, capsys):
+        ledger = str(tmp_path / "ledger.jsonl")
+        plan = str(tmp_path / "plan.json")
+        rc = main(["tune", "iso2d", "--budget", "2", "--out", plan,
+                   "--ledger", ledger])
+        assert rc == 0
+        rec = RunLedger(ledger).latest()
+        assert rec.command == "tune"
+        assert rec.plan_hash and len(rec.plan_hash) == 12
+        assert rec.metrics["tuned_step_seconds"] <= (
+            rec.metrics["baseline_step_seconds"]
+        )
+        assert f"plan {rec.plan_hash}" in capsys.readouterr().out
+
+
+class TestLedgerTrajectory:
+    def test_trace_then_report_check_roundtrip(self, tmp_path, capsys):
+        ledger = str(tmp_path / "ledger.jsonl")
+        out = str(tmp_path / "trace.json")
+        for _ in range(2):  # identical runs: a clean trajectory
+            assert main(["trace", "iso2d", "--mode", "modeling", "--nt", "4",
+                         "--out", out, "--ledger", ledger]) == 0
+        assert main(["report", "--ledger", ledger, "--check"]) == 0
+
+        # inject a synthetic slowdown as a third run of the same group
+        records = [json.loads(line)
+                   for line in open(ledger, encoding="utf-8")]
+        slow = dict(records[-1])
+        slow["run_id"] = "feedc0ffee00"
+        slow["metrics"] = dict(slow["metrics"])
+        slow["metrics"]["makespan_s"] *= 2.0
+        with open(ledger, "a", encoding="utf-8") as fh:
+            fh.write(json.dumps(slow) + "\n")
+        capsys.readouterr()
+        assert main(["report", "--ledger", ledger, "--check"]) == 1
+        assert "REGRESSION" in capsys.readouterr().out

@@ -1,0 +1,139 @@
+"""Run ledger: append, read-back, grouping, robustness, fingerprints."""
+
+import json
+import os
+
+from repro.observe.ledger import (
+    LEDGER_SCHEMA,
+    LedgerRecord,
+    RunLedger,
+    append_run,
+    ledger_path_from_args,
+    plan_fingerprint,
+)
+from repro.observe.runlog import RunLog
+
+
+def record(case="iso2d", ranks=1, command="trace", **metrics):
+    return LedgerRecord(command=command, case=case, mode="rtm", ranks=ranks,
+                        metrics=metrics or {"makespan_s": 1.0})
+
+
+class TestRecord:
+    def test_auto_identity(self):
+        rec = record()
+        assert len(rec.run_id) == 12
+        assert rec.timestamp  # ISO stamp filled in
+        assert rec.schema == LEDGER_SCHEMA
+
+    def test_roundtrip(self):
+        rec = record(makespan_s=0.5, comm_s=0.1)
+        back = LedgerRecord.from_json(rec.to_json())
+        assert back.group == rec.group
+        assert back.metrics == rec.metrics
+        assert back.run_id == rec.run_id
+
+    def test_from_runlog_carries_events_and_counters(self):
+        log = RunLog(command="chaos", case="el2d", mode="both", ranks=2)
+        log.log("recovery", action="retry")
+        log.count("recovery.actions")
+        rec = LedgerRecord.from_runlog(log, {"unrecovered": 0.0})
+        assert rec.group == ("chaos", "el2d", "both", 2)
+        assert rec.events == [{"kind": "recovery", "action": "retry"}]
+        assert rec.counters == {"recovery.actions": 1.0}
+
+
+class TestLedgerFile:
+    def test_append_creates_parent_and_reads_back(self, tmp_path):
+        path = str(tmp_path / "nested" / "ledger.jsonl")
+        ledger = RunLedger(path)
+        ledger.append(record(makespan_s=1.0))
+        ledger.append(record(makespan_s=2.0))
+        recs = ledger.records()
+        assert [r.metrics["makespan_s"] for r in recs] == [1.0, 2.0]
+
+    def test_groups_and_filters(self, tmp_path):
+        ledger = RunLedger(str(tmp_path / "ledger.jsonl"))
+        ledger.append(record(case="iso2d", ranks=1))
+        ledger.append(record(case="iso2d", ranks=2))
+        ledger.append(record(case="ac3d", ranks=2, command="scale"))
+        assert len(ledger.groups()) == 3
+        assert len(ledger.records(command="scale")) == 1
+        assert ledger.latest(case="iso2d").ranks == 2
+
+    def test_unreadable_lines_become_warnings(self, tmp_path):
+        path = tmp_path / "ledger.jsonl"
+        good = record().to_json()
+        path.write_text(
+            json.dumps(good) + "\n"
+            + "not json at all\n"
+            + json.dumps({"schema": LEDGER_SCHEMA + 1, "command": "x",
+                          "ranks": 1}) + "\n"
+        )
+        ledger = RunLedger(str(path))
+        assert len(ledger.records()) == 1
+        assert len(ledger.warnings) == 2
+
+    def test_missing_file_is_empty(self, tmp_path):
+        assert RunLedger(str(tmp_path / "absent.jsonl")).records() == []
+
+
+class TestAppendRun:
+    def test_none_path_disables(self):
+        log = RunLog(command="trace")
+        assert append_run(None, log, {"makespan_s": 1.0}) is None
+
+    def test_appends_with_plan_hash(self, tmp_path):
+        from repro.optim.autotune import TuningPlan
+
+        plan = TuningPlan(
+            case="iso2d", mode="rtm", platform="CRAY XK6", compiler="pgi",
+            maxregcount=None, async_kernels=None, kernels={},
+            baseline_step_seconds=1.0, tuned_step_seconds=0.9,
+        )
+        path = str(tmp_path / "ledger.jsonl")
+        log = RunLog(command="tune", case="iso2d", mode="rtm")
+        rec = append_run(path, log, {"improvement": 0.1}, plan=plan)
+        assert rec.plan_hash == plan_fingerprint(plan)
+        assert RunLedger(path).latest().plan_hash == rec.plan_hash
+
+
+class TestPlanFingerprint:
+    def test_none_plan(self):
+        assert plan_fingerprint(None) is None
+
+    def test_stable_and_sensitive(self):
+        from repro.optim.autotune import TuningPlan
+
+        kw = dict(case="iso2d", mode="rtm", platform="p", compiler="c",
+                  maxregcount=None, async_kernels=None, kernels={},
+                  baseline_step_seconds=1.0, tuned_step_seconds=0.9)
+        a, b = TuningPlan(**kw), TuningPlan(**kw)
+        assert plan_fingerprint(a) == plan_fingerprint(b)
+        assert len(plan_fingerprint(a)) == 12
+        c = TuningPlan(**{**kw, "tuned_step_seconds": 0.8})
+        assert plan_fingerprint(c) != plan_fingerprint(a)
+
+
+class TestArgsResolution:
+    def test_defaults(self):
+        class Args:
+            pass
+
+        assert ledger_path_from_args(Args()) == os.path.join(
+            ".repro", "ledger.jsonl"
+        )
+
+    def test_no_ledger_wins(self):
+        class Args:
+            ledger = "somewhere.jsonl"
+            no_ledger = True
+
+        assert ledger_path_from_args(Args()) is None
+
+    def test_explicit_path(self):
+        class Args:
+            ledger = "elsewhere.jsonl"
+            no_ledger = False
+
+        assert ledger_path_from_args(Args()) == "elsewhere.jsonl"

@@ -23,6 +23,38 @@ class TestAbsorb:
         a.absorb(b)
         assert a.events[0].process == "mpi"
 
+    def test_metrics_merge_under_prefix(self):
+        a, b = Tracer(clock=lambda: 0.0), Tracer(clock=lambda: 0.0)
+        a.metrics.counter("halo.bytes").add(10)
+        b.metrics.counter("halo.bytes").add(32)
+        b.metrics.gauge("queue.depth").set(4)
+        b.metrics.gauge("queue.depth").set(2)
+        b.metrics.histogram("gpu.kernel_seconds").observe(1.0)
+        b.metrics.histogram("gpu.kernel_seconds").observe(3.0)
+        a.absorb(b, process_prefix="rank1:")
+        assert a.metrics.counter("halo.bytes").value == 10
+        assert a.metrics.counter("rank1:halo.bytes").value == 32
+        gauge = a.metrics.gauge("rank1:queue.depth")
+        assert gauge.value == 2 and gauge.max == 4
+        hist = a.metrics.histogram("rank1:gpu.kernel_seconds")
+        assert hist.count == 2 and hist.total == 4.0
+        assert hist.min == 1.0 and hist.max == 3.0
+
+    def test_metrics_merge_without_prefix_adds_counters(self):
+        a, b = Tracer(clock=lambda: 0.0), Tracer(clock=lambda: 0.0)
+        a.metrics.counter("halo.messages").add(2)
+        b.metrics.counter("halo.messages").add(3)
+        a.absorb(b)
+        assert a.metrics.counter("halo.messages").value == 5
+
+    def test_merged_summary_surfaces_rank_metrics(self):
+        from repro.trace.export import summary_text
+
+        merged, rank = Tracer(clock=lambda: 0.0), Tracer(clock=lambda: 0.0)
+        rank.metrics.counter("gpu.kernel_launches").add(7)
+        merged.absorb(rank, process_prefix="rank0:")
+        assert "rank0:gpu.kernel_launches" in summary_text(merged)
+
 
 class TestTraceRanks:
     def test_two_rank_modeling_merges_rank_timelines(self, tmp_path):
