@@ -19,8 +19,17 @@ Commands
 ``lint CASE | all | --script FILE``
     Static analysis of a case's recorded directive schedule (or of an
     ``!$acc`` script) — present-table lifetimes, async races, schedule
-    smells, transfer efficiency. ``--fail-on SEVERITY`` gates the exit
-    code.
+    smells, transfer efficiency. ``--deep`` adds the whole-program
+    dataflow engine's fixed-point coherence proofs (``DF*`` findings
+    with event-chain witnesses) and appends a ledger record.
+    ``--fail-on SEVERITY`` gates the exit code.
+``deps CASE | all | --script FILE [--ranks N]``
+    Whole-program dependence graph of a case's recorded schedule:
+    RAW/WAR/WAW edges + happens-before summary, detected step loops,
+    cross-rank send/recv matching (``--ranks``), and machine-verified
+    fusion/hoisting opportunities. ``--dot FILE`` exports Graphviz;
+    ``--opportunities FILE`` writes the schema-validated JSON artifact
+    (see ``docs/dataflow.md``).
 ``chaos CASE | all [--seed S] [--faults SPEC] [--ranks N]``
     Seeded fault-injection campaign: run each case under injected PCIe /
     kernel / ECC / OOM / MPI / dead-rank faults, recover via retry,
@@ -213,6 +222,12 @@ def _cmd_lint(args) -> int:
     return run_lint_command(args)
 
 
+def _cmd_deps(args) -> int:
+    from repro.analyze.dataflow.cli import run_deps_command
+
+    return run_deps_command(args)
+
+
 def _cmd_chaos(args) -> int:
     from repro.resilience.chaos import run_chaos_command
 
@@ -329,11 +344,50 @@ def build_parser() -> argparse.ArgumentParser:
                     default=None,
                     help="report format (default text; sarif for CI "
                     "code-scanning uploads)")
+    li.add_argument("--deep", action="store_true",
+                    help="add the whole-program dataflow engine: "
+                    "fixed-point coherence proofs with DF* codes and "
+                    "event-chain witnesses (appends a ledger record)")
     li.add_argument("--fail-on", default="error",
                     metavar="SEVERITY",
                     help="exit non-zero at/above this severity "
                     "(info|warning|error|none; default error)")
+    _add_ledger_args(li)
     li.set_defaults(fn=_cmd_lint)
+
+    de = sub.add_parser(
+        "deps",
+        help="whole-program dependence graph, cross-rank checks, and "
+        "verified fusion/hoisting opportunities",
+    )
+    de.add_argument(
+        "case", nargs="?",
+        help="e.g. iso2d, acoustic3d, el2d — or 'all' for the full inventory",
+    )
+    de.add_argument("--script", metavar="FILE",
+                    help="analyze an !$acc directive script instead of a case")
+    de.add_argument("--mode", choices=["modeling", "rtm", "both"],
+                    default="rtm")
+    de.add_argument("--nt", type=int, default=24,
+                    help="recorded time steps (pattern repeats; keep small)")
+    de.add_argument("--ranks", type=int, default=1,
+                    help="simulated MPI ranks; >1 enables the cross-rank "
+                    "send/recv matching and deadlock pass")
+    de.add_argument("--dot", metavar="FILE",
+                    help="write the Graphviz dependence graph of a single "
+                    "target")
+    de.add_argument("--opportunities", metavar="FILE",
+                    help="write the schema-validated OptimizationOpportunity "
+                    "JSON artifact")
+    de.add_argument("--no-verify", action="store_true",
+                    help="skip the bitwise replay verification of each "
+                    "opportunity (faster; verified count will be 0)")
+    de.add_argument("--format", choices=["text", "json"], default="text")
+    de.add_argument("--fail-on", default="none",
+                    metavar="SEVERITY",
+                    help="exit non-zero on cross-rank findings at/above "
+                    "this severity (error|none; default none)")
+    de.set_defaults(fn=_cmd_deps)
 
     sa = sub.add_parser(
         "sanitize",

@@ -18,13 +18,29 @@ This package detects them *before* a run:
   :mod:`~repro.analyze.async_race`, :mod:`~repro.analyze.schedule_lint`,
   :mod:`~repro.analyze.transfer` — over the shared
   :mod:`~repro.analyze.framework` (severity-ranked diagnostics);
+* :mod:`~repro.analyze.rules` — the shared bug-class registry: each
+  coherence rule carries its dynamic (sanitizer) pass, its static
+  ``DF*`` id, one message template, and a docs anchor;
+* :mod:`~repro.analyze.dataflow` — the whole-program dataflow engine:
+  dependence graph, fixed-point coherence interpreter (``lint --deep``),
+  cross-rank deadlock detection, and verified fusion/hoisting
+  opportunities (``python -m repro deps``);
 * :mod:`~repro.analyze.cli` — ``python -m repro lint`` with text/JSON
   reporters and ``--fail-on`` gating;
 * :mod:`~repro.analyze.drivers` — record-and-lint helpers plus the
-  pipeline's opt-in strict mode (``GPUOptions.strict_lint``).
+  pipeline's opt-in strict mode (``GPUOptions.strict_lint``, which now
+  runs the dataflow engine's proofs before the real run starts).
 """
 
 from repro.analyze.async_race import AsyncRacePass
+from repro.analyze.dataflow import (
+    DataflowCoherencePass,
+    DependenceGraph,
+    OptimizationOpportunity,
+    check_ranks,
+    find_opportunities,
+    interpret_program,
+)
 from repro.analyze.drivers import (
     check_schedule,
     lint_pipeline,
@@ -35,11 +51,13 @@ from repro.analyze.framework import (
     LintPass,
     LintResult,
     Severity,
+    deep_passes,
     default_passes,
     lint_program,
     parse_severity,
     run_passes,
 )
+from repro.analyze.rules import REGISTRY, rule
 from repro.analyze.frontend import program_from_script
 from repro.analyze.present_lifetime import PresentLifetimePass
 from repro.analyze.program import AccEvent, DirectiveProgram, ProgramMeta
@@ -60,8 +78,17 @@ __all__ = [
     "LintPass",
     "LintResult",
     "default_passes",
+    "deep_passes",
     "run_passes",
     "lint_program",
+    "REGISTRY",
+    "rule",
+    "DataflowCoherencePass",
+    "DependenceGraph",
+    "OptimizationOpportunity",
+    "check_ranks",
+    "find_opportunities",
+    "interpret_program",
     "PresentLifetimePass",
     "AsyncRacePass",
     "ScheduleLintPass",

@@ -11,11 +11,23 @@ Three targets:
 ``--fail-on SEVERITY`` exits non-zero when any finding reaches the gate
 (default ``error``; ``none`` always exits 0); ``--json`` emits the
 machine-readable report.
+
+``--deep`` adds the whole-program dataflow engine
+(:mod:`repro.analyze.dataflow`) to the pass list — fixed-point coherence
+proofs with ``DF*`` codes and event-chain witnesses — and appends a
+ledger record (diagnostic + opportunity counts) so ``repro report
+--check`` can flag regressions in statically-proven schedule quality.
 """
 
 from __future__ import annotations
 
-from repro.analyze.framework import LintResult, lint_program, parse_severity
+from repro.analyze.framework import (
+    LintResult,
+    Severity,
+    deep_passes,
+    lint_program,
+    parse_severity,
+)
 from repro.analyze.frontend import program_from_script
 from repro.utils.errors import ConfigurationError
 
@@ -40,6 +52,7 @@ def lint_case(
     mode: str,
     nt: int = 24,
     compiler: str | None = None,
+    deep: bool = False,
 ) -> LintResult:
     """Record one seed case at a reduced grid and lint it."""
     from repro.acc.compiler import COMPILERS
@@ -66,25 +79,28 @@ def lint_case(
         space_order=4 if ndim == 3 else 8,
         boundary_width=8,
         name=f"{physics.upper()} {ndim}D ({mode})",
+        passes=deep_passes() if deep else None,
     )
 
 
 def lint_targets(args) -> list[LintResult]:
     """Resolve the CLI namespace into one or more lint results."""
+    deep = bool(getattr(args, "deep", False))
     if getattr(args, "script", None):
         with open(args.script, encoding="utf-8") as fh:
             program = program_from_script(fh.read())
         program.meta = type(program.meta)(
             source="script", name=args.script,
         )
-        return [lint_program(program)]
+        return [lint_program(program, deep_passes() if deep else None)]
     case = getattr(args, "case", None)
     if case is None:
         raise ConfigurationError("lint needs a CASE (or 'all', or --script FILE)")
     modes = ("modeling", "rtm") if args.mode == "both" else (args.mode,)
     if case.lower() == "all":
         return [
-            lint_case(physics, ndim, mode, nt=args.nt, compiler=args.compiler)
+            lint_case(physics, ndim, mode, nt=args.nt,
+                      compiler=args.compiler, deep=deep)
             for physics, ndim in _INVENTORY
             for mode in ("modeling", "rtm")
         ]
@@ -92,9 +108,58 @@ def lint_targets(args) -> list[LintResult]:
 
     physics, ndim = parse_case(case)
     return [
-        lint_case(physics, ndim, mode, nt=args.nt, compiler=args.compiler)
+        lint_case(physics, ndim, mode, nt=args.nt,
+                  compiler=args.compiler, deep=deep)
         for mode in modes
     ]
+
+
+def lint_ledger_metrics(results: list[LintResult]) -> dict[str, float]:
+    """The statically-proven-quality metrics a ``lint --deep`` run records:
+    diagnostic counts by severity, ``DF*`` findings, and the opportunity
+    pass's verified fusion/hoisting count."""
+    from repro.analyze.dataflow import find_opportunities
+
+    diags = [d for r in results for d in r.diagnostics]
+    opportunities = 0
+    verified = 0
+    for r in results:
+        report = find_opportunities(r.program)
+        opportunities += len(report.opportunities)
+        verified += len(report.verified())
+    return {
+        "lint_errors": float(sum(
+            1 for d in diags if d.severity == Severity.ERROR
+        )),
+        "lint_warnings": float(sum(
+            1 for d in diags if d.severity == Severity.WARNING
+        )),
+        "lint_info": float(sum(
+            1 for d in diags if d.severity == Severity.INFO
+        )),
+        "df_findings": float(sum(
+            1 for d in diags if d.rule.startswith("DF")
+        )),
+        "opportunities": float(opportunities),
+        "verified_opportunities": float(verified),
+    }
+
+
+def _append_lint_ledger(args, results: list[LintResult]) -> None:
+    from repro.observe.ledger import append_run, ledger_path_from_args
+    from repro.observe.runlog import RunLog
+
+    path = ledger_path_from_args(args)
+    if path is None:
+        return
+    case = getattr(args, "case", None) or getattr(args, "script", None)
+    runlog = RunLog(
+        command="lint",
+        case=case,
+        mode=getattr(args, "mode", None),
+        ranks=1,
+    )
+    append_run(path, runlog, lint_ledger_metrics(results))
 
 
 def run_lint_command(args) -> int:
@@ -114,10 +179,17 @@ def run_lint_command(args) -> int:
             if i:
                 print()
             print(format_text(result))
+    if getattr(args, "deep", False):
+        _append_lint_ledger(args, results)
     if args.fail_on.lower() == "none":
         return 0
     threshold = parse_severity(args.fail_on)
     return 1 if any(r.fails(threshold) for r in results) else 0
 
 
-__all__ = ["run_lint_command", "lint_targets", "lint_case"]
+__all__ = [
+    "run_lint_command",
+    "lint_targets",
+    "lint_case",
+    "lint_ledger_metrics",
+]

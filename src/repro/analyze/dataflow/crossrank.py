@@ -1,0 +1,221 @@
+"""Cross-rank message matching and deadlock detection.
+
+Per-rank recorded programs carry ``send``/``recv`` events (halo
+exchanges, checkpoint shipping). This pass matches them across ranks —
+channel order per ``(source, destination, array)``, the MPI
+non-overtaking guarantee — and reports:
+
+``DF101-unmatched-send``
+    a send whose channel has fewer receives than sends;
+``DF102-unmatched-recv``
+    a receive whose channel has fewer sends — dynamically this blocks
+    forever, so the static finding is the only finding;
+``DF103-send-recv-deadlock``
+    a wait cycle: simulating blocking receives against buffered sends,
+    every unfinished rank is stopped at a receive whose matching send
+    sits *behind* another blocked receive. The witness chain is the
+    blocking receive on each rank of the cycle.
+
+Matched pairs become the message edges of the
+:class:`~repro.analyze.dataflow.graph.DependenceGraph`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.analyze.framework import Diagnostic
+from repro.analyze.program import AccEvent, DirectiveProgram
+from repro.analyze.rules import rule
+
+Node = tuple[int, int]
+
+
+@dataclass(frozen=True)
+class MessagePair:
+    """One matched send → recv edge."""
+
+    send: Node
+    recv: Node
+    var: str | None
+
+
+@dataclass
+class MessageMatch:
+    """Channel-matched messages plus the leftovers."""
+
+    pairs: list[MessagePair] = field(default_factory=list)
+    unmatched_sends: list[Node] = field(default_factory=list)
+    unmatched_recvs: list[Node] = field(default_factory=list)
+
+
+def _peer(e: AccEvent) -> int | None:
+    return e.peer
+
+
+def match_messages(programs: list[DirectiveProgram]) -> MessageMatch:
+    """FIFO-match sends and recvs on ``(src, dst, var)`` channels.
+
+    Events with no recorded ``peer`` cannot be matched and are skipped
+    (single-rank programs' halo events, older recordings)."""
+    out = MessageMatch()
+    # channel -> ordered sends / recvs
+    sends: dict[tuple, list[Node]] = {}
+    recvs: dict[tuple, list[Node]] = {}
+    for rank, program in enumerate(programs):
+        for e in program.events:
+            peer = _peer(e)
+            if peer is None:
+                continue
+            if e.kind == "send":
+                sends.setdefault((rank, peer, e.var), []).append(
+                    (rank, e.index)
+                )
+            elif e.kind == "recv":
+                recvs.setdefault((peer, rank, e.var), []).append(
+                    (rank, e.index)
+                )
+    for channel in sorted(set(sends) | set(recvs), key=str):
+        ss = sends.get(channel, [])
+        rr = recvs.get(channel, [])
+        for s, r in zip(ss, rr):
+            out.pairs.append(MessagePair(send=s, recv=r, var=channel[2]))
+        out.unmatched_sends.extend(ss[len(rr):])
+        out.unmatched_recvs.extend(rr[len(ss):])
+    return out
+
+
+@dataclass
+class CrossRankResult:
+    """Findings of one cross-rank check."""
+
+    nranks: int
+    match: MessageMatch
+    diagnostics: list[Diagnostic] = field(default_factory=list)
+    #: ranks of the detected wait cycle, in blocking order (empty = none)
+    deadlock_cycle: tuple[int, ...] = ()
+
+    def clean(self) -> bool:
+        return not self.diagnostics
+
+
+def _simulate_blocking(
+    programs: list[DirectiveProgram],
+) -> tuple[tuple[int, ...], dict[int, AccEvent]]:
+    """Run the ranks' send/recv streams with buffered sends and blocking
+    receives. Returns the deadlock cycle's ranks (empty if none) and each
+    blocked rank's blocking receive."""
+    streams = [
+        [e for e in p.events if e.kind in ("send", "recv") and e.peer is not None]
+        for p in programs
+    ]
+    pos = [0] * len(programs)
+    buffered: dict[tuple, int] = {}
+    progressed = True
+    while progressed:
+        progressed = False
+        for rank, stream in enumerate(streams):
+            while pos[rank] < len(stream):
+                e = stream[pos[rank]]
+                if e.kind == "send":
+                    channel = (rank, e.peer, e.var)
+                    buffered[channel] = buffered.get(channel, 0) + 1
+                    pos[rank] += 1
+                    progressed = True
+                    continue
+                channel = (e.peer, rank, e.var)
+                if buffered.get(channel, 0) > 0:
+                    buffered[channel] -= 1
+                    pos[rank] += 1
+                    progressed = True
+                    continue
+                break  # blocked on this receive
+    blocked = {
+        rank: streams[rank][pos[rank]]
+        for rank in range(len(programs))
+        if pos[rank] < len(streams[rank])
+    }
+    if not blocked:
+        return (), {}
+    # follow the blocked-on relation (rank -> peer it waits for) from every
+    # blocked rank; a revisit closes a genuine wait cycle (a chain that
+    # exits the blocked set is an unmatched-recv, reported separately)
+    for start in sorted(blocked):
+        seen: list[int] = []
+        cur = start
+        while cur in blocked and cur not in seen:
+            seen.append(cur)
+            cur = blocked[cur].peer
+        if cur in seen:
+            return tuple(seen[seen.index(cur):]), blocked
+    return (), blocked
+
+
+def check_ranks(programs: list[DirectiveProgram]) -> CrossRankResult:
+    """Match messages across ``programs`` and detect unmatched messages
+    and wait-cycle deadlocks."""
+    match = match_messages(programs)
+    result = CrossRankResult(nranks=len(programs), match=match)
+
+    def emit(key: str, message: str, node: Node, witness: tuple[int, ...]):
+        r = rule(key)
+        e = programs[node[0]].events[node[1]]
+        result.diagnostics.append(Diagnostic(
+            pass_name=r.static_pass or "dataflow-rank",
+            rule=r.static_rule,
+            severity=r.severity,
+            message=f"[rank {node[0]}] {message}",
+            event_index=node[1],
+            var=e.var,
+            witness=witness,
+        ))
+
+    for node in match.unmatched_sends:
+        e = programs[node[0]].events[node[1]]
+        emit(
+            "unmatched-send",
+            rule("unmatched-send").format(
+                var=e.var, peer=e.peer, idx=node[1]
+            ),
+            node, (node[1],),
+        )
+    for node in match.unmatched_recvs:
+        e = programs[node[0]].events[node[1]]
+        emit(
+            "unmatched-recv",
+            rule("unmatched-recv").format(
+                var=e.var, peer=e.peer, idx=node[1]
+            ),
+            node, (node[1],),
+        )
+    cycle, blocked = _simulate_blocking(programs)
+    if cycle:
+        result.deadlock_cycle = cycle
+        detail = " -> ".join(
+            f"rank {r} waits on rank {blocked[r].peer} for "
+            f"'{blocked[r].var}'"
+            for r in cycle
+        )
+        anchor_rank = cycle[0]
+        anchor = blocked[anchor_rank]
+        result.diagnostics.append(Diagnostic(
+            pass_name=rule("send-recv-deadlock").static_pass or "dataflow-rank",
+            rule=rule("send-recv-deadlock").static_rule,
+            severity=rule("send-recv-deadlock").severity,
+            message=rule("send-recv-deadlock").format(
+                ranks=",".join(str(r) for r in cycle), detail=detail,
+            ),
+            event_index=anchor.index,
+            var=anchor.var,
+            witness=tuple(blocked[r].index for r in cycle),
+        ))
+    return result
+
+
+__all__ = [
+    "MessagePair",
+    "MessageMatch",
+    "match_messages",
+    "CrossRankResult",
+    "check_ranks",
+]

@@ -1,0 +1,22 @@
+"""The dataflow engine as a lint pass (``repro lint --deep``)."""
+
+from __future__ import annotations
+
+from repro.analyze.framework import Diagnostic, LintPass
+from repro.analyze.program import DirectiveProgram
+
+
+class DataflowCoherencePass(LintPass):
+    """Fixed-point coherence proofs over the whole program: the
+    sanitizer's five dynamic error rules as static ``DF00x`` findings
+    with event-chain witnesses (see :mod:`repro.analyze.dataflow.absint`)."""
+
+    name = "dataflow"
+
+    def run(self, program: DirectiveProgram) -> list[Diagnostic]:
+        from repro.analyze.dataflow.absint import interpret_program
+
+        return interpret_program(program).diagnostics
+
+
+__all__ = ["DataflowCoherencePass"]

@@ -86,10 +86,14 @@ def lint_pipeline(
     physics: str,
     shape: tuple[int, ...],
     mode: str = "rtm",
+    passes=None,
     **kwargs,
 ) -> LintResult:
-    """Record one case's schedule and run all passes over it."""
-    return lint_program(record_pipeline_program(physics, shape, mode, **kwargs))
+    """Record one case's schedule and run the passes over it (default:
+    the four local passes; ``deep_passes()`` adds the dataflow engine)."""
+    return lint_program(
+        record_pipeline_program(physics, shape, mode, **kwargs), passes
+    )
 
 
 def check_schedule(
@@ -104,12 +108,16 @@ def check_schedule(
     pml_variant: str = "branchy",
     fail_on: Severity = Severity.ERROR,
 ) -> LintResult:
-    """Strict-mode gate: lint a short dry run of this configuration and
+    """Strict-mode gate: lint a short dry run of this configuration —
+    including the whole-program dataflow engine's coherence proofs — and
     raise :class:`AnalysisError` on findings at/above ``fail_on``."""
+    from repro.analyze.framework import deep_passes
+
     result = lint_pipeline(
         physics,
         shape,
         mode,
+        passes=deep_passes(),
         nt=STRICT_NT,
         snap_period=STRICT_SNAP,
         options=options,

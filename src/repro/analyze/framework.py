@@ -53,6 +53,9 @@ class Diagnostic:
     #: machine-applicable remedy (a :class:`repro.sanitize.fixit.ScriptFix`)
     #: when the pass can propose one; ``--fix`` consumes these
     fix: object | None = None
+    #: event-chain witness: the event indices (cause ... consumer) whose
+    #: interleaving exhibits the finding — static dataflow proofs fill this
+    witness: tuple[int, ...] = ()
 
     def location(self, program: DirectiveProgram | None = None) -> str:
         if self.event_index is None:
@@ -74,6 +77,7 @@ class Diagnostic:
             "var": self.var,
             "kernel": self.kernel,
             "fix": str(self.fix) if self.fix is not None else None,
+            "witness": list(self.witness),
         }
 
 
@@ -110,6 +114,14 @@ def default_passes() -> tuple[LintPass, ...]:
         ScheduleLintPass(),
         TransferEfficiencyPass(),
     )
+
+
+def deep_passes() -> tuple[LintPass, ...]:
+    """The four shipped passes plus the whole-program dataflow engine
+    (``lint --deep`` and the strict pipeline gate)."""
+    from repro.analyze.dataflow import DataflowCoherencePass
+
+    return default_passes() + (DataflowCoherencePass(),)
 
 
 def run_passes(
@@ -157,6 +169,7 @@ __all__ = [
     "LintPass",
     "LintResult",
     "default_passes",
+    "deep_passes",
     "run_passes",
     "lint_program",
 ]

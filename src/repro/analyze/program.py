@@ -109,11 +109,20 @@ class AccEvent:
             raise ValueError(f"unknown event kind '{self.kind}'")
 
     # ------------------------------------------------------------------
-    def accesses(self) -> list[tuple[str, str]]:
+    def accesses(self, conservative: bool = False) -> list[tuple[str, str]]:
         """Device-array accesses as ``(name, 'r'|'w')`` pairs — the input of
         the race pass. Lifetime events access synchronously: ``copyin``
         writes the device mirror, ``copyout`` reads it, ``delete`` is
-        treated as a write (freeing under in-flight work is a race)."""
+        treated as a write (freeing under in-flight work is a race).
+
+        ``conservative`` governs computes whose write set the frontend
+        never saw (``writes_known`` False — recorded programs only know
+        the ``present`` clause): the default reports those names as reads
+        only (the race pass's historical behaviour, which keeps auto-async
+        schedules that serialise at step boundaries race-free), while
+        ``conservative=True`` reports every present name as read *and*
+        written — the sound reading the dependence graph must use, since a
+        kernel is free to write anything it has present."""
         if self.kind == "enter":
             return [(n, "w") for n in self.copyin]
         if self.kind == "exit":
@@ -122,7 +131,10 @@ class AccEvent:
             return [(self.var, "w" if self.direction == "device" else "r")]
         if self.kind == "compute":
             out = [(n, "r") for n in self.reads]
-            out += [(n, "w") for n in self.writes]
+            if self.writes_known or not conservative:
+                out += [(n, "w") for n in self.writes]
+            else:
+                out += [(n, "w") for n in self.reads]
             return out
         return []
 

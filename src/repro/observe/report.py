@@ -34,6 +34,9 @@ LOWER_IS_BETTER = frozenset({
     "tuned_step_seconds",
     "recovery_cost_s",
     "unrecovered",
+    "lint_errors",
+    "lint_warnings",
+    "df_findings",
 })
 #: metrics where larger is better (overlap, efficiency, recovery)
 HIGHER_IS_BETTER = frozenset({
@@ -43,6 +46,8 @@ HIGHER_IS_BETTER = frozenset({
     "efficiency",
     "improvement",
     "recovered_fraction",
+    "opportunities",
+    "verified_opportunities",
 })
 #: metrics that are fractions in [0, 1]: when their baseline is 0 a
 #: relative delta is meaningless, so these compare in absolute points

@@ -38,6 +38,7 @@ from dataclasses import dataclass, field
 
 from repro.analyze.framework import Diagnostic, Severity
 from repro.analyze.program import AccEvent, DirectiveProgram, ProgramMeta
+from repro.analyze.rules import DYNAMIC_PASSES, rule
 from repro.sanitize.fixit import ScriptFix
 from repro.sanitize.rankrace import PendingOp, RankClocks
 from repro.sanitize.shadow import (
@@ -47,14 +48,9 @@ from repro.sanitize.shadow import (
     subtract_interval,
 )
 
-#: hazard code -> pass name
-PASSES = {
-    "stale-device-read": "coherence",
-    "stale-host-read": "coherence",
-    "short-ghost-transfer": "ghost",
-    "ghost-transfer-out-of-bounds": "ghost",
-    "halo-send-before-sync": "rank-race",
-}
+#: hazard code -> pass name (the shared registry's dynamic view; kept
+#: under its historical name for importers)
+PASSES = DYNAMIC_PASSES
 
 _LINE_RE = re.compile(r"line (\d+)")
 _ITEMSIZE = 4  # float32 wavefields throughout the reproduction
@@ -165,6 +161,8 @@ class SanitizeSession:
         #: before each exchange so hook events name the real array)
         self._field_map: dict[str, str] = {}
         self._halo_width: int | None = None
+        #: decomposition of the live run (peers for halo send/recv events)
+        self._decomp = None
         #: last *partial* ``update device`` per (rank, var) — the edit
         #: target when a short ghost transfer is diagnosed
         self._last_partial: dict[tuple[int, str], AccEvent] = {}
@@ -260,8 +258,9 @@ class SanitizeSession:
             if stale:
                 self._emit(
                     "stale-device-read",
-                    f"copyout of '{name}' reads {_fmt(stale)} the host wrote "
-                    "but no update device pushed — the device copy is stale",
+                    rule("stale-device-read").format_alt(
+                        var=name, ranges=_fmt(stale)
+                    ),
                     rank=rank, event=e, var=name,
                     fix=self._update_fix(e, name, stale, "device"),
                 )
@@ -280,9 +279,10 @@ class SanitizeSession:
         ):
             self._emit(
                 "ghost-transfer-out-of-bounds",
-                f"update {e.direction} of '{e.var}' bytes "
-                f"[{e.offset}, {e.offset + e.nbytes}) runs past the array "
-                f"extent {sh.extent}",
+                rule("ghost-transfer-out-of-bounds").format(
+                    direction=e.direction, var=e.var, lo=e.offset,
+                    hi=e.offset + e.nbytes, extent=sh.extent,
+                ),
                 rank=rank, event=e, var=e.var,
             )
         if e.direction == "device":
@@ -372,9 +372,11 @@ class SanitizeSession:
                 moved = int(last.nbytes or 0)
                 self._emit(
                     "short-ghost-transfer",
-                    f"ghost refresh of '{name}' moved {moved} bytes but the "
-                    f"stencil radius {e.halo} needs {required} — kernel "
-                    f"'{e.kernel}' reads {_fmt(stale)} stale",
+                    rule("short-ghost-transfer").format(
+                        var=name, moved=moved, halo=e.halo,
+                        required=required, kernel=e.kernel,
+                        ranges=_fmt(stale),
+                    ),
                     rank=rank, event=e, var=name, kernel=e.kernel,
                     fix=ScriptFix(
                         action="widen-update", line=_line_of(last), var=name,
@@ -384,8 +386,10 @@ class SanitizeSession:
                 return
         self._emit(
             "stale-device-read",
-            f"kernel '{e.kernel}' reads '{name}' {_fmt(stale)} the host "
-            "wrote but no update device pushed — the device copy is stale",
+            rule("stale-device-read").format(
+                consumer=f"kernel '{e.kernel}'", var=name,
+                ranges=_fmt(stale),
+            ),
             rank=rank, event=e, var=name, kernel=e.kernel,
             fix=self._update_fix(e, name, stale, "device"),
         )
@@ -443,8 +447,9 @@ class SanitizeSession:
         if stale:
             self._emit(
                 "stale-host-read",
-                f"{what} consumes '{name}' {_fmt(stale)} a kernel may have "
-                "written but no update host pulled — the host copy is stale",
+                rule("stale-host-read").format(
+                    consumer=what, var=name, ranges=_fmt(stale),
+                ),
                 rank=rank, event=e, var=name,
                 fix=self._update_fix(e, name, stale, "self"),
             )
@@ -457,9 +462,10 @@ class SanitizeSession:
                 continue
             self._emit(
                 "halo-send-before-sync",
-                f"{what} of '{name}' bytes [{lo}, {min(hi, p.hi)}) races the "
-                f"asynchronous update host on queue {p.queue} still filling "
-                f"it — no wait({p.queue}) orders the pair"
+                rule("halo-send-before-sync").format(
+                    consumer=what, var=name, lo=lo, hi=min(hi, p.hi),
+                    queue=p.queue,
+                )
                 + self._queue_state(rank, p.queue),
                 rank=rank, event=e, var=name,
                 fix=ScriptFix(
@@ -498,15 +504,16 @@ class SanitizeSession:
     # ------------------------------------------------------------------
     def on_halo_geometry(self, decomp) -> None:
         self._halo_width = int(decomp.halo)
+        self._decomp = decomp
         if (
             self.stencil_radius is not None
             and decomp.halo < self.stencil_radius
         ):
             self._emit(
                 "short-ghost-transfer",
-                f"decomposition halo is {decomp.halo} plane(s) but the "
-                f"stencil radius needs {self.stencil_radius} — every "
-                "exchange under-fills the ghost zones",
+                rule("short-ghost-transfer").format_alt(
+                    have=decomp.halo, need=self.stencil_radius,
+                ),
             )
 
     def _face_range(
@@ -526,6 +533,17 @@ class SanitizeSession:
             lo = ext - nbytes if ghost else ext - 2 * nbytes
         return dev, max(0, lo), nbytes
 
+    def _halo_peer(self, rank: int, axis: int, side: str) -> int | None:
+        """The other rank of a halo face, when the geometry is known —
+        recorded on send/recv events so the static cross-rank pass can
+        match message pairs without re-deriving the decomposition."""
+        if self._decomp is None:
+            return None
+        try:
+            return self._decomp.neighbour(rank, axis, side)
+        except (AttributeError, ValueError):
+            return None
+
     def on_halo_send(
         self, rank: int, name: str, axis: int, side: str, nbytes: int
     ) -> None:
@@ -534,6 +552,7 @@ class SanitizeSession:
             return
         event = self.programs[rank].add(AccEvent(
             kind="send", var=dev, offset=lo, nbytes=n,
+            peer=self._halo_peer(rank, axis, side),
             label=f"halo axis {axis} {side}",
         ))
         self._check_host_consumer(rank, event, dev, lo, n, what="halo send")
@@ -546,6 +565,7 @@ class SanitizeSession:
             return
         event = self.programs[rank].add(AccEvent(
             kind="recv", var=dev, offset=lo, nbytes=n,
+            peer=self._halo_peer(rank, axis, side),
             label=f"halo axis {axis} {side}",
         ))
         sh = self._shadow(rank, dev)

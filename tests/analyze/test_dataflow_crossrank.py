@@ -1,0 +1,119 @@
+"""Cross-rank message matching and deadlock detection goldens."""
+
+from repro.analyze.dataflow import DependenceGraph, check_ranks, match_messages
+from repro.analyze.program import AccEvent, DirectiveProgram
+from repro.sanitize import sanitize_pipeline
+
+
+def prog(events):
+    p = DirectiveProgram()
+    for e in events:
+        p.add(e)
+    return p
+
+
+def send(var, to, **kw):
+    return AccEvent(kind="send", var=var, peer=to, **kw)
+
+
+def recv(var, frm, **kw):
+    return AccEvent(kind="recv", var=var, peer=frm, **kw)
+
+
+class TestMatching:
+    def test_matched_pair_is_clean(self):
+        r = check_ranks([
+            prog([send("u", to=1)]),
+            prog([recv("u", frm=0)]),
+        ])
+        assert r.clean()
+        assert len(r.match.pairs) == 1
+
+    def test_channel_order_is_fifo(self):
+        m = match_messages([
+            prog([send("u", to=1, offset=0), send("u", to=1, offset=64)]),
+            prog([recv("u", frm=0, offset=0), recv("u", frm=0, offset=64)]),
+        ])
+        assert [(p.send[1], p.recv[1]) for p in m.pairs] == [(0, 0), (1, 1)]
+
+    def test_peerless_events_are_skipped(self):
+        """Single-rank recordings carry no peer; nothing to match or flag."""
+        r = check_ranks([
+            prog([AccEvent(kind="send", var="u")]),
+            prog([AccEvent(kind="recv", var="u")]),
+        ])
+        assert r.clean() and not r.match.pairs
+
+
+class TestUnmatched:
+    def test_unmatched_send_is_df101(self):
+        r = check_ranks([prog([send("u", to=1)]), prog([])])
+        (d,) = r.diagnostics
+        assert d.rule == "DF101-unmatched-send"
+        assert d.message.startswith("[rank 0]")
+        assert d.witness == (0,)
+
+    def test_unmatched_recv_is_df102(self):
+        r = check_ranks([prog([]), prog([recv("u", frm=0)])])
+        (d,) = r.diagnostics
+        assert d.rule == "DF102-unmatched-recv"
+        assert d.message.startswith("[rank 1]")
+
+
+class TestDeadlock:
+    def test_recv_recv_cycle_is_df103(self):
+        """Both ranks receive first: each blocks on a send sitting behind
+        the other's blocked receive — the classic exchange deadlock."""
+        r = check_ranks([
+            prog([recv("u", frm=1), send("u", to=1)]),
+            prog([recv("u", frm=0), send("u", to=0)]),
+        ])
+        codes = {d.rule for d in r.diagnostics}
+        assert "DF103-send-recv-deadlock" in codes
+        assert set(r.deadlock_cycle) == {0, 1}
+        (d,) = [d for d in r.diagnostics if d.rule.endswith("deadlock")]
+        assert d.witness == (0, 0)  # the blocking recv on each rank
+
+    def test_send_first_protocol_is_clean(self):
+        r = check_ranks([
+            prog([send("u", to=1), recv("u", frm=1)]),
+            prog([send("u", to=0), recv("u", frm=0)]),
+        ])
+        assert r.clean()
+
+    def test_three_rank_ring_cycle(self):
+        r = check_ranks([
+            prog([recv("u", frm=2), send("u", to=1)]),
+            prog([recv("u", frm=0), send("u", to=2)]),
+            prog([recv("u", frm=1), send("u", to=0)]),
+        ])
+        assert set(r.deadlock_cycle) == {0, 1, 2}
+
+    def test_chain_exiting_blocked_set_is_not_a_cycle(self):
+        """Rank 0 blocks on a recv whose sender (rank 1) finished — that is
+        an unmatched receive, not a deadlock."""
+        r = check_ranks([
+            prog([recv("u", frm=1), recv("u", frm=1)]),
+            prog([send("u", to=0)]),
+        ])
+        codes = {d.rule for d in r.diagnostics}
+        assert "DF102-unmatched-recv" in codes
+        assert "DF103-send-recv-deadlock" not in codes
+
+
+class TestRecordedPrograms:
+    def test_executed_halo_exchange_matches_and_is_clean(self):
+        result = sanitize_pipeline(
+            "isotropic", (96, 96), "rtm", ranks=2, nt=8, snap_period=4
+        )
+        r = check_ranks(result.programs)
+        assert r.clean(), [d.message for d in r.diagnostics]
+        assert r.match.pairs  # the peers stamped at record time match up
+
+    def test_message_edges_join_the_dependence_graph(self):
+        a = prog([send("u", to=1)])
+        b = prog([recv("u", frm=0),
+                  AccEvent(kind="compute", kernel="k", reads=("u",))])
+        g = DependenceGraph([a, b])
+        assert any(e.kind == "message" for e in g.edges)
+        assert g.happens_before((0, 0), (1, 1))

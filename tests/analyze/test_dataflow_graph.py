@@ -1,0 +1,201 @@
+"""DependenceGraph goldens on hand-built event lists.
+
+Each test pins one structural fact of the graph: which dependence edges
+a known schedule induces, what happens-before guarantees queues and
+waits create, and that the conservative read of an unknown write set is
+confined to the graph (the async-race pass keeps its historical view).
+"""
+
+from repro.analyze import lint_program, program_from_script
+from repro.analyze.dataflow import DependenceGraph, detect_loops
+from repro.analyze.program import AccEvent, DirectiveProgram
+
+
+def prog(events, extents=None):
+    p = DirectiveProgram()
+    for e in events:
+        p.add(e)
+    p.extents.update(extents or {})
+    return p
+
+
+def edges(graph, kind):
+    return [
+        (e.src[1], e.dst[1], e.var)
+        for e in graph.edges if e.kind == kind
+    ]
+
+
+class TestDependenceEdges:
+    def test_raw_war_waw_goldens(self):
+        p = prog([
+            AccEvent(kind="enter", copyin=("u", "v")),
+            AccEvent(kind="compute", kernel="k1", reads=("v",),
+                     writes=("u",), writes_known=True),
+            AccEvent(kind="compute", kernel="k2", reads=("u",),
+                     writes=("v",), writes_known=True),
+        ])
+        g = DependenceGraph.from_program(p)
+        assert (1, 2, "u") in edges(g, "raw")   # k1 writes u, k2 reads it
+        assert (1, 2, "v") in edges(g, "war")   # k1 reads v, k2 overwrites
+        assert (0, 1, "u") in edges(g, "waw")   # copyin then k1 write
+
+    def test_update_directions(self):
+        p = prog([
+            AccEvent(kind="enter", copyin=("u",)),
+            AccEvent(kind="compute", kernel="k", writes=("u",),
+                     writes_known=True),
+            AccEvent(kind="update", direction="host", var="u"),
+        ])
+        g = DependenceGraph.from_program(p)
+        # update host reads the device copy the kernel wrote
+        assert (1, 2, "u") in edges(g, "raw")
+
+    def test_unknown_writes_are_conservative_in_the_graph(self):
+        """writes_known=False: the graph must assume the kernel writes
+        everything it has present — both computes write u, so WAW."""
+        a = AccEvent(kind="compute", kernel="a", reads=("u",),
+                     writes_known=False)
+        b = AccEvent(kind="compute", kernel="b", reads=("u",),
+                     writes_known=False)
+        g = DependenceGraph.from_program(prog([a, b]))
+        assert (0, 1, "u") in edges(g, "waw")
+        # ... while the default (race-pass) view keeps them read-only
+        assert a.accesses() == [("u", "r")]
+        assert ("u", "w") in a.accesses(conservative=True)
+
+    def test_async_race_pass_unchanged_by_conservative_reading(self):
+        """The race pass's historical behaviour must survive: two queues
+        merely *presenting* the same array (unknown writes) stay clean."""
+        r = lint_program(program_from_script("""
+            !$acc enter data copyin(u)
+            !$lint name=a reads=u
+            !$acc parallel loop async(1) present(u)
+            !$lint name=b reads=u
+            !$acc parallel loop async(2) present(u)
+            !$acc wait
+            !$acc exit data delete(u)
+        """))
+        assert not [d for d in r.diagnostics if d.pass_name == "async-race"]
+
+
+class TestHappensBefore:
+    def test_host_timeline_orders_sync_events(self):
+        p = prog([
+            AccEvent(kind="enter", copyin=("u",)),
+            AccEvent(kind="compute", kernel="k", writes=("u",),
+                     writes_known=True),
+            AccEvent(kind="exit", delete=("u",)),
+        ])
+        g = DependenceGraph.from_program(p)
+        assert g.happens_before(0, 2)
+        assert not g.happens_before(2, 0)
+
+    def test_parallel_queues_are_unordered_until_wait(self):
+        p = prog([
+            AccEvent(kind="compute", kernel="a", queue=1,
+                     writes=("u",), writes_known=True),
+            AccEvent(kind="compute", kernel="b", queue=2,
+                     writes=("v",), writes_known=True),
+            AccEvent(kind="wait"),
+            AccEvent(kind="compute", kernel="c", reads=("u", "v")),
+        ])
+        g = DependenceGraph.from_program(p)
+        assert not g.happens_before(0, 1)
+        assert g.happens_before(0, 3)  # through the wait
+        assert g.happens_before(1, 3)
+
+    def test_wait_on_specific_queue(self):
+        p = prog([
+            AccEvent(kind="compute", kernel="a", queue=1,
+                     writes=("u",), writes_known=True),
+            AccEvent(kind="compute", kernel="b", queue=2,
+                     writes=("v",), writes_known=True),
+            AccEvent(kind="wait", wait_on=(1,)),
+            AccEvent(kind="compute", kernel="c", reads=("u",)),
+        ])
+        g = DependenceGraph.from_program(p)
+        assert g.happens_before(0, 3)
+
+    def test_unsynchronised_exposes_the_race(self):
+        racy = prog([
+            AccEvent(kind="compute", kernel="a", queue=1,
+                     writes=("u",), writes_known=True),
+            AccEvent(kind="compute", kernel="b", queue=2,
+                     reads=("u",)),
+        ])
+        g = DependenceGraph.from_program(racy)
+        assert any(e.var == "u" for e in g.unsynchronised())
+        safe = prog([
+            AccEvent(kind="compute", kernel="a", queue=1,
+                     writes=("u",), writes_known=True),
+            AccEvent(kind="wait", wait_on=(1,)),
+            AccEvent(kind="compute", kernel="b", queue=2,
+                     reads=("u",)),
+        ])
+        assert not DependenceGraph.from_program(safe).unsynchronised()
+
+    def test_dependences_between(self):
+        p = prog([
+            AccEvent(kind="compute", kernel="a", writes=("u",),
+                     writes_known=True),
+            AccEvent(kind="update", direction="host", var="u"),
+            AccEvent(kind="compute", kernel="b", writes=("u",),
+                     writes_known=True),
+        ])
+        g = DependenceGraph.from_program(p)
+        blockers = g.dependences_between(0, 2)
+        assert any(e.src[1] == 1 and e.kind == "war" for e in blockers)
+
+
+class TestLoopDetection:
+    def test_periodic_stream_found(self):
+        body = [
+            AccEvent(kind="compute", kernel="step", reads=("u",),
+                     writes=("u",), writes_known=True),
+            AccEvent(kind="update", direction="host", var="u", nbytes=64),
+        ]
+        p = prog([AccEvent(kind="enter", copyin=("u",))] + body * 4)
+        (r,) = detect_loops(p)
+        assert (r.start, r.period, r.reps) == (1, 2, 4)
+        assert r.stop == 9
+        assert list(r.body()) == [1, 2]
+
+    def test_aperiodic_stream_has_no_loops(self):
+        p = prog([
+            AccEvent(kind="enter", copyin=("u",)),
+            AccEvent(kind="compute", kernel="a"),
+            AccEvent(kind="compute", kernel="b"),
+            AccEvent(kind="exit", delete=("u",)),
+        ])
+        assert detect_loops(p) == []
+
+    def test_snapshot_cycle_reported_as_one_region(self):
+        """A 1-step inner pattern inside a 3-step snapshot cycle must be
+        reported as the larger period, not 3 fragments."""
+        step = [AccEvent(kind="compute", kernel="step", reads=("u",))]
+        snap = [AccEvent(kind="update", direction="host", var="u")]
+        cycle = step + step + step + snap
+        p = prog(cycle * 3)
+        (r,) = detect_loops(p)
+        assert r.period == 4 and r.reps == 3
+
+
+class TestDotExport:
+    def test_dot_contains_nodes_and_colored_edges(self):
+        p = prog([
+            AccEvent(kind="enter", copyin=("u",)),
+            AccEvent(kind="compute", kernel="k", reads=("u",),
+                     writes=("u",), writes_known=True),
+        ])
+        dot = DependenceGraph.from_program(p).to_dot()
+        assert dot.startswith("digraph dependences")
+        assert 'label="1: compute k"' in dot
+        assert "color=red" in dot or "color=purple" in dot
+
+    def test_multirank_dot_uses_clusters(self):
+        a = prog([AccEvent(kind="send", var="u", peer=1)])
+        b = prog([AccEvent(kind="recv", var="u", peer=0)])
+        dot = DependenceGraph([a, b]).to_dot()
+        assert "subgraph cluster_0" in dot
+        assert "color=blue" in dot  # the message edge
