@@ -53,6 +53,12 @@ Commands
 ``report [--check]``
     Diff the latest run of every ledger group against its history;
     ``--check`` exits non-zero on regression (the CI gate).
+``compile CASE | all [--opportunities F] [--plan P] [--bench FILE]``
+    Fused-kernel lowering of a case's recorded directive schedule:
+    apply the verified dataflow opportunities, flatten the schedule
+    into per-phase compiled steps, verify bitwise against the
+    interpreted pipeline, and optionally wall-clock both
+    (``BENCH_step.json``; see ``docs/compile.md``).
 
 ``tables``/``figures``/``sweep`` also accept ``--trace PATH`` to record a
 harness-level (wall-clock) trace of the run; ``tables``/``figures`` accept
@@ -256,6 +262,12 @@ def _cmd_report(args) -> int:
     from repro.observe.report import run_report_command
 
     return run_report_command(args)
+
+
+def _cmd_compile(args) -> int:
+    from repro.compile.cli import run_compile_command
+
+    return run_compile_command(args)
 
 
 def _add_ledger_args(p) -> None:
@@ -503,6 +515,37 @@ def build_parser() -> argparse.ArgumentParser:
                     "(trace|tune|chaos|scale)")
     rp.add_argument("--format", choices=["text", "json"], default="text")
     rp.set_defaults(fn=_cmd_report)
+
+    co = sub.add_parser(
+        "compile",
+        help="fused-kernel lowering of recorded schedules, with bitwise "
+        "verification against the interpreter",
+    )
+    co.add_argument(
+        "case",
+        help="e.g. iso2d, acoustic3d, el2d — or 'all' for the full inventory",
+    )
+    co.add_argument("--mode", choices=["modeling", "rtm", "both"],
+                    default="both")
+    co.add_argument("--nt", type=int, default=24,
+                    help="recorded time steps (must match the deps artifact "
+                    "when --opportunities is given)")
+    co.add_argument("--opportunities", metavar="FILE",
+                    help="consume a 'repro deps --opportunities' artifact "
+                    "(hash-gated; stale artifacts are refused) instead of "
+                    "running the dataflow engine in-process")
+    co.add_argument("--plan", metavar="FILE",
+                    help="apply a 'repro tune' TuningPlan to launch choices "
+                    "(fused launches share the dominant part's entry)")
+    co.add_argument("--bench", metavar="FILE",
+                    help="wall-clock interpreted vs compiled and write the "
+                    "BENCH_step.json document here")
+    co.add_argument("--repeats", type=int, default=5,
+                    help="timing repetitions per side for --bench "
+                    "(best-of-N; default 5)")
+    co.add_argument("--format", choices=["text", "json"], default="text")
+    _add_ledger_args(co)
+    co.set_defaults(fn=_cmd_compile)
     return ap
 
 

@@ -23,7 +23,8 @@ whole program statically:
 
 ``repro lint --deep`` runs the coherence engine beside the default
 passes; ``repro deps`` exposes the graph (``--dot``) and the opportunity
-contract (``--opportunities``) the future fused-kernel compiler consumes.
+artifact (``--opportunities``) consumed — hash-gated — by the
+fused-kernel compiler, :mod:`repro.compile`.
 """
 
 from repro.analyze.dataflow.absint import (
@@ -47,6 +48,7 @@ from repro.analyze.dataflow.opportunities import (
     OptimizationOpportunity,
     apply_opportunity,
     find_opportunities,
+    replay_fingerprint,
     reports_to_json,
     validate_opportunities,
     verify_opportunity,
@@ -69,6 +71,7 @@ __all__ = [
     "find_opportunities",
     "apply_opportunity",
     "verify_opportunity",
+    "replay_fingerprint",
     "reports_to_json",
     "validate_opportunities",
     "DataflowCoherencePass",

@@ -107,6 +107,7 @@ def run_deps_command(args) -> int:
         report = find_opportunities(programs[0], verify=verify)
         report.case = label
         report.mode = mode
+        report.program_sha = programs[0].sha()
         reports.append(report)
         regions = detect_loops(programs[0])
         summary = graph.summary()

@@ -1,8 +1,8 @@
 """OptimizationOpportunity records: fusion / hoisting / cancellation facts.
 
-The contract between the dataflow engine and the future fused-kernel
-compiler (ROADMAP "compile the hot path") and
-:mod:`repro.optim.transformations`: every record names the events
+The contract between the dataflow engine, the fused-kernel compiler
+(:mod:`repro.compile`, which re-verifies and then *executes* these
+records) and :mod:`repro.optim.transformations`: every record names the events
 involved, the legality proof, and — decisively — carries a
 machine-checked verification: :func:`apply_opportunity` produces the
 transformed event schedule and :func:`verify_opportunity` replays both
@@ -94,6 +94,10 @@ class OpportunityReport:
     name: str
     case: str | None = None
     mode: str | None = None
+    #: :meth:`DirectiveProgram.sha` of the program the opportunities were
+    #: proven on — consumers (``repro compile``) refuse artifacts whose
+    #: hash no longer matches the re-recorded program (fail closed).
+    program_sha: str | None = None
     opportunities: list[OptimizationOpportunity] = field(default_factory=list)
 
     def verified(self) -> list[OptimizationOpportunity]:
@@ -104,11 +108,18 @@ class OpportunityReport:
             "name": self.name,
             "case": self.case,
             "mode": self.mode,
+            "program_sha": self.program_sha,
             "opportunities": [o.to_json() for o in self.opportunities],
         }
 
 
 def reports_to_json(reports: list[OpportunityReport]) -> dict:
+    """The schema-versioned ``--opportunities`` artifact document.
+
+    One entry per recorded program; each entry carries the program's
+    content hash (``program_sha``), which :mod:`repro.compile` compares
+    against its own re-recording before trusting any proof.
+    """
     return {
         "schema": OPPORTUNITY_SCHEMA_VERSION,
         "programs": [r.to_json() for r in reports],
@@ -177,7 +188,7 @@ def find_opportunities(
     report.opportunities.extend(_find_hoists(program, regions))
     report.opportunities.extend(_find_cancels(program, summary, regions, mask))
     if verify and report.opportunities:
-        baseline = _replay_fingerprint(program)
+        baseline = replay_fingerprint(program)
         for opp in report.opportunities:
             opp.verified = verify_opportunity(program, opp, baseline)
     return report
@@ -353,10 +364,13 @@ def apply_opportunity(
     return out
 
 
-def _replay_fingerprint(program: DirectiveProgram) -> tuple:
+def replay_fingerprint(program: DirectiveProgram) -> tuple:
     """Replay one schedule through the sanitizer's shadow machinery and
     fingerprint the outcome: final per-array dirty intervals (bitwise)
-    plus the diagnostic set."""
+    plus the diagnostic set. Two programs with equal fingerprints leave
+    host and device memory in the same bytewise state — the equivalence
+    relation behind :func:`verify_opportunity` and the compiled-step
+    verification gate in :mod:`repro.compile`."""
     from repro.sanitize.session import SanitizeSession
 
     session = SanitizeSession(nranks=1, name=program.meta.name)
@@ -389,8 +403,8 @@ def verify_opportunity(
     except (IndexError, KeyError, ValueError):
         return False
     if baseline is None:
-        baseline = _replay_fingerprint(program)
-    return baseline == _replay_fingerprint(transformed)
+        baseline = replay_fingerprint(program)
+    return baseline == replay_fingerprint(transformed)
 
 
 # ----------------------------------------------------------------------
@@ -412,6 +426,7 @@ OPPORTUNITY_SCHEMA: dict = {
                     "name": {"type": "string"},
                     "case": {"type": ["string", "null"]},
                     "mode": {"type": ["string", "null"]},
+                    "program_sha": {"type": ["string", "null"]},
                     "opportunities": {
                         "type": "array",
                         "items": {
@@ -509,6 +524,7 @@ __all__ = [
     "find_opportunities",
     "apply_opportunity",
     "verify_opportunity",
+    "replay_fingerprint",
     "reports_to_json",
     "validate_opportunities",
 ]

@@ -202,5 +202,38 @@ class DirectiveProgram:
             counts[e.kind] = counts.get(e.kind, 0) + 1
         return counts
 
+    def sha(self) -> str:
+        """Content hash (sha256 hex) of the program's semantics.
+
+        Covers every event field except ``label`` (labels carry script
+        line numbers and phase names, which vary between frontends that
+        produce the same schedule), plus the attached extents and the
+        semantic :class:`ProgramMeta` fields — but not ``meta.source`` or
+        ``meta.name``, so a re-recording of the same case under another
+        name hashes equal. This is the staleness check between a program
+        and a persisted opportunities artifact: apply a verified
+        transformation only to the exact schedule it was proven on.
+        """
+        import hashlib
+
+        h = hashlib.sha256()
+        m = self.meta
+        h.update(repr((
+            m.device, m.warp_size, m.max_regs_per_thread,
+            m.max_threads_per_block, m.compiler, m.vendor, m.maxregcount,
+            m.auto_async,
+        )).encode())
+        h.update(repr(sorted(self.extents.items())).encode())
+        for e in self.events:
+            h.update(repr((
+                e.kind, e.index, e.queue, e.copyin, e.create, e.delete,
+                e.copyout, e.structured, e.direction, e.var, e.nbytes,
+                e.chunks, e.offset, e.peer, e.construct, e.kernel,
+                e.reads, e.writes, e.writes_known, repr(e.schedule),
+                e.loop_dims, e.inner_contiguous, e.loop_carried, e.halo,
+                e.regs_demand, e.wait_on, e.wait_all,
+            )).encode())
+        return h.hexdigest()
+
 
 __all__ = ["AccEvent", "DirectiveProgram", "ProgramMeta", "KINDS"]

@@ -1,0 +1,133 @@
+"""Wall-clock benchmarking of interpreted vs compiled execution.
+
+Everything else in this package talks about *simulated* device seconds;
+this module measures the one thing the compiler actually changes — the
+**host-side** Python cost of driving the schedule.  Each side runs the
+identical schedule on identical fresh twins (same device spec, persona,
+flags), so the simulated times agree by construction and the
+``perf_counter`` delta isolates interpreter overhead: per-launch persona
+lowering, tracer spans, present-table checks, and the launches removed
+by fusion.
+
+``python -m repro compile all --bench BENCH_step.json`` persists the
+results in the same shape as ``BENCH_autotune.json``; the benchmark
+suite (``benchmarks/test_step_compile.py``) asserts compiled ≤
+interpreted on every seed case.
+"""
+
+from __future__ import annotations
+
+import gc
+import time
+from typing import TYPE_CHECKING, Callable
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.acc.runtime import Runtime
+    from repro.compile.compiler import CompiledPipeline, CompileRequest
+    from repro.core.config import GPUOptions
+
+#: timing repetitions; min-of-N suppresses scheduler noise
+DEFAULT_REPEATS = 5
+
+
+def _time_best(fn: Callable[[], None], repeats: int) -> float:
+    """Best-of-``repeats`` wall-clock seconds of ``fn`` (GC paused)."""
+    fn()  # warm-up: imports, allocation paths, memoised lowering
+    best = float("inf")
+    enabled = gc.isenabled()
+    gc.disable()
+    try:
+        for _ in range(repeats):
+            t0 = time.perf_counter()
+            fn()
+            best = min(best, time.perf_counter() - t0)
+    finally:
+        if enabled:
+            gc.enable()
+    return best
+
+
+def _run_interpreted(
+    request: "CompileRequest",
+    options: "GPUOptions",
+    runtime_factory: Callable[[], "Runtime"],
+) -> None:
+    from repro.core.pipeline import (
+        OffloadPipeline,
+        run_pipeline_modeling,
+        run_pipeline_rtm,
+    )
+
+    pipe = OffloadPipeline(
+        runtime_factory(),
+        request.physics,
+        request.shape,
+        nreceivers=request.nreceivers,
+        space_order=request.space_order,
+        boundary_width=request.boundary_width,
+        options=options,
+        pml_variant=request.pml_variant,
+    )
+    if request.mode == "rtm":
+        run_pipeline_rtm(pipe, request.nt, request.snap_period)
+    else:
+        run_pipeline_modeling(
+            pipe, request.nt, request.snap_period, request.snapshot_decimate
+        )
+
+
+def measure_case(
+    request: "CompileRequest",
+    compiled: "CompiledPipeline",
+    options: "GPUOptions",
+    runtime_factory: Callable[[], "Runtime"],
+    repeats: int = DEFAULT_REPEATS,
+) -> dict:
+    """Wall-clock interpreted vs compiled for one case.
+
+    Returns the per-case record written into ``BENCH_step.json``:
+    per-step host seconds both ways, the speedup, launch counts, and the
+    roofline-modelled simulated savings of the applied fusions.
+    """
+    interp_total = _time_best(
+        lambda: _run_interpreted(request, options, runtime_factory), repeats
+    )
+
+    def run_compiled() -> None:
+        compiled.bind(runtime_factory(), faithful=False).run()
+
+    compiled_total = _time_best(run_compiled, repeats)
+    nt = max(1, request.nt)
+    interp_step = interp_total / nt
+    compiled_step = compiled_total / nt
+    modelled_saved = sum(
+        rec.modelled.get("saved_seconds", 0.0) for rec in compiled.applied
+    )
+    return {
+        "interpreted_s": interp_total,
+        "compiled_s": compiled_total,
+        "interpreted_step_s": interp_step,
+        "compiled_step_s": compiled_step,
+        "speedup": interp_step / compiled_step if compiled_step > 0 else 0.0,
+        "applied": len(compiled.applied),
+        "launches_per_step": compiled.launches_per_step(),
+        "modelled_saved_s_per_step": modelled_saved,
+        "verified": compiled.verified,
+    }
+
+
+def bench_document(
+    cases: dict[str, dict], nt: int, snap_period: int, repeats: int
+) -> dict:
+    """The ``BENCH_step.json`` document."""
+    return {
+        "schema": 1,
+        "benchmark": "step_compile",
+        "nt": nt,
+        "snap_period": snap_period,
+        "repeats": repeats,
+        "cases": cases,
+    }
+
+
+__all__ = ["DEFAULT_REPEATS", "measure_case", "bench_document"]

@@ -1,0 +1,834 @@
+"""The fused-kernel compiler: verified opportunities → an executable step.
+
+This is the front half of :mod:`repro.compile` (the back half —
+:mod:`repro.compile.lower` — turns the transformed events into bound
+closures).  The pipeline is:
+
+1. **Segmented recording** (:func:`record_segments`) — drive a twin
+   runtime + :class:`~repro.analyze.recorder.ProgramRecorder` through
+   the exact :func:`~repro.core.pipeline.run_pipeline_modeling` /
+   :func:`~repro.core.pipeline.run_pipeline_rtm` schedule, marking which
+   event range each phase-method call produced.
+2. **Template extraction** — every repeated phase (forward step,
+   snapshot, snapshot reload, imaging, backward step) must be
+   steady-state: all its slices normalize-identical.  Non-uniform
+   schedules (e.g. auto-async queue rotation) are refused.
+3. **Selection** (:func:`select_opportunities`) — verified
+   :class:`~repro.analyze.dataflow.OptimizationOpportunity` records are
+   mapped to template offsets, deduplicated across periodic repeats,
+   structurally re-checked, made conflict-free, and each survivor is
+   re-proven with :func:`~repro.analyze.dataflow.verify_opportunity`.
+4. **Application** — survivors are applied per template with
+   :func:`~repro.analyze.dataflow.apply_opportunity`; hoisted updates
+   move to a phase prologue that runs once.
+5. **Verification gate** (inside :func:`compile_case`) — the compiled
+   schedule is replayed faithfully on a fresh twin under a recorder and
+   its :func:`~repro.analyze.dataflow.replay_fingerprint` must be
+   bitwise-identical to the interpreted program's.  Failure raises
+   :class:`~repro.utils.errors.CompileError`; an unverified
+   :class:`CompiledPipeline` is never returned.
+
+Artifacts from ``repro deps --opportunities`` are accepted via
+``artifact=``; they are schema-validated and matched to the re-recorded
+program by :meth:`~repro.analyze.program.DirectiveProgram.sha` —
+mismatch raises :class:`~repro.utils.errors.StaleArtifactError` (fail
+closed, never "best effort").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import TYPE_CHECKING, Callable
+
+from repro.analyze.dataflow import (
+    OptimizationOpportunity,
+    apply_opportunity,
+    find_opportunities,
+    replay_fingerprint,
+    validate_opportunities,
+    verify_opportunity,
+)
+from repro.analyze.program import AccEvent, DirectiveProgram
+from repro.analyze.recorder import ProgramRecorder
+from repro.compile.lower import (
+    BoundStep,
+    LoweredOp,
+    WorkloadRegistry,
+    bind_ops,
+    lower_events,
+)
+from repro.core.config import GpuTimes, GPUOptions
+from repro.utils.errors import (
+    CompileError,
+    DeviceOutOfMemoryError,
+    StaleArtifactError,
+)
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.acc.runtime import Runtime
+    from repro.core.pipeline import OffloadPipeline
+    from repro.core.platform import Platform
+    from repro.optim.autotune import TuningPlan
+
+#: phases in schedule order; the repeated ones must be steady-state
+PHASE_ORDER = (
+    "allocate", "forward", "snapshot", "swap", "load_snapshot", "imaging",
+    "backward", "finalize",
+)
+REPEATED_PHASES = ("forward", "snapshot", "load_snapshot", "imaging", "backward")
+
+#: which one-shot prologue a hoisted update lands in, per source phase
+_PROLOGUE_OF = {
+    "forward": "forward_prologue",
+    "snapshot": "forward_prologue",
+    "load_snapshot": "backward_prologue",
+    "imaging": "backward_prologue",
+    "backward": "backward_prologue",
+}
+
+
+@dataclass(frozen=True)
+class CompileRequest:
+    """What to compile: one seed-style case under one schedule shape.
+
+    Mirrors the parameters ``repro deps`` records with, so a request
+    compiled with the same ``nt`` hashes to the same
+    :meth:`~repro.analyze.program.DirectiveProgram.sha` as the deps
+    artifact (that equality is the staleness gate).
+    """
+
+    physics: str
+    shape: tuple[int, ...]
+    mode: str = "rtm"
+    nt: int = 24
+    snap_period: int = 4
+    snapshot_decimate: int = 4
+    nreceivers: int = 16
+    space_order: int = 8
+    boundary_width: int = 8
+    pml_variant: str = "restructured"
+
+    @property
+    def ndim(self) -> int:
+        return len(self.shape)
+
+    @property
+    def name(self) -> str:
+        return f"{self.physics}-{self.ndim}d-{self.mode}"
+
+    @classmethod
+    def from_case(cls, case: str, mode: str, nt: int = 24) -> "CompileRequest":
+        """Build a request from a seed-case spelling (``iso2d`` ...),
+        using the exact recording parameters of ``repro deps``."""
+        from repro.analyze.cli import _SHAPES
+        from repro.trace.cli import parse_case
+
+        physics, ndim = parse_case(case)
+        return cls(
+            physics=physics,
+            shape=_SHAPES[ndim],
+            mode=mode,
+            nt=nt,
+            space_order=4 if ndim == 3 else 8,
+        )
+
+
+@dataclass(frozen=True)
+class Segment:
+    """One phase-method call's event range: ``[start, stop)``."""
+
+    phase: str
+    start: int
+    stop: int
+
+    def __contains__(self, index: int) -> bool:
+        return self.start <= index < self.stop
+
+
+def _normalize(e: AccEvent) -> AccEvent:
+    return replace(e, index=0, label=None)
+
+
+@dataclass
+class SegmentedRecording:
+    """A recorded program plus the phase boundaries of every event."""
+
+    request: CompileRequest
+    program: DirectiveProgram
+    segments: list[Segment]
+    pipeline: "OffloadPipeline"
+
+    def slices(self, phase: str) -> list[Segment]:
+        return [s for s in self.segments if s.phase == phase]
+
+    def segment_of(self, index: int) -> Segment | None:
+        for s in self.segments:
+            if index in s:
+                return s
+        return None
+
+    def template(self, phase: str) -> list[AccEvent]:
+        """The phase's steady-state event template.
+
+        Raises :class:`CompileError` when the phase's slices are not
+        normalize-identical — the schedule is input-dependent and must
+        stay with the interpreter.
+        """
+        slices = self.slices(phase)
+        if not slices:
+            return []
+        events = self.program.events
+        first = [
+            _normalize(e) for e in events[slices[0].start:slices[0].stop]
+        ]
+        for s in slices[1:]:
+            other = [_normalize(e) for e in events[s.start:s.stop]]
+            if other != first:
+                raise CompileError(
+                    f"phase '{phase}' is not steady-state: slice at event "
+                    f"{s.start} differs from the template at event "
+                    f"{slices[0].start} (input-dependent schedules cannot "
+                    f"be compiled)"
+                )
+        return events[slices[0].start:slices[0].stop]
+
+
+def _default_runtime_factory(
+    options: GPUOptions, platform: "Platform | None"
+) -> Callable[[], "Runtime"]:
+    from repro.core.modeling import _build_runtime
+    from repro.core.platform import CRAY_K40
+
+    plat = platform if platform is not None else CRAY_K40
+    return lambda: _build_runtime(options, plat)
+
+
+def _twin_pipeline(source: "OffloadPipeline", rt: "Runtime", options: GPUOptions):
+    """A shallow twin of ``source`` on a fresh runtime: same workloads and
+    inventory, private phase/present bookkeeping, never itself compiled."""
+    import copy
+
+    twin = copy.copy(source)
+    twin.rt = rt
+    twin.options = options
+    twin._present_names = []
+    twin._phase = "idle"
+    return twin
+
+
+def record_segments(
+    request: CompileRequest,
+    options: GPUOptions,
+    runtime_factory: Callable[[], "Runtime"],
+    source_pipeline: "OffloadPipeline | None" = None,
+    name: str | None = None,
+) -> SegmentedRecording:
+    """Record the interpreted schedule with per-phase event boundaries.
+
+    Replays the exact control flow of
+    :func:`~repro.core.pipeline.run_pipeline_modeling` /
+    :func:`~repro.core.pipeline.run_pipeline_rtm`.  Failures are *not*
+    soft here: a known-failure persona raises :class:`CompileError` and
+    device OOM propagates (callers map both onto the interpreter's
+    ``failed_times`` semantics).
+    """
+    from repro.core.pipeline import OffloadPipeline
+
+    rt = runtime_factory()
+    recorder = ProgramRecorder(name=name or request.name)
+    rt.attach_recorder(recorder)
+    if source_pipeline is not None:
+        pipe = _twin_pipeline(source_pipeline, rt, options)
+    else:
+        pipe = OffloadPipeline(
+            rt,
+            request.physics,
+            request.shape,
+            nreceivers=request.nreceivers,
+            space_order=request.space_order,
+            boundary_width=request.boundary_width,
+            options=options,
+            pml_variant=request.pml_variant,
+        )
+    if request.mode == "rtm":
+        tag = f"{pipe.physics}-{pipe.ndim}d-rtm"
+        if tag in getattr(rt.compiler, "known_failures", ()):
+            raise CompileError(
+                f"persona {rt.compiler.name} cannot build {tag} "
+                f"(known compiler failure)"
+            )
+    program = recorder.program
+    segments: list[Segment] = []
+
+    def run(phase: str, fn, *args, **kwargs) -> None:
+        start = len(program.events)
+        fn(*args, **kwargs)
+        segments.append(Segment(phase, start, len(program.events)))
+
+    run("allocate", pipe.allocate_forward)
+    decimate = 1 if request.mode == "rtm" else request.snapshot_decimate
+    for n in range(request.nt):
+        run("forward", pipe.forward_step)
+        if (n + 1) % request.snap_period == 0:
+            run("snapshot", pipe.snapshot_to_host, decimate=decimate)
+    if request.mode == "rtm":
+        run("swap", pipe.swap_to_backward)
+        for n in range(request.nt - 1, -1, -1):
+            if (n + 1) % request.snap_period == 0:
+                run("load_snapshot", pipe.load_forward_snapshot)
+                run("imaging", pipe.imaging_step)
+            run("backward", pipe.backward_step)
+        run("finalize", pipe.finalize, with_image=options.image_on_gpu)
+    else:
+        run("finalize", pipe.finalize, with_image=False)
+    return SegmentedRecording(
+        request=request, program=program, segments=segments, pipeline=pipe
+    )
+
+
+# ----------------------------------------------------------------------
+# selection
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class SelectedOpportunity:
+    """A verified opportunity mapped into one phase template."""
+
+    opportunity: OptimizationOpportunity
+    phase: str
+    #: anchor positions relative to the template start
+    offsets: tuple[int, ...]
+
+
+@dataclass
+class SelectionResult:
+    selected: list[SelectedOpportunity] = field(default_factory=list)
+    #: ``(kind, events, reason)`` for every opportunity not taken
+    skipped: list[tuple[str, tuple[int, ...], str]] = field(default_factory=list)
+
+    def skip_counts(self) -> dict[str, int]:
+        out: dict[str, int] = {}
+        for _, _, reason in self.skipped:
+            out[reason] = out.get(reason, 0) + 1
+        return out
+
+
+def _structural_reason(
+    program: DirectiveProgram, opp: OptimizationOpportunity
+) -> str | None:
+    """Re-derive the opportunity's legality from program structure alone.
+
+    The artifact's proofs are replayed separately; this check defends
+    against malformed or tampered records *before* any replay runs, and
+    encodes the hard scheduling rules: a fusion may never cross a
+    ``wait`` (some other queue's producer may be ordered by it), and all
+    anchors must be the kinds the transform expects.
+    """
+    events = program.events
+    if any(i < 0 or i >= len(events) for i in opp.events + opp.remove_events):
+        return "event index out of range"
+    if opp.kind == "fuse-computes":
+        if len(opp.events) != 2:
+            return "fuse-computes needs exactly two anchors"
+        a, b = (events[i] for i in opp.events)
+        if a.kind != "compute" or b.kind != "compute":
+            return "fuse anchor is not a compute"
+        if a.queue != b.queue:
+            return "fuse anchors on different queues"
+        between = events[opp.events[0] + 1:opp.events[1]]
+        if any(e.kind == "wait" for e in between):
+            return "a wait between the computes orders another queue"
+        if any(
+            e.kind == "compute" and (e.wait_all or e.wait_on)
+            for e in between
+        ):
+            return "an intervening launch carries wait clauses"
+        if set(opp.remove_events) - {opp.events[1]}:
+            return "fuse may only remove its second anchor"
+        return None
+    if opp.kind == "hoist-update":
+        if any(events[i].kind != "update" for i in opp.events):
+            return "hoist anchor is not an update"
+        if opp.insert_at is None or not (0 <= opp.insert_at <= min(opp.events)):
+            return "hoist insert point after its first anchor"
+        anchors = {(events[i].var, events[i].direction) for i in opp.events}
+        if len(anchors) != 1:
+            return "hoist anchors disagree on array/direction"
+        return None
+    if opp.kind == "cancel-update-pair":
+        if any(events[i].kind != "update" for i in opp.events):
+            return "cancel anchor is not an update"
+        if len({events[i].var for i in opp.events}) != 1:
+            return "cancel anchors touch different arrays"
+        return None
+    return f"unknown opportunity kind '{opp.kind}'"
+
+
+def select_opportunities(
+    recording: SegmentedRecording,
+    opportunities: list[OptimizationOpportunity],
+) -> SelectionResult:
+    """Filter opportunities down to the disjoint, re-proven set the
+    compiler will apply.
+
+    Order of the gauntlet: verified flag → single-segment locality →
+    repeated-phase locality → periodic dedup (template offsets) →
+    structural legality → conflict-freedom within the template →
+    :func:`~repro.analyze.dataflow.verify_opportunity` replay re-proof.
+    """
+    program = recording.program
+    result = SelectionResult()
+    baseline: tuple | None = None
+    taken_offsets: dict[str, set[int]] = {}
+    seen_keys: set[tuple] = set()
+    for opp in sorted(opportunities, key=lambda o: o.events):
+        def skip(reason: str, opp=opp) -> None:
+            result.skipped.append((opp.kind, opp.events, reason))
+
+        if not opp.verified:
+            skip("not verified by the dataflow engine")
+            continue
+        anchors = opp.events + tuple(
+            i for i in opp.remove_events if i not in opp.events
+        )
+        seg = recording.segment_of(anchors[0])
+        if seg is None or any(i not in seg for i in anchors):
+            skip("spans a phase boundary")
+            continue
+        if seg.phase not in REPEATED_PHASES:
+            skip(f"anchored in one-shot phase '{seg.phase}'")
+            continue
+        offsets = tuple(i - seg.start for i in opp.events)
+        key = (opp.kind, seg.phase, offsets, opp.var)
+        if key in seen_keys:
+            skip("periodic duplicate of a selected template offset")
+            continue
+        seen_keys.add(key)
+        reason = _structural_reason(program, opp)
+        if reason is not None:
+            skip(reason)
+            continue
+        touched = set(offsets) | {
+            i - seg.start for i in opp.remove_events if i in seg
+        }
+        taken = taken_offsets.setdefault(seg.phase, set())
+        if touched & taken:
+            skip("conflicts with an already-selected opportunity")
+            continue
+        if baseline is None:
+            baseline = replay_fingerprint(program)
+        if not verify_opportunity(program, opp, baseline):
+            skip("failed the replay re-proof")
+            continue
+        taken.update(touched)
+        result.selected.append(
+            SelectedOpportunity(opportunity=opp, phase=seg.phase, offsets=offsets)
+        )
+    return result
+
+
+# ----------------------------------------------------------------------
+# application
+# ----------------------------------------------------------------------
+def _mini_program(meta, extents, events: list[AccEvent]) -> DirectiveProgram:
+    mini = DirectiveProgram(meta)
+    mini.extents = dict(extents)
+    for e in events:
+        mini.add(e)
+    return mini
+
+
+def apply_to_template(
+    template: list[AccEvent],
+    selections: list[SelectedOpportunity],
+    program: DirectiveProgram,
+) -> tuple[list[AccEvent], list[AccEvent]]:
+    """Apply the phase's selected opportunities to its template.
+
+    Returns ``(transformed_template, hoisted_events)`` — hoisted updates
+    leave the per-iteration template entirely and run once in the phase
+    prologue.  Application goes through the same
+    :func:`~repro.analyze.dataflow.apply_opportunity` the proofs were
+    checked with, in descending anchor order so earlier offsets stay
+    valid as later events are removed.
+    """
+    mini = _mini_program(program.meta, program.extents, template)
+    hoisted: list[AccEvent] = []
+    ordered = sorted(selections, key=lambda s: -s.offsets[0])
+    for sel in ordered:
+        opp = sel.opportunity
+        if opp.kind == "fuse-computes":
+            local = replace(
+                opp, events=sel.offsets, remove_events=(sel.offsets[1],),
+                insert_at=None,
+            )
+            mini = apply_opportunity(mini, local)
+        elif opp.kind == "hoist-update":
+            hoisted.append(mini.events[sel.offsets[0]])
+            # removal only: the kept update moves to the phase prologue,
+            # so nothing is re-inserted into the per-iteration template
+            local = replace(
+                opp, kind="cancel-update-pair", events=sel.offsets,
+                remove_events=sel.offsets, insert_at=None,
+            )
+            mini = apply_opportunity(mini, local)
+        else:  # cancel-update-pair
+            local = replace(
+                opp, events=sel.offsets, remove_events=sel.offsets,
+                insert_at=None,
+            )
+            mini = apply_opportunity(mini, local)
+    return list(mini.events), hoisted
+
+
+# ----------------------------------------------------------------------
+# the compiled artifact
+# ----------------------------------------------------------------------
+@dataclass
+class AppliedOpportunity:
+    """One opportunity the compiler actually lowered, with its price."""
+
+    kind: str
+    phase: str
+    offsets: tuple[int, ...]
+    kernels: tuple[str, ...] = ()
+    var: str | None = None
+    proof: str = ""
+    #: roofline/launch-model pricing of the fused launch (simulated
+    #: seconds per step); empty for hoists/cancels
+    modelled: dict[str, float] = field(default_factory=dict)
+
+    def to_json(self) -> dict:
+        return {
+            "kind": self.kind,
+            "phase": self.phase,
+            "offsets": list(self.offsets),
+            "kernels": list(self.kernels),
+            "var": self.var,
+            "proof": self.proof,
+            "modelled": dict(self.modelled),
+        }
+
+
+@dataclass
+class CompiledPipeline:
+    """An executable compiled schedule: per-phase lowered op lists.
+
+    Never constructed unverified — :func:`compile_case` raises before
+    returning one whose compiled replay is not bitwise-identical to the
+    interpreted pipeline's.
+    """
+
+    request: CompileRequest
+    program_sha: str
+    steps: dict[str, list[LoweredOp]]
+    registry: WorkloadRegistry
+    plan: "TuningPlan | None"
+    applied: list[AppliedOpportunity]
+    skipped: list[tuple[str, tuple[int, ...], str]]
+    #: per repeated phase: compute launches per iteration, before/after
+    launches: dict[str, dict[str, int]]
+    verified: bool = False
+
+    def launches_per_step(self) -> dict[str, int]:
+        """Total per-iteration kernel launches across repeated phases."""
+        return {
+            side: sum(v[side] for v in self.launches.values())
+            for side in ("interpreted", "compiled")
+        }
+
+    def bind(
+        self, rt: "Runtime", faithful: bool | None = None
+    ) -> "BoundPipeline":
+        return BoundPipeline(self, rt, faithful=faithful)
+
+
+class BoundPipeline:
+    """A :class:`CompiledPipeline` bound to one live runtime."""
+
+    def __init__(
+        self,
+        compiled: CompiledPipeline,
+        rt: "Runtime",
+        faithful: bool | None = None,
+    ):
+        self.compiled = compiled
+        self.rt = rt
+        self.steps: dict[str, BoundStep] = {
+            phase: bind_ops(
+                phase, ops, rt, compiled.registry, compiled.plan, faithful
+            )
+            for phase, ops in compiled.steps.items()
+        }
+
+    def run(self) -> GpuTimes:
+        """Execute the full compiled schedule; same failure semantics as
+        the interpreted drivers (OOM → ``failed_times('oom')``)."""
+        from repro.core.pipeline import failed_times
+
+        req = self.compiled.request
+        steps = self.steps
+        try:
+            steps["allocate"]()
+        except DeviceOutOfMemoryError:
+            return failed_times("oom")
+        if "forward_prologue" in steps:
+            steps["forward_prologue"]()
+        for n in range(req.nt):
+            steps["forward"]()
+            if (n + 1) % req.snap_period == 0:
+                steps["snapshot"]()
+        if req.mode == "rtm":
+            try:
+                steps["swap"]()
+            except DeviceOutOfMemoryError:
+                return failed_times("oom")
+            if "backward_prologue" in steps:
+                steps["backward_prologue"]()
+            for n in range(req.nt - 1, -1, -1):
+                if (n + 1) % req.snap_period == 0:
+                    steps["load_snapshot"]()
+                    steps["imaging"]()
+                steps["backward"]()
+        steps["finalize"]()
+        return self.gpu_times()
+
+    def gpu_times(self) -> GpuTimes:
+        dev = self.rt.device
+        return GpuTimes(
+            total=dev.elapsed,
+            kernel=dev.times.kernel,
+            h2d=dev.times.h2d,
+            d2h=dev.times.d2h,
+            alloc=dev.times.alloc,
+            launches=dev.kernel_launches,
+            success=True,
+            profile=dev.profiler.report(),
+            categories=dict(dev.clock.categories),
+        )
+
+
+# ----------------------------------------------------------------------
+# artifact intake
+# ----------------------------------------------------------------------
+def opportunities_from_artifact(
+    artifact: dict, program: DirectiveProgram
+) -> list[OptimizationOpportunity]:
+    """Opportunities for ``program`` out of a deps artifact, gated on the
+    program hash.  Raises :class:`StaleArtifactError` when no entry's
+    ``program_sha`` matches — the proofs do not describe this schedule.
+    """
+    validate_opportunities(artifact)
+    sha = program.sha()
+    shas_seen = []
+    for entry in artifact.get("programs", []):
+        entry_sha = entry.get("program_sha")
+        shas_seen.append(f"{entry.get('name')}: {entry_sha or '<none>'}")
+        if entry_sha != sha:
+            continue
+        return [
+            OptimizationOpportunity(
+                kind=o["kind"],
+                events=tuple(o["events"]),
+                var=o.get("var"),
+                kernels=tuple(o.get("kernels", ())),
+                queue=o.get("queue"),
+                proof=o.get("proof", ""),
+                savings=dict(o.get("savings", {})),
+                remove_events=tuple(o.get("remove_events", ())),
+                insert_at=o.get("insert_at"),
+                verified=bool(o.get("verified", False)),
+            )
+            for o in entry.get("opportunities", [])
+        ]
+    raise StaleArtifactError(
+        f"opportunities artifact is stale for '{program.meta.name}': no "
+        f"entry matches program sha {sha[:12]}… (artifact has: "
+        f"{'; '.join(shas_seen) or 'no programs'}). Re-record it with "
+        f"'python -m repro deps all --opportunities FILE' at the same nt."
+    )
+
+
+# ----------------------------------------------------------------------
+# the compiler entry point
+# ----------------------------------------------------------------------
+def compile_case(
+    request: CompileRequest,
+    options: GPUOptions | None = None,
+    platform: "Platform | None" = None,
+    plan: "TuningPlan | None" = None,
+    artifact: dict | None = None,
+    runtime_factory: Callable[[], "Runtime"] | None = None,
+    source_pipeline: "OffloadPipeline | None" = None,
+) -> CompiledPipeline:
+    """Lower one case's recorded schedule into a verified
+    :class:`CompiledPipeline`.
+
+    ``artifact`` supplies pre-proven opportunities (``repro deps
+    --opportunities``); without it the dataflow engine runs in-process
+    with verification on.  ``plan`` (or ``options.plan``) is honoured
+    exactly as the interpreted launch path honours it.  Raises
+    :class:`CompileError` — including :class:`StaleArtifactError` — on
+    any failure to prove equivalence; the returned object always has
+    ``verified=True``.
+    """
+    from repro.optim.autotune import options_with_plan
+
+    if source_pipeline is not None:
+        base = source_pipeline.options
+    else:
+        base = options if options is not None else GPUOptions()
+    base = replace(base, compiled=False)
+    if plan is not None:
+        base = options_with_plan(base, plan)
+    active_plan = base.plan
+    if runtime_factory is None:
+        runtime_factory = _default_runtime_factory(base, platform)
+
+    recording = record_segments(
+        request, base, runtime_factory, source_pipeline=source_pipeline
+    )
+    program = recording.program
+    sha = program.sha()
+    if artifact is not None:
+        opportunities = opportunities_from_artifact(artifact, program)
+    else:
+        opportunities = find_opportunities(program, verify=True).opportunities
+
+    selection = select_opportunities(recording, opportunities)
+    by_phase: dict[str, list[SelectedOpportunity]] = {}
+    for sel in selection.selected:
+        by_phase.setdefault(sel.phase, []).append(sel)
+
+    steps: dict[str, list[LoweredOp]] = {}
+    launches: dict[str, dict[str, int]] = {}
+    prologues: dict[str, list[AccEvent]] = {}
+    for phase in PHASE_ORDER:
+        template = recording.template(phase)
+        if not template and phase not in ("allocate", "finalize"):
+            continue
+        transformed, hoisted = apply_to_template(
+            template, by_phase.get(phase, []), program
+        )
+        if hoisted:
+            prologues.setdefault(_PROLOGUE_OF[phase], []).extend(hoisted)
+        if phase in REPEATED_PHASES:
+            launches[phase] = {
+                "interpreted": sum(1 for e in template if e.kind == "compute"),
+                "compiled": sum(1 for e in transformed if e.kind == "compute"),
+            }
+        steps[phase] = lower_events(transformed, program.extents)
+    for name, events in prologues.items():
+        steps[name] = lower_events(events, program.extents)
+
+    registry = WorkloadRegistry.from_pipeline(recording.pipeline)
+    applied = [
+        _applied_record(sel, recording, registry) for sel in selection.selected
+    ]
+    compiled = CompiledPipeline(
+        request=request,
+        program_sha=sha,
+        steps=steps,
+        registry=registry,
+        plan=active_plan,
+        applied=applied,
+        skipped=selection.skipped,
+        launches=launches,
+    )
+    _verify_compiled(compiled, base, runtime_factory, source_pipeline, program)
+    return compiled
+
+
+def _applied_record(
+    sel: SelectedOpportunity,
+    recording: SegmentedRecording,
+    registry: WorkloadRegistry,
+) -> AppliedOpportunity:
+    """Build the applied record, pricing fusions with the roofline/launch
+    model (:func:`repro.optim.fused_launch_estimate`): one launch
+    overhead instead of N, register pressure merged under the effective
+    maxregcount."""
+    opp = sel.opportunity
+    record = AppliedOpportunity(
+        kind=opp.kind,
+        phase=sel.phase,
+        offsets=sel.offsets,
+        kernels=opp.kernels,
+        var=opp.var,
+        proof=opp.proof,
+    )
+    if opp.kind == "fuse-computes" and len(opp.kernels) >= 2:
+        from repro.gpusim.specs import CUDA_5_0
+        from repro.optim import fused_launch_estimate
+
+        rt = recording.pipeline.rt
+        try:
+            parts = [registry.resolve(k) for k in opp.kernels]
+            est = fused_launch_estimate(
+                rt.device.spec,
+                parts,
+                maxregcount=getattr(rt.flags, "maxregcount", None),
+                toolkit=getattr(rt.device, "toolkit", CUDA_5_0),
+            )
+        except CompileError:
+            return record
+        record.modelled = {
+            "fused_seconds": est.fused_seconds,
+            "unfused_seconds": est.unfused_seconds,
+            "saved_seconds": est.saved_seconds,
+            "effective_maxregcount": (
+                float(est.effective_maxregcount)
+                if est.effective_maxregcount is not None else -1.0
+            ),
+        }
+    return record
+
+
+def _verify_compiled(
+    compiled: CompiledPipeline,
+    options: GPUOptions,
+    runtime_factory: Callable[[], "Runtime"],
+    source_pipeline: "OffloadPipeline | None",
+    interpreted: DirectiveProgram,
+) -> None:
+    """The bitwise gate: faithfully replay the compiled schedule under a
+    recorder on a fresh twin and demand fingerprint equality with the
+    interpreted program.  Mutates ``compiled.verified`` on success."""
+    rt = runtime_factory()
+    recorder = ProgramRecorder(name=f"{compiled.request.name}-compiled")
+    rt.attach_recorder(recorder)
+    bound = compiled.bind(rt, faithful=True)
+    times = bound.run()
+    if not times.success:
+        raise CompileError(
+            f"compiled replay of {compiled.request.name} failed "
+            f"({times.failure}) where the interpreter succeeded"
+        )
+    expect = replay_fingerprint(interpreted)
+    got = replay_fingerprint(recorder.program)
+    if expect != got:
+        raise CompileError(
+            f"compiled step for {compiled.request.name} is NOT bitwise-"
+            f"identical to the interpreted pipeline (fingerprint mismatch "
+            f"after applying {len(compiled.applied)} opportunities); "
+            f"refusing to use it"
+        )
+    compiled.verified = True
+
+
+__all__ = [
+    "PHASE_ORDER",
+    "REPEATED_PHASES",
+    "CompileRequest",
+    "Segment",
+    "SegmentedRecording",
+    "SelectedOpportunity",
+    "SelectionResult",
+    "AppliedOpportunity",
+    "CompiledPipeline",
+    "BoundPipeline",
+    "record_segments",
+    "select_opportunities",
+    "apply_to_template",
+    "opportunities_from_artifact",
+    "compile_case",
+]

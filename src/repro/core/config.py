@@ -60,6 +60,10 @@ class GPUOptions:
     #: :func:`repro.optim.autotune.options_with_plan`, which also applies
     #: the plan's global ``maxregcount``/async choices
     plan: Any = None
+    #: execute through :mod:`repro.compile`: the schedule is lowered to a
+    #: fused, bitwise-verified step function instead of being interpreted
+    #: directive-by-directive (estimate-mode drivers only)
+    compiled: bool = False
 
 
 @dataclass

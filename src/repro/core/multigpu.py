@@ -467,17 +467,56 @@ class MultiGpuPipeline:
         runlog.count("multigpu.exchanges")
 
     # ------------------------------------------------------------------
+    def _compiled_steps(
+        self,
+        mode: str,
+        nt: int,
+        snap_period: int,
+        phase: str,
+        snapshot_decimate: int = 1,
+    ):
+        """Per-rank compiled step callables for ``phase`` when
+        ``options.compiled`` is set, else None (interpreted).
+
+        Only the interior step loop compiles — halo exchange, snapshots
+        and phase transitions stay interpreted because they touch live
+        neighbour state. A compilation that produced phase prologues
+        (hoisted updates) falls back to the interpreter: the prologue
+        would not run inside this loop structure. Ranks under a sanitize
+        session bind faithfully, so their recorders still see every
+        directive.
+        """
+        if not self.options.compiled:
+            return None
+        from repro.compile.runner import compiled_steps_for_rank
+
+        bound = [
+            compiled_steps_for_rank(
+                rc.pipe, mode, nt, snap_period, snapshot_decimate
+            )
+            for rc in self.ranks
+        ]
+        if any(
+            name.endswith("_prologue") for b in bound for name in b.steps
+        ):
+            return None
+        runlog.emit("compiled", ranks=len(bound), phase=phase)
+        return [b.steps[phase] for b in bound]
+
+    # ------------------------------------------------------------------
     def run_modeling(
         self, nt: int, snap_period: int, snapshot_decimate: int = 4
     ) -> list[GpuTimes]:
         """The Figure-4 forward schedule on every card, ghost swaps between
         steps; returns per-rank modelled timings."""
         runlog.emit("run", op="modeling", nt=nt, ranks=len(self.ranks))
+        forward = self._compiled_steps("modeling", nt, snap_period, "forward",
+                                       snapshot_decimate)
         for rc in self.ranks:
             rc.pipe.allocate_forward()
         for n in range(nt):
-            for rc in self.ranks:
-                rc.pipe.forward_step()
+            for r, rc in enumerate(self.ranks):
+                forward[r]() if forward else rc.pipe.forward_step()
             self.exchange(self.primary)
             if (n + 1) % snap_period == 0:
                 for rc in self.ranks:
@@ -491,11 +530,13 @@ class MultiGpuPipeline:
         """Both phases: forward with full-field snapshots, swap, backward
         with imaging — the backward wavefield's halos swap per step too."""
         runlog.emit("run", op="rtm", nt=nt, ranks=len(self.ranks))
+        forward = self._compiled_steps("rtm", nt, snap_period, "forward")
+        backward = self._compiled_steps("rtm", nt, snap_period, "backward")
         for rc in self.ranks:
             rc.pipe.allocate_forward()
         for n in range(nt):
-            for rc in self.ranks:
-                rc.pipe.forward_step()
+            for r, rc in enumerate(self.ranks):
+                forward[r]() if forward else rc.pipe.forward_step()
             self.exchange(self.primary)
             if (n + 1) % snap_period == 0:
                 for rc in self.ranks:
@@ -508,8 +549,8 @@ class MultiGpuPipeline:
                 for rc in self.ranks:
                     rc.pipe.load_forward_snapshot()
                     rc.pipe.imaging_step()
-            for rc in self.ranks:
-                rc.pipe.backward_step()
+            for r, rc in enumerate(self.ranks):
+                backward[r]() if backward else rc.pipe.backward_step()
             self.exchange(bwd)
         for rc in self.ranks:
             rc.pipe.finalize(with_image=rc.pipe.options.image_on_gpu)

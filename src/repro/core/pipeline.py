@@ -84,6 +84,8 @@ class OffloadPipeline:
         self.nreceivers = int(nreceivers)
         self.options = options if options is not None else GPUOptions()
         self.boundary_width = boundary_width
+        self.space_order = int(space_order)
+        self.pml_variant = pml_variant
         self.field_bytes = int(np.prod(self.shape)) * 4
         self.inventory = field_inventory(self.physics, self.shape, boundary_width)
         self.primary = primary_wavefield(self.physics)
@@ -379,6 +381,12 @@ def run_pipeline_modeling(
 ) -> GpuTimes:
     """Estimate-mode forward run (no physics): the full Figure-4 forward
     schedule for ``nt`` steps."""
+    if pipeline.options.compiled:
+        from repro.compile.runner import run_pipeline_compiled
+
+        return run_pipeline_compiled(
+            pipeline, "modeling", nt, snap_period, snapshot_decimate
+        )
     try:
         pipeline.allocate_forward()
     except DeviceOutOfMemoryError:
@@ -402,6 +410,12 @@ def run_pipeline_rtm(
     tag = f"{pipeline.physics}-{pipeline.ndim}d-rtm"
     if tag in getattr(compiler, "known_failures", ()):
         return failed_times("compiler")
+    if pipeline.options.compiled:
+        from repro.compile.runner import run_pipeline_compiled
+
+        return run_pipeline_compiled(
+            pipeline, "rtm", nt, snap_period, snapshot_decimate=1
+        )
     try:
         pipeline.allocate_forward()
     except DeviceOutOfMemoryError:

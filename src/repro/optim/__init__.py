@@ -33,6 +33,7 @@ from repro.optim.transformations import (
     with_transposition,
     inline_receiver_loop,
     remove_branches,
+    fuse_kernels,
     collapse_nest,
 )
 from repro.optim.tuning import (
@@ -41,6 +42,8 @@ from repro.optim.tuning import (
     best_register_count,
     vector_length_sweep,
     predict_best_launch,
+    fused_launch_estimate,
+    FusedLaunchEstimate,
     async_comparison,
     AsyncComparison,
 )
@@ -52,6 +55,7 @@ __all__ = [
     "with_transposition",
     "inline_receiver_loop",
     "remove_branches",
+    "fuse_kernels",
     "collapse_nest",
     # static tuners
     "register_sweep",
@@ -59,6 +63,8 @@ __all__ = [
     "best_register_count",
     "vector_length_sweep",
     "predict_best_launch",
+    "fused_launch_estimate",
+    "FusedLaunchEstimate",
     "async_comparison",
     "AsyncComparison",
     # closed-loop tuner

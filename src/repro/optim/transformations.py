@@ -86,6 +86,41 @@ def remove_branches(workload: KernelWorkload, extra_flops: float = 0.0) -> Kerne
     )
 
 
+def fuse_kernels(
+    *workloads: KernelWorkload, name: str | None = None
+) -> KernelWorkload:
+    """Merge two or more launches into one fused kernel body.
+
+    The inverse of :func:`loop_fission`, and the workload-level form of a
+    verified ``fuse-computes`` opportunity from
+    :mod:`repro.analyze.dataflow`: one launch sweeps the union iteration
+    space and performs every part's arithmetic and traffic. Totals are
+    preserved — per-point rates are rescaled onto the widest part's point
+    count — while per-launch overheads collapse to one. Register pressure
+    is the *sum* of the parts' address streams (each part keeps its own
+    live stencil pointers), which is exactly what makes fusion a trade
+    and not a free win: :func:`repro.optim.tuning.fused_launch_estimate`
+    prices both sides.
+    """
+    if len(workloads) < 2:
+        raise ConfigurationError("fuse_kernels needs at least two workloads")
+    widest = max(workloads, key=lambda w: w.points)
+    points = widest.points
+    total = lambda attr: sum(w.points * getattr(w, attr) for w in workloads)  # noqa: E731
+    return replace(
+        widest,
+        name=name or "+".join(w.name for w in workloads),
+        flops_per_point=total("flops_per_point") / points,
+        reads_per_point=total("reads_per_point") / points,
+        writes_per_point=total("writes_per_point") / points,
+        address_streams=sum(w.address_streams for w in workloads),
+        has_branches=any(w.has_branches for w in workloads),
+        inner_contiguous=all(w.inner_contiguous for w in workloads),
+        loop_carried=any(w.loop_carried for w in workloads),
+        gather_axes=max(w.gather_axes for w in workloads),
+    )
+
+
 def collapse_nest(workload: KernelWorkload, levels: int) -> KernelWorkload:
     """Collapse ``levels`` loop levels into one iteration space (metadata
     view of the OpenACC ``collapse`` clause)."""
@@ -110,5 +145,6 @@ __all__ = [
     "with_transposition",
     "inline_receiver_loop",
     "remove_branches",
+    "fuse_kernels",
     "collapse_nest",
 ]

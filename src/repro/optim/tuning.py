@@ -151,6 +151,78 @@ def predict_best_launch(
 
 
 @dataclass(frozen=True)
+class FusedLaunchEstimate:
+    """Modelled price of one fused launch vs its unfused parts.
+
+    All times are simulated seconds and *include* the host-side launch
+    overhead (``spec.launch_overhead_s`` per launch) — that overhead is
+    the whole point of fusion, so unlike the per-kernel roofline numbers
+    it cannot be left out here. ``effective_maxregcount`` is the register
+    cap the card actually honours for the merged body (requests above the
+    architecture ceiling are clamped, exactly as in
+    :func:`register_sweep`); the merged body's demand is higher than any
+    part's — summed address streams — so a fused launch can spill where
+    its parts did not, and ``saved_seconds`` may come out negative.
+    """
+
+    fused: KernelEstimate
+    parts: tuple[KernelEstimate, ...]
+    fused_seconds: float
+    unfused_seconds: float
+    effective_maxregcount: int | None
+
+    @property
+    def saved_seconds(self) -> float:
+        """Positive when the fused launch is cheaper."""
+        return self.unfused_seconds - self.fused_seconds
+
+
+def fused_launch_estimate(
+    spec: GPUSpec,
+    workloads: list[KernelWorkload],
+    maxregcount: int | None = None,
+    threads_per_block: int = 128,
+    toolkit: CudaToolkit = CUDA_5_0,
+) -> FusedLaunchEstimate:
+    """Price fusing ``workloads`` into one launch on ``spec``.
+
+    The fused body comes from
+    :func:`repro.optim.transformations.fuse_kernels` (totals preserved,
+    register pressure merged); the launch-count delta is charged at
+    ``spec.launch_overhead_s`` each. This is how the roofline/launch
+    model prices a verified ``fuse-computes`` opportunity before
+    :mod:`repro.compile` lowers it.
+    """
+    from repro.optim.transformations import fuse_kernels
+
+    if len(workloads) < 2:
+        raise ConfigurationError("fused_launch_estimate needs >= 2 workloads")
+    reg_eff = (
+        min(maxregcount, spec.max_regs_per_thread)
+        if maxregcount is not None else None
+    )
+    launch = LaunchConfig(
+        threads_per_block=threads_per_block, maxregcount=reg_eff
+    )
+    parts = tuple(
+        estimate_kernel_time(spec, w, launch, toolkit) for w in workloads
+    )
+    fused = estimate_kernel_time(
+        spec, fuse_kernels(*workloads), launch, toolkit
+    )
+    return FusedLaunchEstimate(
+        fused=fused,
+        parts=parts,
+        fused_seconds=fused.seconds + spec.launch_overhead_s,
+        unfused_seconds=(
+            sum(p.seconds for p in parts)
+            + len(parts) * spec.launch_overhead_s
+        ),
+        effective_maxregcount=reg_eff,
+    )
+
+
+@dataclass(frozen=True)
 class AsyncComparison:
     """Synchronous vs asynchronous execution of one step's kernel set."""
 
@@ -210,6 +282,8 @@ __all__ = [
     "best_register_count",
     "vector_length_sweep",
     "predict_best_launch",
+    "FusedLaunchEstimate",
+    "fused_launch_estimate",
     "AsyncComparison",
     "async_comparison",
 ]

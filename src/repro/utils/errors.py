@@ -144,3 +144,25 @@ class AnalysisError(ReproError):
     :mod:`repro.analyze` reports findings at or above the gate severity
     for the schedule about to run.
     """
+
+
+class CompileError(ReproError):
+    """The fused-kernel compiler refused to lower a program.
+
+    Raised by :mod:`repro.compile` when a recorded schedule cannot be
+    flattened into a steady-state step template, when an opportunity
+    fails its structural legality re-check, or when the compiled step's
+    replay fingerprint is not bitwise-identical to the interpreted
+    pipeline's. The compiler always fails closed: a program that cannot
+    be *proven* equivalent is never executed compiled.
+    """
+
+
+class StaleArtifactError(CompileError):
+    """An opportunities artifact no longer matches the program it proves.
+
+    The artifact carries the ``program_sha`` of the recording it was
+    verified against; :mod:`repro.compile` recomputes the hash of the
+    schedule it is about to transform and refuses on mismatch rather
+    than apply proofs to a program they do not describe.
+    """

@@ -1,0 +1,94 @@
+"""docs/cli.md must match the argparse surface exactly — both ways.
+
+A subcommand or flag added to ``repro.__main__`` without a matching
+documentation row fails here; so does a documented flag the parsers no
+longer accept.
+"""
+
+import argparse
+import re
+from pathlib import Path
+
+import pytest
+
+from repro.__main__ import build_parser
+
+DOC = Path(__file__).resolve().parents[2] / "docs" / "cli.md"
+
+SECTION_RE = re.compile(r"^## repro (\S+)\s*$", re.MULTILINE)
+FLAG_RE = re.compile(r"--[a-z][a-z0-9-]*")
+
+
+def subparsers():
+    parser = build_parser()
+    action = next(
+        a for a in parser._actions
+        if isinstance(a, argparse._SubParsersAction)
+    )
+    return action.choices
+
+
+def sections():
+    """Map subcommand name -> its section body in docs/cli.md."""
+    text = DOC.read_text()
+    found = {}
+    matches = list(SECTION_RE.finditer(text))
+    for i, m in enumerate(matches):
+        start = m.end()
+        # a section runs until the next "## " heading of any kind
+        nxt = text.find("\n## ", start)
+        found[m.group(1)] = text[start:nxt if nxt != -1 else len(text)]
+    return found
+
+
+def parser_flags(sub):
+    flags = set()
+    for action in sub._actions:
+        if isinstance(action, argparse._HelpAction):
+            continue
+        flags.update(action.option_strings)
+    return {f for f in flags if f.startswith("--")}
+
+
+def test_every_subcommand_has_a_section():
+    missing = set(subparsers()) - set(sections())
+    assert not missing, f"subcommands undocumented in docs/cli.md: {missing}"
+
+
+def test_every_section_names_a_live_subcommand():
+    ghosts = set(sections()) - set(subparsers())
+    assert not ghosts, f"docs/cli.md documents removed subcommands: {ghosts}"
+
+
+@pytest.mark.parametrize("name", sorted(subparsers()))
+def test_every_flag_is_documented(name):
+    body = sections().get(name)
+    if body is None:
+        pytest.skip("covered by test_every_subcommand_has_a_section")
+    undocumented = {
+        f for f in parser_flags(subparsers()[name]) if f not in body
+    }
+    assert not undocumented, (
+        f"'repro {name}' flags missing from docs/cli.md: "
+        f"{sorted(undocumented)}"
+    )
+
+
+@pytest.mark.parametrize("name", sorted(subparsers()))
+def test_every_documented_flag_exists(name):
+    body = sections().get(name)
+    if body is None:
+        pytest.skip("covered by test_every_subcommand_has_a_section")
+    live = parser_flags(subparsers()[name])
+    ghosts = set(FLAG_RE.findall(body)) - live
+    assert not ghosts, (
+        f"docs/cli.md documents flags 'repro {name}' does not accept: "
+        f"{sorted(ghosts)}"
+    )
+
+
+def test_exit_codes_are_stated():
+    for name, body in sections().items():
+        assert "Exit code" in body, (
+            f"'repro {name}' section lacks an exit-code contract"
+        )

@@ -1,0 +1,82 @@
+"""Every relative markdown link in README.md and docs/ must resolve —
+target file present, anchor fragment matching a real heading."""
+
+import re
+from pathlib import Path
+
+import pytest
+
+ROOT = Path(__file__).resolve().parents[2]
+PAGES = sorted([ROOT / "README.md", *(ROOT / "docs").glob("*.md")])
+
+LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+FENCE_RE = re.compile(r"^(```|~~~)", re.MULTILINE)
+HEADING_RE = re.compile(r"^#{1,6}\s+(.*)$", re.MULTILINE)
+
+
+def strip_fences(text):
+    out, keep = [], True
+    for line in text.splitlines():
+        if line.startswith(("```", "~~~")):
+            keep = not keep
+            continue
+        if keep:
+            out.append(line)
+    return "\n".join(out)
+
+
+def github_slug(heading):
+    """The anchor GitHub generates for a heading."""
+    heading = re.sub(r"`([^`]*)`", r"\1", heading)  # strip inline code
+    heading = re.sub(r"\[([^\]]*)\]\([^)]*\)", r"\1", heading)  # links
+    slug = []
+    for ch in heading.strip().lower():
+        if ch.isalnum() or ch in "_-":
+            slug.append(ch)
+        elif ch == " ":
+            slug.append("-")
+        # other punctuation (em dashes, colons, slashes) is dropped
+    return "".join(slug)
+
+
+def anchors_of(path):
+    text = strip_fences(path.read_text())
+    return {github_slug(h) for h in HEADING_RE.findall(text)}
+
+
+def links_of(path):
+    text = strip_fences(path.read_text())
+    for target in LINK_RE.findall(text):
+        if target.startswith(("http://", "https://", "mailto:")):
+            continue
+        yield target
+
+
+@pytest.mark.parametrize("page", PAGES, ids=lambda p: p.name)
+def test_relative_links_resolve(page):
+    broken = []
+    for target in links_of(page):
+        path_part, _, fragment = target.partition("#")
+        dest = page if not path_part else (page.parent / path_part).resolve()
+        if not dest.exists():
+            broken.append(f"{target}: no such file")
+            continue
+        if fragment and dest.suffix == ".md":
+            if fragment not in anchors_of(dest):
+                broken.append(f"{target}: no heading for #{fragment}")
+    assert not broken, f"{page.name}: {broken}"
+
+
+def test_docs_index_links_every_docs_page():
+    index = ROOT / "docs" / "index.md"
+    linked = {t.partition("#")[0] for t in links_of(index)}
+    for page in (ROOT / "docs").glob("*.md"):
+        if page.name == "index.md":
+            continue
+        assert page.name in linked, f"docs/index.md does not link {page.name}"
+
+
+def test_readme_links_the_docs_index():
+    assert "docs/index.md" in {
+        t.partition("#")[0] for t in links_of(ROOT / "README.md")
+    }
