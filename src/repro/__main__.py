@@ -59,6 +59,12 @@ Commands
     into per-phase compiled steps, verify bitwise against the
     interpreted pipeline, and optionally wall-clock both
     (``BENCH_step.json``; see ``docs/compile.md``).
+``validate CASE | all [--artifact FILE] [--format text|json|sarif]``
+    Static proofs over a case's recorded schedule: the capacity prover's
+    per-phase device high-water marks (``DF210`` would-OOM, ``DF211``
+    checkpoint spike) plus the translation validator's simulation proof
+    of the compiled lowering (``DF201``-``DF204``), merged into one
+    report (see ``docs/validate.md``).
 
 ``tables``/``figures``/``sweep`` also accept ``--trace PATH`` to record a
 harness-level (wall-clock) trace of the run; ``tables``/``figures`` accept
@@ -268,6 +274,12 @@ def _cmd_compile(args) -> int:
     from repro.compile.cli import run_compile_command
 
     return run_compile_command(args)
+
+
+def _cmd_validate(args) -> int:
+    from repro.analyze.validate_cli import run_validate_command
+
+    return run_validate_command(args)
 
 
 def _add_ledger_args(p) -> None:
@@ -546,6 +558,34 @@ def build_parser() -> argparse.ArgumentParser:
     co.add_argument("--format", choices=["text", "json"], default="text")
     _add_ledger_args(co)
     co.set_defaults(fn=_cmd_compile)
+
+    va = sub.add_parser(
+        "validate",
+        help="static capacity + translation proofs of recorded schedules "
+        "(DF2xx findings, SARIF for CI uploads)",
+    )
+    va.add_argument(
+        "case",
+        help="e.g. iso2d, acoustic3d, el2d — or 'all' for the full inventory",
+    )
+    va.add_argument("--mode", choices=["modeling", "rtm", "both"],
+                    default="both")
+    va.add_argument("--nt", type=int, default=24,
+                    help="recorded time steps (must match the deps artifact "
+                    "when --opportunities is given)")
+    va.add_argument("--opportunities", metavar="FILE",
+                    help="consume a 'repro deps --opportunities' artifact "
+                    "(hash-gated; stale artifacts are refused)")
+    va.add_argument("--artifact", metavar="FILE",
+                    help="write the machine-readable proof document "
+                    "(capacity phases + discharged obligations)")
+    va.add_argument("--fail-on", metavar="SEVERITY", default="error",
+                    help="exit 1 on findings at/above this severity "
+                    "(info|warning|error; default error)")
+    va.add_argument("--format", choices=["text", "json", "sarif"],
+                    default="text")
+    _add_ledger_args(va)
+    va.set_defaults(fn=_cmd_validate)
     return ap
 
 

@@ -13,6 +13,12 @@ trivially matchable (the static rule id is ``<code>-<key>``, e.g.
 ``DF0xx`` codes mirror the sanitizer's five dynamic rules; ``DF1xx``
 codes are static-only cross-rank findings (message matching and deadlock
 detection have no dynamic counterpart — a deadlocked run never returns).
+``DF2xx`` codes are static-only verification findings: ``DF201``-``DF204``
+are emitted by the translation validator (:mod:`repro.compile.validate`),
+which proves a compiled pipeline's lowered schedule simulates the
+recorded program, and ``DF210``/``DF211`` by the capacity prover
+(:mod:`repro.analyze.capacity`), which bounds device residency and
+register pressure before any allocation happens.
 """
 
 from __future__ import annotations
@@ -178,6 +184,95 @@ _RULES = (
         ),
         alt_message=None,
         anchor="send-recv-deadlock",
+    ),
+    Rule(
+        key="dependence-edge-not-preserved",
+        code="DF201",
+        severity=Severity.ERROR,
+        dynamic_pass=None,
+        static_pass="translation-validate",
+        title="Lowered schedule drops a dependence edge",
+        message=(
+            "{kind} dependence on '{var}' (events {src} -> {dst}) is not "
+            "preserved by the lowered schedule — {detail}"
+        ),
+        alt_message=None,
+        anchor="dependence-edge-not-preserved",
+    ),
+    Rule(
+        key="hoist-not-dominated",
+        code="DF202",
+        severity=Severity.ERROR,
+        dynamic_pass=None,
+        static_pass="translation-validate",
+        title="Hoisted update not dominated by its last writer",
+        message=(
+            "hoisted update {direction} of '{var}' (event {idx}) is not "
+            "dominated by its last writer — {detail} invalidates the "
+            "prologue copy"
+        ),
+        alt_message=None,
+        anchor="hoist-not-dominated",
+    ),
+    Rule(
+        key="fused-access-overlap",
+        code="DF203",
+        severity=Severity.ERROR,
+        dynamic_pass=None,
+        static_pass="translation-validate",
+        title="Fused kernel's merged accesses conflict with an intervening event",
+        message=(
+            "fused kernel '{kernel}' merges accesses to '{var}' that "
+            "conflict with intervening event {idx} ({detail}) — the fusion "
+            "reorders it past the merge point"
+        ),
+        alt_message=None,
+        anchor="fused-access-overlap",
+    ),
+    Rule(
+        key="cross-rank-reorder",
+        code="DF204",
+        severity=Severity.ERROR,
+        dynamic_pass=None,
+        static_pass="translation-validate",
+        title="Per-rank reorder perturbs the message schedule",
+        message=(
+            "rank {rank}'s reordered schedule changes its send/recv "
+            "sequence ({detail}) — the cross-rank matching recorded by the "
+            "interpreter no longer holds"
+        ),
+        alt_message=None,
+        anchor="cross-rank-reorder",
+    ),
+    Rule(
+        key="device-over-capacity",
+        code="DF210",
+        severity=Severity.ERROR,
+        dynamic_pass=None,
+        static_pass="capacity",
+        title="Proven device-residency high-water mark exceeds usable memory",
+        message=(
+            "peak device residency {peak} bytes ({detail}) exceeds the "
+            "usable {usable} bytes of {device} — the run would OOM at "
+            "event {idx} before any recovery could help"
+        ),
+        alt_message=None,
+        anchor="device-over-capacity",
+    ),
+    Rule(
+        key="checkpoint-spike",
+        code="DF211",
+        severity=Severity.WARNING,
+        dynamic_pass=None,
+        static_pass="capacity",
+        title="Checkpoint-restore spike approaches usable memory",
+        message=(
+            "checkpoint restore adds {spike} bytes on top of the backward "
+            "phase's {base} resident bytes ({detail}) — the combined "
+            "{total} bytes exceeds the usable {usable} bytes of {device}"
+        ),
+        alt_message=None,
+        anchor="checkpoint-spike",
     ),
 )
 

@@ -87,6 +87,40 @@ def _skip_counts(compiled: CompiledPipeline) -> dict[str, int]:
     return out
 
 
+#: stable ledger keys for the selection gauntlet's refusal reasons; a
+#: reason outside this table (dynamic text) is sanitized instead
+_SKIP_KEYS = {
+    "spans a phase boundary": "phase_boundary",
+    "conflicts with an already-selected opportunity": "conflict",
+    "periodic duplicate of a selected template offset": "periodic_duplicate",
+    "not verified by the dataflow engine": "unverified",
+    "failed the replay re-proof": "replay_refused",
+    "refused by the translation validator": "validator_refused",
+}
+
+
+def _skip_metric_key(reason: str) -> str:
+    key = _SKIP_KEYS.get(reason)
+    if key is None:
+        key = "".join(
+            c if c.isalnum() else "_" for c in reason.lower()
+        ).strip("_")
+    return f"compile_skipped_{key}"
+
+
+def _selection_metrics(compiled: CompiledPipeline) -> dict[str, float]:
+    """Per-run selection outcome metrics (refusals by reason, plus the
+    cross-phase admissions the translation validator unlocked)."""
+    metrics = {
+        _skip_metric_key(reason): float(count)
+        for reason, count in _skip_counts(compiled).items()
+    }
+    metrics["applied_cross_phase"] = float(
+        sum(1 for a in compiled.applied if "->" in a.phase)
+    )
+    return metrics
+
+
 def _print_target(doc: dict) -> None:
     title = f"compile {doc['case']}"
     print(title)
@@ -174,6 +208,7 @@ def run_compile_command(args) -> int:
                 "launches_compiled": float(
                     compiled.launches_per_step()["compiled"]
                 ),
+                **_selection_metrics(compiled),
             }
             if bench is not None:
                 metrics["interpreted_step_s"] = bench["interpreted_step_s"]

@@ -297,6 +297,11 @@ class SelectedOpportunity:
     phase: str
     #: anchor positions relative to the template start
     offsets: tuple[int, ...]
+    #: for cross-phase fusions admitted by the translation validator:
+    #: the adjacent phase holding the second anchor, and that anchor's
+    #: offset within the partner phase's template
+    cross_phase: str | None = None
+    cross_offset: int | None = None
 
 
 @dataclass
@@ -363,6 +368,105 @@ def _structural_reason(
     return f"unknown opportunity kind '{opp.kind}'"
 
 
+def _cross_phase_candidate(
+    recording: SegmentedRecording,
+    opp: OptimizationOpportunity,
+    seg_a: Segment,
+) -> Segment | None:
+    """The partner segment of an adjacent-phase fusion, or None.
+
+    A boundary-spanning fusion is a candidate for validator admission
+    only under the tight geometry the proofs cover: exactly two compute
+    anchors in *adjacent* segments of two *different* repeated phases,
+    and that adjacency uniform — every slice of the first phase is
+    immediately followed by a slice of the second, so one merged
+    template plus one partner-phase variant covers every occurrence.
+    """
+    if opp.kind != "fuse-computes" or len(opp.events) != 2:
+        return None
+    ia, ib = opp.events
+    if ia not in seg_a or set(opp.remove_events) - {ib}:
+        return None
+    seg_b = recording.segment_of(ib)
+    if seg_b is None or seg_b.start != seg_a.stop:
+        return None
+    if seg_a.phase == seg_b.phase:
+        return None
+    if (
+        seg_a.phase not in REPEATED_PHASES
+        or seg_b.phase not in REPEATED_PHASES
+    ):
+        return None
+    by_start = {s.start: s for s in recording.segments}
+    for sa in recording.slices(seg_a.phase):
+        sb = by_start.get(sa.stop)
+        if sb is None or sb.phase != seg_b.phase:
+            return None
+    return seg_b
+
+
+def _cross_phase_selection(
+    recording: SegmentedRecording,
+    opp: OptimizationOpportunity,
+    seg_a: Segment,
+    taken_offsets: dict[str, set[int]],
+    seen_keys: set[tuple],
+    fingerprint,
+) -> tuple[SelectedOpportunity | None, str]:
+    """Admit one boundary-spanning fusion, or return the skip reason.
+
+    Admission requires the translation validator's static proof *and*
+    the replay re-proof on every periodic occurrence pair — the static
+    proof is what unlocks the boundary, the replay stays as backstop.
+    """
+    from repro.analyze.framework import Severity
+    from repro.compile.validate import validate_opportunity
+
+    program = recording.program
+    seg_b = _cross_phase_candidate(recording, opp, seg_a)
+    if seg_b is None:
+        return None, "spans a phase boundary"
+    ia, ib = opp.events
+    off_a, off_b = ia - seg_a.start, ib - seg_b.start
+    key = (opp.kind, seg_a.phase, seg_b.phase, off_a, off_b, opp.var)
+    if key in seen_keys:
+        return None, "periodic duplicate of a selected template offset"
+    seen_keys.add(key)
+    reason = _structural_reason(program, opp)
+    if reason is not None:
+        return None, reason
+    if (
+        off_a in taken_offsets.get(seg_a.phase, set())
+        or off_b in taken_offsets.get(seg_b.phase, set())
+    ):
+        return None, "conflicts with an already-selected opportunity"
+    by_start = {s.start: s for s in recording.segments}
+    for sa in recording.slices(seg_a.phase):
+        sb = by_start[sa.stop]
+        inst = replace(
+            opp,
+            events=(sa.start + off_a, sb.start + off_b),
+            remove_events=(sb.start + off_b,),
+            insert_at=None,
+        )
+        if any(
+            d.severity >= Severity.ERROR
+            for d in validate_opportunity(program, inst)
+        ):
+            return None, "refused by the translation validator"
+        if not verify_opportunity(program, inst, fingerprint()):
+            return None, "failed the replay re-proof"
+    taken_offsets.setdefault(seg_a.phase, set()).add(off_a)
+    taken_offsets.setdefault(seg_b.phase, set()).add(off_b)
+    return SelectedOpportunity(
+        opportunity=opp,
+        phase=seg_a.phase,
+        offsets=(off_a,),
+        cross_phase=seg_b.phase,
+        cross_offset=off_b,
+    ), ""
+
+
 def select_opportunities(
     recording: SegmentedRecording,
     opportunities: list[OptimizationOpportunity],
@@ -374,22 +478,60 @@ def select_opportunities(
     repeated-phase locality → periodic dedup (template offsets) →
     structural legality → conflict-freedom within the template →
     :func:`~repro.analyze.dataflow.verify_opportunity` replay re-proof.
+
+    Boundary-spanning fusions detour through the translation
+    validator's cross-phase admission — and get *first* claim on
+    template offsets, since the boundary candidates are exactly the
+    ones only the static proof can unlock (a within-phase duplicate of
+    the same anchor can always be re-found; the cross-phase one is
+    refused forever without the proof).
     """
     program = recording.program
     result = SelectionResult()
     baseline: tuple | None = None
     taken_offsets: dict[str, set[int]] = {}
     seen_keys: set[tuple] = set()
-    for opp in sorted(opportunities, key=lambda o: o.events):
+    ordered = sorted(opportunities, key=lambda o: o.events)
+
+    def fingerprint() -> tuple:
+        nonlocal baseline
+        if baseline is None:
+            baseline = replay_fingerprint(program)
+        return baseline
+
+    def anchors_of(opp: OptimizationOpportunity) -> tuple[int, ...]:
+        return opp.events + tuple(
+            i for i in opp.remove_events if i not in opp.events
+        )
+
+    done: set[int] = set()
+    for pos, opp in enumerate(ordered):
+        if not opp.verified:
+            continue
+        anchors = anchors_of(opp)
+        seg = recording.segment_of(anchors[0])
+        if seg is None or all(i in seg for i in anchors):
+            continue
+        sel, reason = _cross_phase_selection(
+            recording, opp, seg, taken_offsets, seen_keys, fingerprint
+        )
+        if sel is None:
+            result.skipped.append((opp.kind, opp.events, reason))
+        else:
+            result.selected.append(sel)
+        done.add(pos)
+
+    for pos, opp in enumerate(ordered):
+        if pos in done:
+            continue
+
         def skip(reason: str, opp=opp) -> None:
             result.skipped.append((opp.kind, opp.events, reason))
 
         if not opp.verified:
             skip("not verified by the dataflow engine")
             continue
-        anchors = opp.events + tuple(
-            i for i in opp.remove_events if i not in opp.events
-        )
+        anchors = anchors_of(opp)
         seg = recording.segment_of(anchors[0])
         if seg is None or any(i not in seg for i in anchors):
             skip("spans a phase boundary")
@@ -414,9 +556,7 @@ def select_opportunities(
         if touched & taken:
             skip("conflicts with an already-selected opportunity")
             continue
-        if baseline is None:
-            baseline = replay_fingerprint(program)
-        if not verify_opportunity(program, opp, baseline):
+        if not verify_opportunity(program, opp, fingerprint()):
             skip("failed the replay re-proof")
             continue
         taken.update(touched)
@@ -480,6 +620,59 @@ def apply_to_template(
     return list(mini.events), hoisted
 
 
+def _shifted_offset(
+    offset: int, selections: list[SelectedOpportunity]
+) -> int:
+    """Map an original template offset to its position after the phase's
+    within-phase selections removed events (fuse drops its second
+    anchor; hoist/cancel drop all of theirs)."""
+    removed: set[int] = set()
+    for s in selections:
+        if s.cross_phase is not None:
+            continue
+        if s.opportunity.kind == "fuse-computes":
+            removed.add(s.offsets[1])
+        else:
+            removed.update(s.offsets)
+    return offset - sum(1 for r in removed if r < offset)
+
+
+def _apply_cross_phase(
+    transformed: dict[str, list[AccEvent]],
+    by_phase: dict[str, list[SelectedOpportunity]],
+    cross: list[SelectedOpportunity],
+) -> dict[tuple[str, str], str]:
+    """Merge each cross-phase fusion's partner launch into the first
+    phase's anchor and carve the partner phase's variant step without it.
+
+    The variant (``"{pb}@after:{pa}"``) replaces the partner phase's
+    step only when it immediately follows the first phase — exactly the
+    adjacency the selection proved uniform.
+    """
+    from repro.analyze.dataflow.opportunities import _merged_compute
+
+    cross_variants: dict[tuple[str, str], str] = {}
+    groups: dict[tuple[str, str], list[SelectedOpportunity]] = {}
+    for sel in cross:
+        assert sel.cross_phase is not None
+        groups.setdefault((sel.phase, sel.cross_phase), []).append(sel)
+    for (pa, pb), sels in groups.items():
+        ta = transformed[pa]
+        tb = transformed[pb]
+        drop: set[int] = set()
+        for sel in sels:
+            sa = _shifted_offset(sel.offsets[0], by_phase.get(pa, []))
+            sb = _shifted_offset(sel.cross_offset, by_phase.get(pb, []))
+            ta[sa] = _merged_compute(ta[sa], tb[sb])
+            drop.add(sb)
+        vname = f"{pb}@after:{pa}"
+        transformed[vname] = [
+            e for i, e in enumerate(tb) if i not in drop
+        ]
+        cross_variants[(pa, pb)] = vname
+    return cross_variants
+
+
 # ----------------------------------------------------------------------
 # the compiled artifact
 # ----------------------------------------------------------------------
@@ -527,6 +720,12 @@ class CompiledPipeline:
     skipped: list[tuple[str, tuple[int, ...], str]]
     #: per repeated phase: compute launches per iteration, before/after
     launches: dict[str, dict[str, int]]
+    #: cross-phase fusions: ``(phase_a, phase_b) -> variant step name``;
+    #: the variant is ``phase_b``'s step minus the launches fused into
+    #: ``phase_a``'s, dispatched whenever ``phase_b`` follows ``phase_a``
+    cross_variants: dict[tuple[str, str], str] = field(default_factory=dict)
+    #: the translation validator's report (attached by ``compile_case``)
+    validation: "object | None" = None
     verified: bool = False
 
     def launches_per_step(self) -> dict[str, int]:
@@ -562,34 +761,50 @@ class BoundPipeline:
 
     def run(self) -> GpuTimes:
         """Execute the full compiled schedule; same failure semantics as
-        the interpreted drivers (OOM → ``failed_times('oom')``)."""
+        the interpreted drivers (OOM → ``failed_times('oom')``).
+
+        Tracks the previous phase so a cross-phase fusion's partner
+        variant (the phase step minus the launches that moved into the
+        predecessor's fused launch) fires exactly where the recording
+        proved the adjacency.  Prologues are injected steps and do not
+        advance the phase sequence.
+        """
         from repro.core.pipeline import failed_times
 
         req = self.compiled.request
         steps = self.steps
+        variants = self.compiled.cross_variants
+        prev: str | None = None
+
+        def step(phase: str) -> None:
+            nonlocal prev
+            name = variants.get((prev, phase), phase)
+            steps[name if name in steps else phase]()
+            prev = phase
+
         try:
-            steps["allocate"]()
+            step("allocate")
         except DeviceOutOfMemoryError:
             return failed_times("oom")
         if "forward_prologue" in steps:
             steps["forward_prologue"]()
         for n in range(req.nt):
-            steps["forward"]()
+            step("forward")
             if (n + 1) % req.snap_period == 0:
-                steps["snapshot"]()
+                step("snapshot")
         if req.mode == "rtm":
             try:
-                steps["swap"]()
+                step("swap")
             except DeviceOutOfMemoryError:
                 return failed_times("oom")
             if "backward_prologue" in steps:
                 steps["backward_prologue"]()
             for n in range(req.nt - 1, -1, -1):
                 if (n + 1) % req.snap_period == 0:
-                    steps["load_snapshot"]()
-                    steps["imaging"]()
-                steps["backward"]()
-        steps["finalize"]()
+                    step("load_snapshot")
+                    step("imaging")
+                step("backward")
+        step("finalize")
         return self.gpu_times()
 
     def gpu_times(self) -> GpuTimes:
@@ -695,11 +910,13 @@ def compile_case(
         opportunities = find_opportunities(program, verify=True).opportunities
 
     selection = select_opportunities(recording, opportunities)
+    cross = [s for s in selection.selected if s.cross_phase is not None]
     by_phase: dict[str, list[SelectedOpportunity]] = {}
     for sel in selection.selected:
-        by_phase.setdefault(sel.phase, []).append(sel)
+        if sel.cross_phase is None:
+            by_phase.setdefault(sel.phase, []).append(sel)
 
-    steps: dict[str, list[LoweredOp]] = {}
+    transformed_by_phase: dict[str, list[AccEvent]] = {}
     launches: dict[str, dict[str, int]] = {}
     prologues: dict[str, list[AccEvent]] = {}
     for phase in PHASE_ORDER:
@@ -716,7 +933,13 @@ def compile_case(
                 "interpreted": sum(1 for e in template if e.kind == "compute"),
                 "compiled": sum(1 for e in transformed if e.kind == "compute"),
             }
-        steps[phase] = lower_events(transformed, program.extents)
+        transformed_by_phase[phase] = transformed
+    cross_variants = _apply_cross_phase(transformed_by_phase, by_phase, cross)
+
+    steps: dict[str, list[LoweredOp]] = {
+        phase: lower_events(events, program.extents)
+        for phase, events in transformed_by_phase.items()
+    }
     for name, events in prologues.items():
         steps[name] = lower_events(events, program.extents)
 
@@ -733,9 +956,33 @@ def compile_case(
         applied=applied,
         skipped=selection.skipped,
         launches=launches,
+        cross_variants=cross_variants,
     )
+    _validate_compiled_or_raise(compiled, recording)
     _verify_compiled(compiled, base, runtime_factory, source_pipeline, program)
     return compiled
+
+
+def _validate_compiled_or_raise(
+    compiled: CompiledPipeline, recording: SegmentedRecording
+) -> None:
+    """The pre-replay gate: run the translation validator and refuse any
+    ERROR finding before the bitwise backstop even starts.  The report is
+    attached to the pipeline either way (``compiled.validation``)."""
+    from repro.analyze.framework import Severity
+    from repro.compile.validate import validate_compiled
+
+    report = validate_compiled(compiled, recording)
+    compiled.validation = report
+    if not report.ok:
+        errors = [
+            d for d in report.diagnostics if d.severity >= Severity.ERROR
+        ]
+        raise CompileError(
+            f"translation validation of {compiled.request.name} failed "
+            f"with {len(errors)} error(s): "
+            + "; ".join(f"[{d.rule}] {d.message}" for d in errors[:3])
+        )
 
 
 def _applied_record(
@@ -748,10 +995,15 @@ def _applied_record(
     overhead instead of N, register pressure merged under the effective
     maxregcount."""
     opp = sel.opportunity
+    if sel.cross_phase is not None:
+        phase = f"{sel.phase}->{sel.cross_phase}"
+        offsets = (sel.offsets[0], sel.cross_offset)
+    else:
+        phase, offsets = sel.phase, sel.offsets
     record = AppliedOpportunity(
         kind=opp.kind,
-        phase=sel.phase,
-        offsets=sel.offsets,
+        phase=phase,
+        offsets=offsets,
         kernels=opp.kernels,
         var=opp.var,
         proof=opp.proof,
@@ -779,6 +1031,11 @@ def _applied_record(
                 float(est.effective_maxregcount)
                 if est.effective_maxregcount is not None else -1.0
             ),
+            # proven launch bounds the capacity prover also derives —
+            # the roofline pricing carries them so reports can compare
+            # static occupancy/spill predictions against the trace
+            "occupancy": est.fused.occupancy,
+            "spilled_regs": float(est.fused.spilled_regs),
         }
     return record
 

@@ -52,6 +52,10 @@ class GPUOptions:
     #: refuse to run when :mod:`repro.sanitize` finds coherence/ghost/race
     #: hazards in a sanitized dry run of this configuration's schedule
     sanitize: bool = False
+    #: refuse to run when the static validators (:mod:`repro.analyze.capacity`
+    #: and, for compiled runs, :mod:`repro.compile.validate`) find DF2xx
+    #: errors — e.g. a proven device OOM — before any allocation happens
+    strict_validate: bool = False
     #: per-kernel schedule overrides from the closed-loop tuner (a
     #: :class:`~repro.optim.autotune.TuningPlan`, or any object exposing
     #: ``entry_for(kernel_name)``); kernels without an entry fall through to

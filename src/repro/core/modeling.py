@@ -80,10 +80,12 @@ def _strict_check(
     space_order: int,
     boundary_width: int,
     pml_variant: str,
+    nt: int = 16,
+    snap_period: int = 4,
 ) -> None:
-    """Opt-in strict modes: lint and/or sanitize a dry-run recording of
-    this configuration's schedule and refuse (raise AnalysisError) on
-    error-level findings before the real run starts."""
+    """Opt-in strict modes: lint, sanitize and/or statically validate a
+    dry-run recording of this configuration's schedule and refuse (raise
+    AnalysisError) on error-level findings before the real run starts."""
     if options.strict_lint:
         from repro.analyze.drivers import check_schedule
 
@@ -109,6 +111,21 @@ def _strict_check(
             platform,
             space_order=space_order,
             boundary_width=boundary_width,
+        )
+    if options.strict_validate:
+        from repro.analyze.validate_cli import check_validate
+
+        check_validate(
+            physics,
+            tuple(shape),
+            mode,
+            options,
+            platform,
+            nt=nt,
+            snap_period=snap_period,
+            space_order=space_order,
+            boundary_width=boundary_width,
+            pml_variant=pml_variant,
         )
 
 
@@ -151,6 +168,7 @@ def run_modeling(
             gpu_options, platform, physics, config.model.grid.shape,
             "modeling", receivers.count, config.space_order,
             config.boundary_width, config.pml_variant,
+            nt=config.nt, snap_period=snap_period,
         )
         rt = _build_runtime(gpu_options, platform, tracer)
         pipeline = OffloadPipeline(
@@ -220,6 +238,7 @@ def estimate_modeling(
     _strict_check(
         options, platform, physics, shape, "modeling",
         nreceivers, space_order, boundary_width, pml_variant,
+        nt=nt, snap_period=snap_period,
     )
     rt = _build_runtime(options, platform, tracer)
     pipeline = OffloadPipeline(

@@ -481,10 +481,15 @@ class MultiGpuPipeline:
         Only the interior step loop compiles — halo exchange, snapshots
         and phase transitions stay interpreted because they touch live
         neighbour state. A compilation that produced phase prologues
-        (hoisted updates) falls back to the interpreter: the prologue
-        would not run inside this loop structure. Ranks under a sanitize
-        session bind faithfully, so their recorders still see every
-        directive.
+        (hoisted updates) is admitted when the translation validator's
+        cross-rank reorder proof (``DF204``) shows the prologue touches
+        no halo-exchanged field: the prologue then runs lazily before
+        each rank's first step of the phase, after the interpreted
+        allocation/swap it must follow.  When the proof refuses, the
+        fallback to the interpreter is *loud*: a warning plus the
+        ``multigpu.compiled_fallback`` ledger counter. Ranks under a
+        sanitize session bind faithfully, so their recorders still see
+        every directive.
         """
         if not self.options.compiled:
             return None
@@ -496,10 +501,56 @@ class MultiGpuPipeline:
             )
             for rc in self.ranks
         ]
-        if any(
-            name.endswith("_prologue") for b in bound for name in b.steps
-        ):
-            return None
+        prologue_name = f"{phase}_prologue"
+        prologue_ranks = [
+            b.steps.get(prologue_name) for b in bound
+        ]
+        if any(p is not None for p in prologue_ranks):
+            from repro.analyze.framework import Severity
+            from repro.compile.validate import prologue_lift_proof
+
+            exchanged = {self.primary, self._backward_name()}
+            diags = prologue_lift_proof(
+                [tuple(p.ops) if p is not None else () for p in prologue_ranks],
+                exchanged,
+            )
+            if any(d.severity >= Severity.ERROR for d in diags):
+                import warnings
+
+                reasons = "; ".join(d.message for d in diags[:2])
+                warnings.warn(
+                    f"multi-GPU {phase} falls back to the interpreter: "
+                    f"the prologue lift fails the cross-rank reorder "
+                    f"proof (DF204): {reasons}",
+                    RuntimeWarning,
+                    stacklevel=2,
+                )
+                runlog.count("multigpu.compiled_fallback")
+                runlog.emit(
+                    "compiled.fallback", phase=phase, rule="DF204",
+                    reasons=reasons,
+                )
+                return None
+
+            def lift(step, prologue):
+                ran = [False]
+
+                def call() -> None:
+                    if prologue is not None and not ran[0]:
+                        ran[0] = True
+                        prologue()
+                    step()
+
+                return call
+
+            runlog.emit(
+                "compiled", ranks=len(bound), phase=phase,
+                prologue_lifted=True,
+            )
+            return [
+                lift(b.steps[phase], p)
+                for b, p in zip(bound, prologue_ranks)
+            ]
         runlog.emit("compiled", ranks=len(bound), phase=phase)
         return [b.steps[phase] for b in bound]
 

@@ -82,7 +82,7 @@ def run_rtm(
         _strict_check(
             gpu_options, platform, physics, shape, "rtm",
             receivers.count, config.space_order, config.boundary_width,
-            config.pml_variant,
+            config.pml_variant, nt=config.nt, snap_period=snap_period,
         )
         rt = _build_runtime(gpu_options, platform, tracer)
         pipeline = OffloadPipeline(
@@ -190,6 +190,7 @@ def estimate_rtm(
     _strict_check(
         options, platform, physics, shape, "rtm",
         nreceivers, space_order, boundary_width, pml_variant,
+        nt=nt, snap_period=snap_period,
     )
     rt = _build_runtime(options, platform, tracer)
     pipeline = OffloadPipeline(

@@ -147,7 +147,7 @@ class Device:
                 f"cudaMalloc:{name}", process=self._trace_process,
                 track="stream:0", cat="alloc", bytes=int(nbytes),
             )
-            self._tracer.metrics.gauge("gpu.resident_bytes").set(self.memory.used)
+            self._memory_gauges()
 
     def release(self, name: str) -> None:
         self.memory.release(name)
@@ -158,7 +158,16 @@ class Device:
                 f"cudaFree:{name}", process=self._trace_process,
                 track="stream:0", cat="alloc",
             )
-            self._tracer.metrics.gauge("gpu.resident_bytes").set(self.memory.used)
+            self._memory_gauges()
+
+    def _memory_gauges(self) -> None:
+        """Residency gauges: live bytes, the high-water mark, and the
+        card's usable capacity — the observed side of the capacity
+        prover's static prediction."""
+        m = self._tracer.metrics
+        m.gauge("gpu.resident_bytes").set(self.memory.used)
+        m.gauge("gpu.peak_bytes").set(self.memory.peak_bytes)
+        m.gauge("gpu.usable_bytes").set(self.memory.usable_bytes)
 
     # ------------------------------------------------------------------
     # transfers

@@ -56,6 +56,12 @@ class DeviceMemory:
         return int(self.capacity * (1.0 - self.reserved_fraction))
 
     @property
+    def usable_bytes(self) -> int:
+        """Alias of :attr:`usable` — the name the capacity prover and the
+        tracer gauges use (``gpu.usable_bytes``)."""
+        return self.usable
+
+    @property
     def used(self) -> int:
         return sum(a.aligned_bytes for a in self._allocs.values())
 

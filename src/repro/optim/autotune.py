@@ -294,16 +294,23 @@ def generate_candidates(
     Vector-length candidates are the static
     :func:`~repro.optim.tuning.predict_best_launch` winners of the case's
     kernels plus the 128/256 house defaults; registers sweep the Figure-10
-    sweet spot and the unclamped point; both compute constructs and both
-    async regimes are covered. The baseline (persona-default) candidate is
+    sweet spot and the unclamped point, pruned to the
+    :func:`~repro.analyze.capacity.admissible_maxregcounts` the capacity
+    prover cannot refute (a clamp the model proves both spills and is no
+    faster never gets probed); both compute constructs and both async
+    regimes are covered. The baseline (persona-default) candidate is
     always first. Ranking beyond the baseline is by modelled step time, so
     a small ``--budget`` probes the statically most promising schedules
     first.
     """
+    from repro.analyze.capacity import admissible_maxregcounts
     from repro.optim.tuning import predict_best_launch
 
     toolkit = toolkit if toolkit is not None else persona.default_toolkit
     workloads = list(workloads)
+    regcounts = admissible_maxregcounts(
+        spec, workloads, (64, None), toolkit=toolkit
+    )
     warm = set()
     for w in workloads:
         cfg, _ = predict_best_launch(spec, w, maxregcount=64, toolkit=toolkit)
@@ -316,7 +323,7 @@ def generate_candidates(
     scored: list[tuple[float, ScheduleCandidate]] = []
     for construct in constructs:
         for v in vectors:
-            for reg in (64, None):
+            for reg in regcounts:
                 cand = ScheduleCandidate(construct, v, reg, None)
                 flags = CompileFlags(maxregcount=reg)
                 cost = 0.0

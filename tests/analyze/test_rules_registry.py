@@ -25,6 +25,12 @@ class TestRegistryShape:
             "unmatched-send",
             "unmatched-recv",
             "send-recv-deadlock",
+            "dependence-edge-not-preserved",
+            "hoist-not-dominated",
+            "fused-access-overlap",
+            "cross-rank-reorder",
+            "device-over-capacity",
+            "checkpoint-spike",
         }
 
     def test_codes_are_unique(self):
@@ -51,6 +57,49 @@ class TestRegistryShape:
     def test_static_rule_id_format(self):
         assert STATIC_RULE_IDS["DF001-stale-device-read"] == \
             "stale-device-read"
+
+    def test_verification_rules_are_static_only(self):
+        # DF2xx: translation validator + capacity prover — no dynamic
+        # counterpart by construction (they gate before execution), and
+        # exactly one static pass each
+        for key, r in REGISTRY.items():
+            if not r.code.startswith("DF2"):
+                continue
+            assert r.dynamic_pass is None, key
+            assert r.static_pass in ("translation-validate", "capacity"), key
+
+    def test_verification_rule_codes_and_severities(self):
+        assert rule("dependence-edge-not-preserved").code == "DF201"
+        assert rule("hoist-not-dominated").code == "DF202"
+        assert rule("fused-access-overlap").code == "DF203"
+        assert rule("cross-rank-reorder").code == "DF204"
+        assert rule("device-over-capacity").code == "DF210"
+        assert rule("checkpoint-spike").code == "DF211"
+        from repro.analyze.framework import Severity
+
+        for key in ("dependence-edge-not-preserved", "hoist-not-dominated",
+                    "fused-access-overlap", "cross-rank-reorder",
+                    "device-over-capacity"):
+            assert rule(key).severity is Severity.ERROR, key
+        assert rule("checkpoint-spike").severity is Severity.WARNING
+
+    def test_verification_templates_have_the_fields_the_emitters_pass(self):
+        rule("dependence-edge-not-preserved").format(
+            kind="raw", var="u", src=1, dst=2, detail="…"
+        )
+        rule("hoist-not-dominated").format(
+            direction="device", var="u", idx=3, detail="…"
+        )
+        rule("fused-access-overlap").format(
+            kernel="a+b", var="u", idx=2, detail="…"
+        )
+        rule("cross-rank-reorder").format(rank=0, detail="…")
+        rule("device-over-capacity").format(
+            peak=1, detail="…", usable=0, device="K40", idx=4
+        )
+        rule("checkpoint-spike").format(
+            spike=1, base=2, detail="…", total=3, usable=2, device="K40"
+        )
 
 
 class TestSanitizerIntegration:
