@@ -50,6 +50,14 @@ Commands
     comm / critical-path metrics, assert the scaling shape against the
     paper's cluster model, and write ``BENCH_scaling.json`` (see
     ``docs/observability.md``).
+``serve CASE | all [--shots N] [--workers W,...] [--faults SPEC]``
+    Shot-parallel RTM service: schedule a survey's shots across
+    simulated worker nodes with admission control, bounded-queue
+    backpressure and fault-tolerant recovery (dead workers requeue
+    their in-flight shots; duplicates are served from the result
+    cache), verify the stacked image bitwise against the fault-free
+    serial golden, and write ``BENCH_service.json`` (see
+    ``docs/service.md``).
 ``report [--check]``
     Diff the latest run of every ledger group against its history;
     ``--check`` exits non-zero on regression (the CI gate).
@@ -70,8 +78,8 @@ Commands
 harness-level (wall-clock) trace of the run; ``tables``/``figures`` accept
 ``--plan plan.json`` to apply a tuning plan to its matching case.
 
-``trace``/``chaos``/``tune``/``scale`` append one structured record per
-run to the run ledger (``.repro/ledger.jsonl`` by default; ``--ledger
+``trace``/``chaos``/``tune``/``scale``/``serve`` append one structured
+record per run to the run ledger (``.repro/ledger.jsonl`` by default; ``--ledger
 PATH`` moves it, ``--no-ledger`` disables it) — the trajectory ``report``
 reads back.
 """
@@ -262,6 +270,12 @@ def _cmd_scale(args) -> int:
     from repro.observe.scaling import run_scale_command
 
     return run_scale_command(args)
+
+
+def _cmd_serve(args) -> int:
+    from repro.serve.campaign import run_serve_command
+
+    return run_serve_command(args)
 
 
 def _cmd_report(args) -> int:
@@ -510,6 +524,49 @@ def build_parser() -> argparse.ArgumentParser:
     _add_ledger_args(sc)
     sc.set_defaults(fn=_cmd_scale)
 
+    sv = sub.add_parser(
+        "serve",
+        help="shot-parallel RTM service with fault-tolerant scheduling; "
+        "writes BENCH_service.json",
+    )
+    sv.add_argument(
+        "case",
+        help="e.g. iso2d, ac2d, el2d — 'all' or a comma list for the "
+        "2-D sweep",
+    )
+    sv.add_argument("--shots", type=int, default=4,
+                    help="shots per survey (default 4)")
+    sv.add_argument("--workers", default="2,4",
+                    help="comma-separated worker counts (default 2,4)")
+    sv.add_argument("--gpus", type=int, default=1,
+                    help="cards per worker node; >1 adds the verified "
+                    "multi-card node harness (default 1)")
+    sv.add_argument("--nt", type=int, default=24,
+                    help="time steps per shot (default 24)")
+    sv.add_argument("--faults", metavar="SPEC",
+                    help="fault specs 'kind[@op][xN][:rank],...' — rank "
+                    "names the worker (mpi-rank-dead@x1, shot-poison:2)")
+    sv.add_argument("--seed", type=int, default=7,
+                    help="scheduler/backoff seed (default 7)")
+    sv.add_argument("--capacity", type=int, default=64,
+                    help="bounded shot-queue capacity (default 64)")
+    sv.add_argument("--policy", choices=["reject", "shed"],
+                    default="reject",
+                    help="admission policy when a survey does not fit "
+                    "(default reject)")
+    sv.add_argument("--no-resubmit", action="store_true",
+                    help="skip the duplicate survey submission that "
+                    "exercises the result cache")
+    sv.add_argument("--quarantine-after", type=int, default=3,
+                    help="failures before a poisoned shot is "
+                    "quarantined (default 3)")
+    sv.add_argument("--format", choices=["text", "json"], default="text")
+    sv.add_argument("--out", default="BENCH_service.json",
+                    help="service artifact path "
+                    "(default BENCH_service.json)")
+    _add_ledger_args(sv)
+    sv.set_defaults(fn=_cmd_serve)
+
     rp = sub.add_parser(
         "report",
         help="diff the latest runs against the ledger trajectory",
@@ -524,7 +581,7 @@ def build_parser() -> argparse.ArgumentParser:
                     help="baseline = median of up to N prior runs (default 5)")
     rp.add_argument("--command-filter", metavar="CMD", default=None,
                     help="only report groups of one command "
-                    "(trace|tune|chaos|scale)")
+                    "(trace|tune|chaos|scale|serve)")
     rp.add_argument("--format", choices=["text", "json"], default="text")
     rp.set_defaults(fn=_cmd_report)
 

@@ -125,12 +125,23 @@ def compiled_for_pipeline(
     key = _cache_key(pipeline, request)
     hit = _CACHE.get(key)
     if hit is not None:
+        runlog.count("compile.cache_hits")
         return hit
-    compiled = compile_case(
-        request,
-        runtime_factory=_twin_runtime_factory(pipeline),
-        source_pipeline=pipeline,
-    )
+    # a real compilation: record/fuse/verify on the twins. Counted (and
+    # spanned on the pipeline's tracer) so a survey loop that recompiles
+    # per shot instead of reusing the memo is visible in its trace.
+    with pipeline.rt.tracer.span(
+        "compile", process="compile", track="compile", cat="compile",
+        case=request.name, mode=mode,
+    ):
+        compiled = compile_case(
+            request,
+            runtime_factory=_twin_runtime_factory(pipeline),
+            source_pipeline=pipeline,
+        )
+    runlog.count("compile.compilations")
+    runlog.emit("compile", case=request.name, mode=mode,
+                applied=len(compiled.applied))
     _CACHE[key] = compiled
     return compiled
 

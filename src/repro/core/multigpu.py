@@ -417,6 +417,14 @@ class MultiGpuPipeline:
         )
 
     # ------------------------------------------------------------------
+    def makespan_s(self) -> float:
+        """The node's simulated makespan so far: the slowest rank's device
+        clock. The serve layer charges each node's shot window with this
+        (recovery waits are on the same clocks, so the figure includes
+        them); it survives as a snapshot when the pipeline is torn down
+        for a re-decomposition."""
+        return max(rc.pipe.rt.device.clock.now for rc in self.ranks)
+
     def _backward_name(self) -> str:
         return "bwd:" + self.primary.split(":", 1)[1]
 

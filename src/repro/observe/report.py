@@ -37,6 +37,20 @@ LOWER_IS_BETTER = frozenset({
     "lint_errors",
     "lint_warnings",
     "df_findings",
+    # serve: recovery actions and queue health (fewer / shorter is better)
+    "recovery_retries",
+    "recovery_restarts",
+    "recovery_requeues",
+    "recovery_degrades",
+    "queue_p50_s",
+    "queue_p95_s",
+    "queue_max_s",
+    "shed",
+    "rejected_shots",
+    "rejected_surveys",
+    "quarantined",
+    "stranded",
+    "workers_lost",
 })
 #: metrics where larger is better (overlap, efficiency, recovery)
 HIGHER_IS_BETTER = frozenset({
@@ -48,6 +62,11 @@ HIGHER_IS_BETTER = frozenset({
     "recovered_fraction",
     "opportunities",
     "verified_opportunities",
+    # serve: throughput, cache effectiveness and completion
+    "shots_per_hour",
+    "cache_hit_rate",
+    "completed_fraction",
+    "verified",
 })
 #: metrics that are fractions in [0, 1]: when their baseline is 0 a
 #: relative delta is meaningless, so these compare in absolute points
@@ -57,6 +76,9 @@ FRACTION_METRICS = frozenset({
     "efficiency",
     "improvement",
     "recovered_fraction",
+    "cache_hit_rate",
+    "completed_fraction",
+    "verified",
 })
 
 DEFAULT_THRESHOLD = 0.10

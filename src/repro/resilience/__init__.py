@@ -35,8 +35,10 @@ from __future__ import annotations
 from repro.resilience.faults import (  # noqa: F401
     ALL_KINDS,
     DEVICE_KINDS,
+    KIND_ALIASES,
     MPI_KINDS,
     PROTOCOL_KINDS,
+    SHOT_POISON,
     FaultEvent,
     FaultPlan,
     FaultSpec,
@@ -73,6 +75,7 @@ def __getattr__(name: str):
 
 __all__ = [
     "ALL_KINDS", "DEVICE_KINDS", "MPI_KINDS", "PROTOCOL_KINDS",
+    "KIND_ALIASES", "SHOT_POISON",
     "FaultSpec", "FaultPlan", "FaultEvent",
     "parse_fault_spec", "parse_faults",
     "FaultOutcome", "ResilienceReport",

@@ -54,6 +54,11 @@ HALO_STALE_HOST = "halo-stale-host"
 HALO_STALE_DEVICE = "halo-stale-device"
 #: the send races the asynchronous ``update host`` still filling the face
 HALO_SEND_BEFORE_SYNC = "halo-send-before-sync"
+#: a poisoned *shot*: the job itself fails on every node it lands on
+#: (corrupt trace headers, NaN source wavelet). Injected at the service
+#: layer (:mod:`repro.serve`) — it has no device category, so the
+#: operation-level injector ignores it; ``rank`` names the shot index.
+SHOT_POISON = "shot-poison"
 
 #: every kind, in canonical order
 ALL_KINDS = (
@@ -69,6 +74,7 @@ ALL_KINDS = (
     HALO_STALE_HOST,
     HALO_STALE_DEVICE,
     HALO_SEND_BEFORE_SYNC,
+    SHOT_POISON,
 )
 
 #: kinds injected through device operations (any rank count)
@@ -80,6 +86,15 @@ PROTOCOL_KINDS = (HALO_STALE_HOST, HALO_STALE_DEVICE, HALO_SEND_BEFORE_SYNC)
 
 #: kinds whose fault persists across retries of the same operation
 PERMANENT_KINDS = (PCIE_PERMANENT, RANK_DEAD)
+
+#: accepted spellings from other tools' vocabularies, normalised on parse
+#: (operators arrive with MPI-flavoured names for the same failure)
+KIND_ALIASES = {
+    "mpi-rank-dead": RANK_DEAD,
+    "dead-rank": RANK_DEAD,
+    "node-dead": RANK_DEAD,
+    "poison-shot": SHOT_POISON,
+}
 
 #: injection category counted by the injector, per kind
 CATEGORY = {
@@ -103,9 +118,11 @@ def is_permanent(kind: str) -> bool:
 # specs and plans
 # ---------------------------------------------------------------------------
 
+# the op digits are optional after ``@`` so spellings like
+# ``rank-dead@x2`` (explicit default op, repeated twice) stay parseable
 _SPEC_RE = re.compile(
     r"^(?P<kind>[a-z][a-z0-9-]*)"
-    r"(?:@(?P<op>\d+))?"
+    r"(?:@(?P<op>\d+)?)?"
     r"(?:x(?P<count>\d+))?"
     r"(?::(?P<rank>\d+))?$"
 )
@@ -166,7 +183,9 @@ class FaultSpec:
 
 def parse_fault_spec(text: str) -> FaultSpec:
     """Parse one ``kind[@op][xcount][:rank]`` token, e.g.
-    ``pcie-transient@40x2`` or ``rank-dead@9:1``."""
+    ``pcie-transient@40x2`` or ``rank-dead@9:1``. Alias spellings from
+    :data:`KIND_ALIASES` (``mpi-rank-dead``, ...) normalise to their
+    canonical kind, and the op digits may be omitted after ``@``."""
     m = _SPEC_RE.match(text.strip().lower())
     if m is None:
         raise ConfigurationError(
@@ -174,8 +193,9 @@ def parse_fault_spec(text: str) -> FaultSpec:
             "(expected kind[@op][xcount][:rank], e.g. 'ecc@12' or "
             "'mpi-drop@3:1')"
         )
+    kind = m.group("kind")
     return FaultSpec(
-        kind=m.group("kind"),
+        kind=KIND_ALIASES.get(kind, kind),
         op_index=int(m.group("op") or 1),
         count=int(m.group("count") or 1),
         rank=None if m.group("rank") is None else int(m.group("rank")),
@@ -262,8 +282,9 @@ __all__ = [
     "PCIE_TRANSIENT", "PCIE_PERMANENT", "KERNEL_LAUNCH", "ECC", "OOM",
     "RANK_DEAD", "MPI_DROP", "MPI_DUP", "MPI_DELAY",
     "HALO_STALE_HOST", "HALO_STALE_DEVICE", "HALO_SEND_BEFORE_SYNC",
+    "SHOT_POISON",
     "ALL_KINDS", "DEVICE_KINDS", "MPI_KINDS", "PROTOCOL_KINDS",
-    "PERMANENT_KINDS", "CATEGORY", "is_permanent",
+    "PERMANENT_KINDS", "CATEGORY", "KIND_ALIASES", "is_permanent",
     "FaultSpec", "FaultPlan", "FaultEvent",
     "parse_fault_spec", "parse_faults",
 ]

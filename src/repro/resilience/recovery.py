@@ -180,13 +180,35 @@ class RecoveryStats:
     recovery_cost_s: float = 0.0
     actions: list = field(default_factory=list)
 
-    def note(self, action: str) -> None:
+    def note(self, action: str, kind: str = "action") -> None:
         self.actions.append(action)
         # recovery actions land in the ambient run ledger record too, so
-        # a chaos campaign's retries/restarts/degrades are queryable next
-        # to the run's reduced metrics (no-op outside a run scope)
-        runlog.emit("recovery", action=action)
+        # a chaos/serve campaign's retries/restarts/degrades are queryable
+        # next to the run's reduced metrics (no-op outside a run scope);
+        # the per-kind counters are what `report --check` trends
+        runlog.emit("recovery", action=action, action_kind=kind)
         runlog.count("recovery.actions")
+        if kind != "action":
+            runlog.count(f"recovery.{kind}s")
+
+    def counts(self) -> dict:
+        """Flat recovery counters (ledger-metric shaped)."""
+        return {
+            "recovery_retries": float(self.retries),
+            "recovery_restarts": float(self.restarts),
+            "recovery_degrades": float(len(self.degraded)),
+            "recovery_cost_s": float(self.recovery_cost_s),
+        }
+
+    def absorb(self, other: "RecoveryStats") -> None:
+        """Fold another guarded run's stats into this aggregate (the
+        service's per-worker totals across shots)."""
+        self.detected += other.detected
+        self.retries += other.retries
+        self.restarts += other.restarts
+        self.degraded.extend(other.degraded)
+        self.recovery_cost_s += other.recovery_cost_s
+        self.actions.extend(other.actions)
 
 
 class _RestartNeeded(ReproError):
@@ -250,12 +272,12 @@ class _Guard:
                     self._wait(attempt)
                 attempt += 1
                 self.stats.retries += 1
-                self.stats.note(f"retry {label} (attempt {attempt}): {exc}")
+                self.stats.note(f"retry {label} (attempt {attempt}): {exc}", kind="retry")
             except DeviceECCError as exc:
                 # device memory is corrupt — re-running the op would compute
                 # on garbage; only a checkpoint restart re-uploads good state
                 self.stats.detected += 1
-                self.stats.note(f"ecc during {label}: {exc}")
+                self.stats.note(f"ecc during {label}: {exc}", kind="detect")
                 raise _RestartNeeded(exc)
             except DeviceOutOfMemoryError as exc:
                 self.stats.detected += 1
@@ -285,7 +307,7 @@ class _Guard:
             self.stats.recovery_cost_s += self.clock.now - t0
         action = f"re-plan:{plan.strategy}"
         self.stats.degraded.append(action)
-        self.stats.note(f"degrade {label}: {action} ({exc})")
+        self.stats.note(f"degrade {label}: {action} ({exc})", kind="degrade")
 
 
 class ResilientPipeline:
@@ -412,7 +434,8 @@ class ResilientPipeline:
             pipeline.restore_residency(phase)
             self.stats.recovery_cost_s += guard.clock.now - t0
         self.stats.note(
-            f"restart from checkpoint {step} after {type(exc.cause).__name__}"
+            f"restart from checkpoint {step} after {type(exc.cause).__name__}",
+            kind="restart",
         )
         return step
 
@@ -436,7 +459,8 @@ class ResilientPipeline:
                 pipeline.restore_residency("forward")
                 self.stats.recovery_cost_s += guard.clock.now - t0
             self.stats.note(
-                "allocate restarted after " + type(exc.cause).__name__
+                "allocate restarted after " + type(exc.cause).__name__,
+                kind="restart",
             )
 
     def _finalize(self, guard, pipeline, phase, with_image: bool):
@@ -448,7 +472,7 @@ class ResilientPipeline:
             pipeline.drop_residency()
             self.injector.resolve(PCIE_PERMANENT)
             self.stats.degraded.append("finalize:drop")
-            self.stats.note("finalize degraded to residency drop")
+            self.stats.note("finalize degraded to residency drop", kind="degrade")
 
     # ------------------------------------------------------------------
     def run_modeling(self) -> ModelingResult:
@@ -601,7 +625,8 @@ class ResilientPipeline:
                 self.injector.resolve(PCIE_PERMANENT)
                 pipeline.restore_residency("backward")
                 self.stats.recovery_cost_s += guard.clock.now - t0
-            self.stats.note("swap restarted after " + type(exc.cause).__name__)
+            self.stats.note("swap restarted after " + type(exc.cause).__name__,
+                            kind="restart")
 
         # ---------------- backward phase ----------------
         bwd = make_propagator(
@@ -738,10 +763,21 @@ class ResilientMultiGpu:
         self.global_field = rng.standard_normal(self.shape).astype(np.float32)
         self.image: np.ndarray | None = None
         self.mgp: MultiGpuPipeline | None = None
+        #: device seconds retired by torn-down pipelines (a re-decompose
+        #: builds fresh cards with fresh clocks; the node's timeline must
+        #: not forget the work the lost configuration already did)
+        self._retired_device_s = 0.0
         self._build(self.ngpus)
 
     # ------------------------------------------------------------------
+    def device_seconds(self) -> float:
+        """Total simulated device seconds this node has consumed, across
+        every re-decomposition (the serve layer's node-time charge)."""
+        return self._retired_device_s + self.mgp.makespan_s()
+
     def _build(self, ngpus: int) -> None:
+        if self.mgp is not None:
+            self._retired_device_s += self.mgp.makespan_s()
         self.ngpus = ngpus
         self.mgp = MultiGpuPipeline(
             self.physics,
@@ -821,7 +857,8 @@ class ResilientMultiGpu:
                 attempt += 1
                 self.stats.retries += 1
                 self.stats.note(
-                    f"retry exchange (attempt {attempt}, flushed {dropped}): {exc}"
+                    f"retry exchange (attempt {attempt}, flushed {dropped}): {exc}",
+                    kind="retry",
                 )
 
     def _rank_op(
@@ -855,7 +892,8 @@ class ResilientMultiGpu:
             self._restore_residency(phase)
             self.stats.recovery_cost_s += guard.clock.now - t0
         self.stats.note(
-            f"restart from checkpoint {step} after {type(exc.cause).__name__}"
+            f"restart from checkpoint {step} after {type(exc.cause).__name__}",
+            kind="restart",
         )
         return step
 
@@ -876,7 +914,8 @@ class ResilientMultiGpu:
                 self._restore_residency(phase)
                 self.stats.recovery_cost_s += guard.clock.now - t0
             self.stats.note(
-                f"{phase} residency restarted after {type(exc.cause).__name__}"
+                f"{phase} residency restarted after {type(exc.cause).__name__}",
+                kind="restart",
             )
 
     def _redecompose(self, exc: DeviceLostError, phase: str) -> None:
@@ -897,7 +936,7 @@ class ResilientMultiGpu:
                 rc.pipe.restore_residency(phase)
         action = f"re-decompose:{old}->{old - 1}"
         self.stats.degraded.append(action)
-        self.stats.note(f"{action} after rank loss")
+        self.stats.note(f"{action} after rank loss", kind="degrade")
 
     # ------------------------------------------------------------------
     def run(self, nt: int, snap_period: int, mode: str = "modeling") -> np.ndarray:

@@ -1,0 +1,137 @@
+"""The shot result cache: content-addressed, drift-invalidated.
+
+A shot's migrated image is a pure function of (earth model, acquisition
+config, shot position) — duplicate submissions of the same survey must
+not recompute it. The cache key binds everything the physics depends on:
+the case name, a content hash of the :class:`~repro.model.earth_model.
+EarthModel` arrays, the :func:`~repro.observe.ledger.plan_fingerprint`
+of the TuningPlan in effect (a plan changes launch behaviour, and a
+cached result must never outlive the schedule that produced it), the
+shot x-index and the step count.
+
+Invalidation is generation-based: the cache remembers, per case, the
+(model hash, plan hash) generation of the last submission. A submission
+whose generation differs — a re-picked velocity model, a re-tuned plan —
+drops every entry of that case before admitting the new survey, so key
+drift can never serve a stale image.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.model.earth_model import EarthModel
+
+
+def model_hash(model: EarthModel) -> str:
+    """Stable short content hash of an earth model: grid geometry plus
+    every defined physical field, bytewise."""
+    h = hashlib.sha256()
+    h.update(model.name.encode())
+    h.update(repr(tuple(model.grid.shape)).encode())
+    h.update(repr(tuple(model.grid.spacing)).encode())
+    for label in ("vp", "rho", "vs", "epsilon", "delta"):
+        a = getattr(model, label)
+        if a is None:
+            continue
+        h.update(label.encode())
+        h.update(np.ascontiguousarray(a).tobytes())
+    return h.hexdigest()[:16]
+
+
+@dataclass(frozen=True)
+class ShotKey:
+    """Content key of one shot's migrated image."""
+
+    case: str
+    model_hash: str
+    plan_hash: str | None
+    shot_x: int
+    nt: int
+
+    @property
+    def generation(self) -> tuple:
+        """The per-case drift axis: entries of a case survive only while
+        its (model, plan) generation is unchanged."""
+        return (self.model_hash, self.plan_hash)
+
+
+@dataclass
+class CachedShot:
+    """One cached result: the raw (un-normalised) shot image and the
+    simulated device seconds its original computation cost."""
+
+    image: np.ndarray
+    device_s: float
+
+
+class ResultCache:
+    """Keyed shot-image store with per-case generation invalidation."""
+
+    def __init__(self):
+        self._entries: dict[ShotKey, CachedShot] = {}
+        self._generations: dict[str, tuple] = {}
+        self.hits = 0
+        self.misses = 0
+        self.invalidations = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    # ------------------------------------------------------------------
+    def begin_case(self, case: str, generation: tuple) -> int:
+        """Declare the generation of an incoming submission; entries of
+        ``case`` from a different generation are invalidated. Returns the
+        number of entries dropped."""
+        prev = self._generations.get(case)
+        dropped = 0
+        if prev is not None and prev != generation:
+            stale = [k for k in self._entries if k.case == case]
+            for k in stale:
+                del self._entries[k]
+            dropped = len(stale)
+            self.invalidations += dropped
+        self._generations[case] = generation
+        return dropped
+
+    # ------------------------------------------------------------------
+    def lookup(self, key: ShotKey) -> CachedShot | None:
+        """Counted lookup: every call is a hit or a miss."""
+        entry = self._entries.get(key)
+        if entry is None:
+            self.misses += 1
+            return None
+        self.hits += 1
+        return entry
+
+    def peek(self, key: ShotKey) -> CachedShot | None:
+        """Uncounted lookup (introspection/tests)."""
+        return self._entries.get(key)
+
+    def store(self, key: ShotKey, image: np.ndarray, device_s: float) -> None:
+        self._entries[key] = CachedShot(image=image, device_s=float(device_s))
+
+    # ------------------------------------------------------------------
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def counters(self) -> dict:
+        return {
+            "cache_hits": float(self.hits),
+            "cache_misses": float(self.misses),
+            "cache_invalidations": float(self.invalidations),
+            "cache_hit_rate": self.hit_rate,
+        }
+
+
+__all__ = [
+    "model_hash",
+    "ShotKey",
+    "CachedShot",
+    "ResultCache",
+]

@@ -1,0 +1,234 @@
+"""Admission control and bounded backpressure for the shot scheduler.
+
+A survey submission is a *batch* of shot jobs. Admission is atomic under
+the ``reject`` policy — either the whole survey fits in the bounded
+queue or none of it is enqueued and the caller gets a typed
+:class:`SurveyRejectedError` — and best-effort under the ``shed``
+policy, which admits the prefix that fits and reports the overflow
+shots as shed (counted, typed, never silently dropped).
+
+Fault-path re-entries (:meth:`ShotQueue.requeue`) bypass admission:
+a requeued shot was already admitted once and is bounded by the
+in-flight count, so counting it against capacity could deadlock the
+drain of a dying worker. Requeues go to the *front* of the queue
+(deterministic, and a recovered shot should not wait behind the whole
+backlog a second time).
+
+Everything here is deterministic: no wall clock, no RNG — eligibility
+times are simulated seconds assigned by the scheduler.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+
+from repro.serve.cache import ShotKey
+from repro.utils.errors import ConfigurationError, ReproError
+
+
+class AdmissionError(ReproError):
+    """Base class for admission-control refusals (backpressure)."""
+
+
+class SurveyRejectedError(AdmissionError):
+    """A whole-survey submission did not fit the bounded queue under the
+    ``reject`` policy. Nothing was enqueued."""
+
+    def __init__(self, survey: str, requested: int, free: int):
+        self.survey = survey
+        self.requested = int(requested)
+        self.free = int(free)
+        super().__init__(
+            f"survey '{survey}' rejected: {requested} shot(s) requested, "
+            f"{free} queue slot(s) free"
+        )
+
+
+class QueueFullError(AdmissionError):
+    """A single shot push found the bounded queue full."""
+
+    def __init__(self, capacity: int):
+        self.capacity = int(capacity)
+        super().__init__(f"shot queue full (capacity {capacity})")
+
+
+class PoisonShotError(ReproError):
+    """A poisoned shot failed (it fails on *every* node it lands on)."""
+
+    def __init__(self, shot: int, attempt: int):
+        self.shot = int(shot)
+        self.attempt = int(attempt)
+        super().__init__(
+            f"shot {shot} is poisoned (failure {attempt})"
+        )
+
+
+@dataclass
+class ShotJob:
+    """One shot of one survey submission, as the queue and scheduler see
+    it. ``shot`` is the canonical shot index within its survey — the
+    stacking order — and stays fixed across requeues."""
+
+    survey: str
+    case: str
+    shot: int
+    shot_x: int
+    key: ShotKey
+    submitted_s: float = 0.0
+    #: simulated time before which the job may not be dispatched (the
+    #: service-level backoff charge on requeued shots)
+    eligible_s: float = 0.0
+    #: execution failures so far (poison detection; dead-worker requeues
+    #: are not the job's fault and do not count)
+    failures: int = 0
+    #: times this job re-entered the queue after a worker loss
+    requeues: int = 0
+    #: workers that failed while this job was in flight on them
+    failed_workers: list = field(default_factory=list)
+    #: terminal state: completed | quarantined | shed | stranded
+    status: str = "queued"
+    completed_s: float | None = None
+    cache_hit: bool = False
+    worker: int | None = None
+
+    @property
+    def latency_s(self) -> float | None:
+        if self.completed_s is None:
+            return None
+        return self.completed_s - self.submitted_s
+
+
+class ShotQueue:
+    """Bounded deterministic FIFO of :class:`ShotJob` with batch
+    admission and typed backpressure."""
+
+    POLICIES = ("reject", "shed")
+
+    def __init__(self, capacity: int = 64, policy: str = "reject"):
+        if capacity < 1:
+            raise ConfigurationError("queue capacity must be >= 1")
+        if policy not in self.POLICIES:
+            raise ConfigurationError(
+                f"unknown queue policy '{policy}' "
+                f"(expected one of: {', '.join(self.POLICIES)})"
+            )
+        self.capacity = int(capacity)
+        self.policy = policy
+        self._items: deque[ShotJob] = deque()
+        self.admitted = 0
+        self.rejected_surveys = 0
+        self.rejected_shots = 0
+        self.shed = 0
+        self.requeued = 0
+        self.max_depth = 0
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def __bool__(self) -> bool:
+        return bool(self._items)
+
+    @property
+    def free(self) -> int:
+        return self.capacity - len(self._items)
+
+    # ------------------------------------------------------------------
+    def admit(self, jobs: list[ShotJob]) -> tuple[list[ShotJob], list[ShotJob]]:
+        """Admit one survey's batch; returns ``(accepted, shed)``.
+
+        ``reject`` policy: all-or-nothing — raises
+        :class:`SurveyRejectedError` (counting the refused shots) when the
+        batch does not fit. ``shed`` policy: admits the prefix that fits
+        and returns the overflow, marked ``shed``.
+        """
+        if not jobs:
+            raise ConfigurationError("cannot admit an empty survey")
+        if self.policy == "reject" and len(jobs) > self.free:
+            self.rejected_surveys += 1
+            self.rejected_shots += len(jobs)
+            raise SurveyRejectedError(jobs[0].survey, len(jobs), self.free)
+        accepted = jobs[: self.free]
+        overflow = jobs[self.free:]
+        for job in accepted:
+            self._items.append(job)
+        self.admitted += len(accepted)
+        for job in overflow:
+            job.status = "shed"
+        self.shed += len(overflow)
+        self.max_depth = max(self.max_depth, len(self._items))
+        return accepted, overflow
+
+    def push(self, job: ShotJob) -> None:
+        """Admit one shot (single-job admission; reject policy semantics)."""
+        if self.free < 1:
+            self.rejected_shots += 1
+            raise QueueFullError(self.capacity)
+        self._items.append(job)
+        self.admitted += 1
+        self.max_depth = max(self.max_depth, len(self._items))
+
+    def requeue(self, job: ShotJob, eligible_s: float, front: bool = True) -> None:
+        """Fault-path re-entry: not subject to capacity (the job already
+        holds an admitted slot conceptually; counting it again could
+        deadlock the drain of a dying worker)."""
+        job.eligible_s = float(eligible_s)
+        job.status = "queued"
+        job.worker = None
+        if front:
+            self._items.appendleft(job)
+        else:
+            self._items.append(job)
+        self.requeued += 1
+        self.max_depth = max(self.max_depth, len(self._items))
+
+    def restore(self, job: ShotJob) -> None:
+        """Put a parked job back at the front without counting a requeue
+        (its in-flight twin failed; the job itself never ran)."""
+        job.status = "queued"
+        self._items.appendleft(job)
+        self.max_depth = max(self.max_depth, len(self._items))
+
+    # ------------------------------------------------------------------
+    def pop_eligible(self, now: float) -> ShotJob | None:
+        """Remove and return the first job whose ``eligible_s <= now``;
+        None when nothing is eligible yet (backpressure from backoff)."""
+        for i, job in enumerate(self._items):
+            if job.eligible_s <= now:
+                del self._items[i]
+                return job
+        return None
+
+    def next_eligible_s(self) -> float | None:
+        """The earliest eligibility time among queued jobs (None if empty)."""
+        if not self._items:
+            return None
+        return min(job.eligible_s for job in self._items)
+
+    def drain(self) -> list[ShotJob]:
+        """Remove and return every queued job (survey-level degrade when
+        no workers survive)."""
+        out = list(self._items)
+        self._items.clear()
+        return out
+
+    def counters(self) -> dict:
+        return {
+            "admitted": float(self.admitted),
+            "rejected_surveys": float(self.rejected_surveys),
+            "rejected_shots": float(self.rejected_shots),
+            "shed": float(self.shed),
+            "requeued": float(self.requeued),
+            "queue_max_depth": float(self.max_depth),
+        }
+
+
+__all__ = [
+    "AdmissionError",
+    "SurveyRejectedError",
+    "QueueFullError",
+    "PoisonShotError",
+    "ShotJob",
+    "ShotQueue",
+]

@@ -84,3 +84,24 @@ class TestSeededPlan:
     def test_empty_plan_is_falsy(self):
         assert not FaultPlan()
         assert FaultPlan(specs=(FaultSpec("ecc"),))
+
+
+class TestAliases:
+    def test_mpi_rank_dead_alias_normalises(self):
+        from repro.resilience.faults import RANK_DEAD
+
+        (spec,) = parse_faults("mpi-rank-dead@x1")
+        assert spec.kind == RANK_DEAD
+        assert spec.count == 1
+        assert spec.rank is None
+
+    def test_poison_shot_alias_carries_shot_index(self):
+        from repro.resilience.faults import SHOT_POISON
+
+        spec = parse_fault_spec("poison-shot:2")
+        assert spec.kind == SHOT_POISON
+        assert spec.rank == 2
+
+    def test_count_without_op_index(self):
+        spec = parse_fault_spec("dead-rank@x1")
+        assert spec.op_index == 1 and spec.count == 1

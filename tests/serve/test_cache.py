@@ -1,0 +1,102 @@
+"""Result cache: content keys, counted lookups, generation invalidation."""
+
+import numpy as np
+
+from repro.model import layered_model
+from repro.serve.cache import ResultCache, ShotKey, model_hash
+
+
+def _model(**kw):
+    kw.setdefault("spacing", 10.0)
+    kw.setdefault("interfaces", [200.0])
+    kw.setdefault("velocities", [1500.0, 2600.0])
+    return layered_model((40, 40), **kw)
+
+
+def _key(shot_x=10, mhash="m0", phash=None, case="iso2d", nt=8):
+    return ShotKey(
+        case=case, model_hash=mhash, plan_hash=phash, shot_x=shot_x, nt=nt
+    )
+
+
+class TestModelHash:
+    def test_stable(self):
+        assert model_hash(_model()) == model_hash(_model())
+
+    def test_sensitive_to_velocity(self):
+        a = _model()
+        b = _model(velocities=[1500.0, 2601.0])
+        assert model_hash(a) != model_hash(b)
+
+    def test_sensitive_to_field_content(self):
+        a = _model()
+        b = _model()
+        b.vp[3, 3] += 1.0
+        assert model_hash(a) != model_hash(b)
+
+
+class TestLookup:
+    def test_lookup_counts_miss_then_hit(self):
+        cache = ResultCache()
+        key = _key()
+        assert cache.lookup(key) is None
+        cache.store(key, np.zeros((2, 2), dtype=np.float32), 0.5)
+        entry = cache.lookup(key)
+        assert entry is not None and entry.device_s == 0.5
+        assert cache.misses == 1 and cache.hits == 1
+        assert cache.hit_rate == 0.5
+
+    def test_peek_is_uncounted(self):
+        cache = ResultCache()
+        key = _key()
+        cache.store(key, np.zeros((2, 2), dtype=np.float32), 0.1)
+        assert cache.peek(key) is not None
+        assert cache.peek(_key(shot_x=99)) is None
+        assert cache.hits == 0 and cache.misses == 0
+
+    def test_distinct_keys_do_not_collide(self):
+        cache = ResultCache()
+        cache.store(_key(nt=8), np.ones((2, 2), dtype=np.float32), 0.1)
+        assert cache.peek(_key(nt=16)) is None
+        assert cache.peek(_key(phash="plan")) is None
+
+
+class TestGenerations:
+    def test_same_generation_keeps_entries(self):
+        cache = ResultCache()
+        cache.begin_case("iso2d", ("m0", None))
+        cache.store(_key(), np.zeros((2, 2), dtype=np.float32), 0.1)
+        dropped = cache.begin_case("iso2d", ("m0", None))
+        assert dropped == 0 and len(cache) == 1
+
+    def test_generation_drift_invalidates_case(self):
+        cache = ResultCache()
+        cache.begin_case("iso2d", ("m0", None))
+        cache.store(_key(shot_x=10), np.zeros((2, 2), dtype=np.float32), 0.1)
+        cache.store(_key(shot_x=20), np.zeros((2, 2), dtype=np.float32), 0.1)
+        # other cases are untouched by iso2d's drift
+        cache.begin_case("ac2d", ("m9", None))
+        cache.store(
+            _key(case="ac2d", mhash="m9"),
+            np.zeros((2, 2), dtype=np.float32), 0.1,
+        )
+        dropped = cache.begin_case("iso2d", ("m1", None))
+        assert dropped == 2
+        assert cache.invalidations == 2
+        assert cache.peek(_key(shot_x=10)) is None
+        assert cache.peek(_key(case="ac2d", mhash="m9")) is not None
+
+    def test_plan_drift_alone_invalidates(self):
+        cache = ResultCache()
+        cache.begin_case("iso2d", ("m0", "planA"))
+        cache.store(
+            _key(phash="planA"), np.zeros((2, 2), dtype=np.float32), 0.1
+        )
+        assert cache.begin_case("iso2d", ("m0", "planB")) == 1
+
+    def test_counters_shape(self):
+        c = ResultCache().counters()
+        assert set(c) == {
+            "cache_hits", "cache_misses",
+            "cache_invalidations", "cache_hit_rate",
+        }

@@ -1,0 +1,57 @@
+"""Satellite contract: a compiled survey compiles its pipeline ONCE.
+
+``run_survey`` with ``GPUOptions(compiled=True)`` must hit the memoised
+compiled-pipeline cache for every shot after the first — one compile
+span on the trace, ``nshots - 1`` cache hits on the run log.
+"""
+
+from repro.compile import runner
+from repro.core.config import GPUOptions, RTMConfig
+from repro.core.survey import run_survey, shot_line
+from repro.model import layered_model
+from repro.observe.runlog import RunLog
+from repro.trace.tracer import Tracer
+
+SHOTS = 3
+
+
+def _config():
+    model = layered_model(
+        (48, 48), spacing=10.0, interfaces=[240.0],
+        velocities=[1500.0, 2600.0],
+    )
+    return RTMConfig(
+        physics="isotropic", model=model, nt=8, peak_freq=12.0,
+        space_order=8, boundary_width=8, snap_period=4,
+    )
+
+
+def test_one_compile_span_per_survey():
+    runner.clear_cache()
+    config = _config()
+    xs = shot_line(config.model, SHOTS, margin=12)
+    tracer = Tracer()
+    runlog = RunLog(command="test", case="iso2d", mode="rtm")
+    with runlog.activate():
+        result = run_survey(
+            config, shot_x_indices=xs,
+            gpu_options=GPUOptions(compiled=True), tracer=tracer,
+        )
+    assert len(result.shot_images) == SHOTS
+    assert runlog.counters["compile.compilations"] == 1.0
+    assert runlog.counters["compile.cache_hits"] == float(SHOTS - 1)
+    spans = [e for e in tracer.events if e.name == "compile"]
+    assert len(spans) == 1
+    runner.clear_cache()
+
+
+def test_compiled_survey_reports_gpu_times():
+    runner.clear_cache()
+    config = _config()
+    xs = shot_line(config.model, 2, margin=12)
+    result = run_survey(
+        config, shot_x_indices=xs, gpu_options=GPUOptions(compiled=True)
+    )
+    assert len(result.gpu) == 2
+    assert all(t.total > 0 for t in result.gpu)
+    runner.clear_cache()

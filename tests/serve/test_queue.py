@@ -1,0 +1,132 @@
+"""Bounded shot queue: admission atomicity, backpressure, requeue."""
+
+import pytest
+
+from repro.serve.cache import ShotKey
+from repro.serve.queue import (
+    QueueFullError,
+    ShotJob,
+    ShotQueue,
+    SurveyRejectedError,
+)
+from repro.utils.errors import ConfigurationError, ReproError
+
+
+def _job(shot=0, survey="s", eligible=0.0):
+    key = ShotKey(
+        case="iso2d", model_hash="m", plan_hash=None, shot_x=10 * shot, nt=8
+    )
+    return ShotJob(
+        survey=survey, case="iso2d", shot=shot, shot_x=10 * shot,
+        key=key, eligible_s=eligible,
+    )
+
+
+class TestConstruction:
+    def test_rejects_bad_capacity(self):
+        with pytest.raises(ConfigurationError):
+            ShotQueue(capacity=0)
+
+    def test_rejects_unknown_policy(self):
+        with pytest.raises(ConfigurationError):
+            ShotQueue(policy="drop-newest")
+
+
+class TestRejectPolicy:
+    def test_whole_survey_fits(self):
+        q = ShotQueue(capacity=4)
+        accepted, shed = q.admit([_job(i) for i in range(3)])
+        assert len(accepted) == 3 and shed == []
+        assert q.admitted == 3 and len(q) == 3
+
+    def test_rejection_is_atomic(self):
+        q = ShotQueue(capacity=4, policy="reject")
+        q.admit([_job(i) for i in range(3)])
+        with pytest.raises(SurveyRejectedError) as exc:
+            q.admit([_job(i, survey="big") for i in range(2)])
+        # nothing from the refused batch was enqueued
+        assert len(q) == 3
+        assert exc.value.survey == "big"
+        assert exc.value.requested == 2 and exc.value.free == 1
+        assert q.rejected_surveys == 1 and q.rejected_shots == 2
+
+    def test_rejection_is_a_typed_repro_error(self):
+        q = ShotQueue(capacity=1)
+        q.admit([_job(0)])
+        with pytest.raises(ReproError):
+            q.admit([_job(1, survey="t")])
+
+    def test_empty_survey_is_a_config_error(self):
+        with pytest.raises(ConfigurationError):
+            ShotQueue().admit([])
+
+
+class TestShedPolicy:
+    def test_overflow_is_shed_not_raised(self):
+        q = ShotQueue(capacity=2, policy="shed")
+        jobs = [_job(i, survey="s") for i in range(4)]
+        accepted, shed = q.admit(jobs)
+        assert [j.shot for j in accepted] == [0, 1]
+        assert [j.shot for j in shed] == [2, 3]
+        assert all(j.status == "shed" for j in shed)
+        assert q.shed == 2 and len(q) == 2
+
+
+class TestPush:
+    def test_full_queue_raises_typed_error(self):
+        q = ShotQueue(capacity=1)
+        q.push(_job(0))
+        with pytest.raises(QueueFullError) as exc:
+            q.push(_job(1))
+        assert exc.value.capacity == 1
+        assert q.rejected_shots == 1
+
+
+class TestRequeue:
+    def test_requeue_bypasses_capacity_and_goes_front(self):
+        q = ShotQueue(capacity=2)
+        q.admit([_job(0), _job(1)])
+        lost = _job(9)
+        q.requeue(lost, eligible_s=5.0)  # queue already full: still lands
+        assert len(q) == 3
+        assert q.requeued == 1
+        # front of the queue once its backoff expires...
+        assert q.pop_eligible(10.0).shot == 9
+        # ...but before that, eligibility gating skips it
+        assert q.pop_eligible(0.0).shot == 0
+
+    def test_eligibility_gating(self):
+        q = ShotQueue(capacity=4)
+        q.requeue(_job(3), eligible_s=2.0)
+        assert q.pop_eligible(1.0) is None
+        assert q.next_eligible_s() == 2.0
+        assert q.pop_eligible(2.0).shot == 3
+
+    def test_restore_does_not_count_a_requeue(self):
+        q = ShotQueue(capacity=4)
+        q.admit([_job(0)])
+        j = q.pop_eligible(0.0)
+        q.restore(j)
+        assert q.requeued == 0
+        assert q.pop_eligible(0.0) is j
+
+
+class TestCounters:
+    def test_counters_shape(self):
+        q = ShotQueue(capacity=3, policy="shed")
+        q.admit([_job(i) for i in range(5)])
+        c = q.counters()
+        assert c["admitted"] == 3.0
+        assert c["shed"] == 2.0
+        assert c["queue_max_depth"] == 3.0
+        assert set(c) == {
+            "admitted", "rejected_surveys", "rejected_shots",
+            "shed", "requeued", "queue_max_depth",
+        }
+
+    def test_drain_empties_the_queue(self):
+        q = ShotQueue(capacity=4)
+        q.admit([_job(i) for i in range(3)])
+        left = q.drain()
+        assert [j.shot for j in left] == [0, 1, 2]
+        assert not q

@@ -1,0 +1,203 @@
+"""The survey scheduler: determinism under chaos, recovery, coalescing.
+
+The load-bearing contract: the service's stacked image is **bitwise**
+equal to the fault-free serial :func:`run_survey` stack, for any worker
+count, arrival order and (recovered) fault plan — float32 stacking is
+pinned to canonical shot order, and shot physics is worker-invariant.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.config import RTMConfig
+from repro.core.survey import run_survey, shot_line
+from repro.model import layered_model
+from repro.resilience.faults import FaultPlan, parse_faults
+from repro.serve import SurveyRejectedError, SurveyScheduler
+from repro.utils.errors import ConfigurationError
+
+SHOTS = 3
+NT = 8
+
+
+def _config():
+    model = layered_model(
+        (48, 48), spacing=10.0, interfaces=[240.0],
+        velocities=[1500.0, 2600.0],
+    )
+    return RTMConfig(
+        physics="isotropic", model=model, nt=NT, peak_freq=12.0,
+        space_order=8, boundary_width=8, snap_period=4,
+    )
+
+
+@pytest.fixture(scope="module")
+def config():
+    return _config()
+
+
+@pytest.fixture(scope="module")
+def xs(config):
+    return shot_line(config.model, SHOTS, margin=12)
+
+
+@pytest.fixture(scope="module")
+def golden(config, xs):
+    """(raw stack, final image, per-shot raw images) — serial, fault-free."""
+    ref = run_survey(config, shot_x_indices=xs)
+    stack = np.zeros(config.model.grid.shape, dtype=np.float32)
+    for img in ref.shot_images:
+        stack += img
+    return stack, ref.image, ref.shot_images
+
+
+def _run(config, xs, workers=2, faults=None, seed=7, **kw):
+    plan = FaultPlan(
+        seed=seed, specs=parse_faults(faults) if faults else ()
+    )
+    sched = SurveyScheduler(workers=workers, plan=plan, seed=seed, **kw)
+    sched.submit_survey("s", config, xs)
+    return sched.run()
+
+
+class TestWorkerInvariance:
+    @pytest.mark.parametrize("workers", [1, 2, 3])
+    def test_stack_bitwise_equals_serial(self, config, xs, golden, workers):
+        res = _run(config, xs, workers=workers)
+        assert res.completed_shots("s") == list(range(len(xs)))
+        assert np.array_equal(res.stacks["s"], golden[0])
+        assert np.array_equal(res.images["s"], golden[1])
+
+
+class TestDeadWorker:
+    def test_shots_requeue_to_survivors_bitwise(self, config, xs, golden):
+        res = _run(config, xs, workers=2, faults="mpi-rank-dead@x1")
+        m = res.metrics()
+        assert m["workers_lost"] == 1.0
+        assert m["requeued"] >= 1.0
+        # every shot still completes, and the image is *identical*
+        assert res.completed_shots("s") == list(range(len(xs)))
+        assert np.array_equal(res.stacks["s"], golden[0])
+        assert np.array_equal(res.images["s"], golden[1])
+        # the requeued job remembers who failed it
+        requeued = [j for j in res.jobs if j.requeues]
+        assert requeued and all(j.failed_workers for j in requeued)
+
+    def test_metrics_reproducible_bitwise(self, config, xs):
+        a = _run(config, xs, workers=2, faults="mpi-rank-dead@x1")
+        b = _run(config, xs, workers=2, faults="mpi-rank-dead@x1")
+        assert a.metrics() == b.metrics()
+        assert np.array_equal(a.stacks["s"], b.stacks["s"])
+
+
+class TestPoisonQuarantine:
+    def test_poison_shot_quarantined_survivors_stack(
+        self, config, xs, golden
+    ):
+        res = _run(config, xs, workers=2, faults="shot-poison:1")
+        assert res.quarantined == [1]
+        assert res.completed_shots("s") == [0, 2]
+        bad = next(j for j in res.jobs if j.status == "quarantined")
+        assert bad.failures == 3  # default quarantine_after
+        # degraded stack == golden stack of the surviving shots, summed
+        # in canonical order
+        expected = np.zeros(config.model.grid.shape, dtype=np.float32)
+        expected += golden[2][0]
+        expected += golden[2][2]
+        assert np.array_equal(res.stacks["s"], expected)
+        m = res.metrics()
+        assert m["quarantined"] == 1.0
+        assert 0.0 < m["completed_fraction"] < 1.0
+
+    def test_quarantine_after_one_skips_retries(self, config, xs):
+        res = _run(
+            config, xs, workers=2, faults="shot-poison:0",
+            quarantine_after=1,
+        )
+        assert res.quarantined == [0]
+        bad = next(j for j in res.jobs if j.status == "quarantined")
+        assert bad.failures == 1
+
+
+class TestStranded:
+    def test_all_workers_dead_never_deadlocks(self, config, xs):
+        res = _run(config, xs, workers=1, faults="mpi-rank-dead@x1")
+        m = res.metrics()
+        assert m["workers_lost"] == 1.0
+        assert m["completed_fraction"] == 0.0
+        assert res.stranded == len(xs)
+        assert all(
+            j.status == "stranded" for j in res.jobs
+        )
+        assert "s" not in res.stacks  # nothing completed, nothing stacked
+
+
+class TestNodeMode:
+    def test_two_card_nodes_verified(self, config, xs, golden):
+        res = _run(config, xs, workers=2, gpus=2)
+        assert res.completed_shots("s") == list(range(len(xs)))
+        assert np.array_equal(res.stacks["s"], golden[0])
+
+    def test_dead_card_degrades_inside_the_node(self, config, xs, golden):
+        res = _run(config, xs, workers=2, gpus=2, faults="rank-dead@x1")
+        m = res.metrics()
+        # one card of worker 0 died; the node re-decomposed and survived
+        assert m["workers_lost"] == 0.0
+        assert res.completed_shots("s") == list(range(len(xs)))
+        assert np.array_equal(res.stacks["s"], golden[0])
+
+
+class TestCoalescing:
+    def test_duplicate_survey_served_from_cache(self, config, xs, golden):
+        sched = SurveyScheduler(workers=2, seed=7)
+        sched.submit_survey("a", config, xs)
+        sched.submit_survey("b", config, xs, primary=False)
+        res = sched.run()
+        m = res.metrics()
+        # each shot computed exactly once; the twin survey is all hits
+        assert m["cache_misses"] == float(len(xs))
+        assert m["cache_hits"] == float(len(xs))
+        assert all(j.cache_hit for j in res.completed("b"))
+        assert not any(j.cache_hit for j in res.completed("a"))
+        assert np.array_equal(res.stacks["a"], golden[0])
+        assert np.array_equal(res.stacks["b"], golden[0])
+
+
+class TestBackpressure:
+    def test_reject_policy_refuses_oversized_survey(self, config, xs):
+        sched = SurveyScheduler(workers=2, capacity=2, seed=7)
+        with pytest.raises(SurveyRejectedError):
+            sched.submit_survey("s", config, xs)  # 3 shots, 2 slots
+
+    def test_shed_policy_completes_admitted_prefix(self, config, xs, golden):
+        sched = SurveyScheduler(workers=2, capacity=2, policy="shed", seed=7)
+        jobs = sched.submit_survey("s", config, xs)
+        assert [j.status for j in jobs] == ["queued", "queued", "shed"]
+        res = sched.run()
+        m = res.metrics()
+        assert m["shed"] == 1.0
+        assert res.completed_shots("s") == [0, 1]
+        expected = np.zeros(config.model.grid.shape, dtype=np.float32)
+        expected += golden[2][0]
+        expected += golden[2][1]
+        assert np.array_equal(res.stacks["s"], expected)
+
+
+class TestValidation:
+    def test_bad_parameters(self, config, xs):
+        with pytest.raises(ConfigurationError):
+            SurveyScheduler(workers=0)
+        with pytest.raises(ConfigurationError):
+            SurveyScheduler(gpus=0)
+        with pytest.raises(ConfigurationError):
+            SurveyScheduler(quarantine_after=0)
+
+    def test_run_before_submit(self):
+        with pytest.raises(ConfigurationError):
+            SurveyScheduler(workers=1).run()
+
+    def test_duplicate_survey_id(self, config, xs):
+        sched = SurveyScheduler(workers=1, seed=7)
+        sched.submit_survey("s", config, xs)
+        with pytest.raises(ConfigurationError):
+            sched.submit_survey("s", config, xs)
